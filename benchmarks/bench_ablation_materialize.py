@@ -1,0 +1,72 @@
+"""Ablation A1 — server-side stored-procedure materialization vs shipping
+every row to the client and INSERTing it back.
+
+Paper §3, Result Sets step 3: "The advantage of using a stored procedure is
+that all data is moved locally at the server ... rather than having data
+moving across the network."  The ablation makes that advantage measurable:
+time, round trips, and bytes on the wire for the same materialization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import PhoenixConfig
+from repro.sql import parse
+
+ROWS = 2_000
+SQL = "SELECT k, v, v * 2 AS v2 FROM abl_rows WHERE k <= 100000"
+
+
+def _system():
+    system = repro.make_system()
+    loader = system.server.connect()
+    system.server.execute(loader, "CREATE TABLE abl_rows (k INT PRIMARY KEY, v FLOAT)")
+    for start in range(0, ROWS, 1000):
+        values = ", ".join(
+            f"({k}, {k * 0.5})" for k in range(start + 1, min(start + 1001, ROWS + 1))
+        )
+        system.server.execute(loader, f"INSERT INTO abl_rows VALUES {values}")
+    system.server.disconnect(loader)
+    return system
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {"proc": _system(), "client": _system()}
+
+
+@pytest.mark.parametrize("mode", ["proc", "client"])
+def test_materialize(benchmark, systems, mode):
+    system = systems[mode]
+    config = PhoenixConfig(materialize_via_procedure=(mode == "proc"))
+    connection = system.phoenix.connect(system.DSN, config=config)
+    select = parse(SQL)
+
+    def run():
+        return connection.materialize_default(parse(SQL))
+
+    state = benchmark(run)
+    assert state.table
+    connection.close()
+
+
+def test_materialize_round_trips_and_bytes():
+    """The design's point, asserted: the stored-procedure path costs far
+    fewer round trips and orders of magnitude fewer bytes than round-
+    tripping the rows."""
+    costs = {}
+    for mode in ("proc", "client"):
+        system = _system()
+        config = PhoenixConfig(materialize_via_procedure=(mode == "proc"))
+        connection = system.phoenix.connect(system.DSN, config=config)
+        before = (system.metrics.round_trips, system.metrics.bytes_sent)
+        connection.materialize_default(parse(SQL))
+        after = (system.metrics.round_trips, system.metrics.bytes_sent)
+        costs[mode] = (after[0] - before[0], after[1] - before[1])
+        connection.close()
+    proc_trips, proc_bytes = costs["proc"]
+    client_trips, client_bytes = costs["client"]
+    assert proc_trips < client_trips / 5, (costs,)
+    assert proc_bytes < client_bytes / 10, (costs,)

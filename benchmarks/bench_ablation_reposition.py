@@ -1,0 +1,78 @@
+"""Ablation A3 — server-side vs client-side result repositioning.
+
+Paper §4, Figure 2 discussion: recovery repositions the result "using a
+stored procedure that advances to a specified tuple, hence advancing
+through the result set on the server without passing tuples to the
+client."  The ablation re-fetches the whole materialized result and
+discards the delivered prefix client-side instead, making the saved wire
+traffic visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import PhoenixConfig
+from repro.errors import CommunicationError
+
+ROWS = 4_000
+DELIVERED = 3_900  # deep into the result: repositioning cost is maximal
+
+
+def _prepared_connection(reposition_server_side: bool):
+    system = repro.make_system()
+    loader = system.server.connect()
+    system.server.execute(loader, "CREATE TABLE rep_rows (k INT PRIMARY KEY, v FLOAT)")
+    for start in range(0, ROWS, 1000):
+        values = ", ".join(
+            f"({k}, {k * 0.25})" for k in range(start + 1, min(start + 1001, ROWS + 1))
+        )
+        system.server.execute(loader, f"INSERT INTO rep_rows VALUES {values}")
+    system.server.checkpoint()
+    system.server.disconnect(loader)
+
+    config = PhoenixConfig(reposition_server_side=reposition_server_side)
+    connection = system.phoenix.connect(system.DSN, config=config)
+    connection.config.sleep = lambda _s: None
+    cursor = connection.cursor()
+    cursor.execute("SELECT k, v FROM rep_rows ORDER BY k")
+    cursor.fetchmany(DELIVERED)
+    return system, connection, cursor
+
+
+@pytest.mark.parametrize("mode", ["server_side", "client_side"])
+def test_reposition(benchmark, mode):
+    server_side = mode == "server_side"
+
+    def setup():
+        system, connection, cursor = _prepared_connection(server_side)
+        system.server.crash()
+        system.endpoint.restart_server()
+        return (system, connection, cursor), {}
+
+    def recover(system, connection, cursor):
+        connection.recovery.recover(CommunicationError("bench crash"))
+        tail = cursor.fetchall()
+        connection.close()
+        return tail
+
+    tail = benchmark.pedantic(recover, setup=setup, rounds=3)
+    assert len(tail) == ROWS - DELIVERED
+
+
+def test_reposition_wire_traffic():
+    """Server-side repositioning ships (almost) no rows; client-side
+    re-ships the whole result."""
+    received = {}
+    for mode, flag in (("server", True), ("client", False)):
+        system, connection, cursor = _prepared_connection(flag)
+        system.server.crash()
+        system.endpoint.restart_server()
+        before = system.metrics.bytes_received
+        connection.recovery.recover(CommunicationError("bench crash"))
+        received[mode] = system.metrics.bytes_received - before
+        tail = cursor.fetchall()
+        assert len(tail) == ROWS - DELIVERED
+        connection.close()
+    assert received["server"] < received["client"] / 5, received

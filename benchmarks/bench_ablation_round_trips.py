@@ -1,0 +1,55 @@
+"""Ablation A5 — wire round trips per query, native vs Phoenix.
+
+Wall-clock on an in-process wire hides the network; round-trip counts do
+not.  Phoenix's steady-state query cost is a *fixed* number of extra round
+trips (metadata probe, result-table DDL, server-side fill, delivery open),
+so its network overhead is independent of data size — the structural reason
+Table 1's ratio approaches 1 as queries grow.  This bench pins the counts
+and projects the overhead at representative RTTs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_round_trip_accounting
+
+QUERIES = ["Q1", "Q6", "Q16"]
+
+
+@pytest.fixture(scope="module")
+def accounting():
+    return {row.name: row for row in run_round_trip_accounting(queries=QUERIES)}
+
+
+def test_native_query_is_one_round_trip(accounting):
+    assert all(row.native_trips == 1 for row in accounting.values())
+
+
+def test_phoenix_fixed_round_trip_overhead(accounting):
+    """Probe + DDL + fill + open: exactly 4 trips, for every query."""
+    assert all(row.phoenix_trips == 4 for row in accounting.values())
+
+
+def test_phoenix_bytes_scale_with_result_not_with_protocol(accounting):
+    # Q1 returns 6 wide rows, Q16 ~30; phoenix bytes stay within a small
+    # constant factor of native (the data dominates, not the mechanism)
+    for row in accounting.values():
+        assert row.phoenix_bytes < 6 * row.native_bytes + 5000, vars(row)
+
+
+@pytest.mark.parametrize("rtt_ms", [1.0, 30.0])
+def test_projected_overhead_is_fixed_per_query(accounting, rtt_ms):
+    rtt = rtt_ms / 1000.0
+    overheads = {
+        name: row.projected_overhead_seconds(rtt) for name, row in accounting.items()
+    }
+    # same fixed overhead regardless of the query
+    assert len(set(round(v, 9) for v in overheads.values())) == 1
+
+
+def test_round_trip_accounting_benchmark(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_round_trip_accounting(queries=["Q6"]), rounds=2
+    )
+    assert rows[0].phoenix_trips > rows[0].native_trips

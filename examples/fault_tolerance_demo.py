@@ -1,0 +1,125 @@
+"""Failure-mode tour: what the application sees, native vs Phoenix.
+
+Walks the three failure shapes from the paper (§2/§3) — crash before the
+request executes, crash after it executes but before the reply, and a hang
+that trips the client timeout — and shows the application-visible outcome
+under the plain driver manager (errors, ambiguity) and under Phoenix/ODBC
+(nothing but latency, exactly-once updates).
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+import repro
+from repro.net import FaultKind
+
+
+def fresh_system():
+    system = repro.make_system()
+    loader = system.plain.connect(system.DSN)
+    cur = loader.cursor()
+    cur.execute("CREATE TABLE account (id INT PRIMARY KEY, balance FLOAT)")
+    cur.execute("INSERT INTO account VALUES (1, 100.0), (2, 100.0)")
+    loader.close()
+    return system
+
+
+def auto_restart(system, conn):
+    conn.config.sleep = lambda _s: (
+        system.endpoint.restart_server() if not system.server.up else None
+    )
+
+
+banner = "=" * 72
+
+
+# ---------------------------------------------------------------------------
+print(banner)
+print("SCENARIO 1 — server crashes while an UPDATE is in flight (not executed)")
+print(banner)
+
+system = fresh_system()
+native = system.plain.connect(system.DSN)
+system.faults.schedule_on_sql(FaultKind.CRASH_BEFORE_EXECUTE, "UPDATE account")
+try:
+    native.cursor().execute("UPDATE account SET balance = balance - 10 WHERE id = 1")
+except repro.errors.CommunicationError as exc:
+    print(f"native ODBC: application receives {type(exc).__name__}: {exc}")
+    print("native ODBC: connection dead; application must restart and guess state")
+system.endpoint.restart_server()
+
+phoenix = repro.connect(system)
+auto_restart(system, phoenix)
+system.faults.schedule_on_sql(FaultKind.CRASH_BEFORE_EXECUTE, "UPDATE account")
+cur = phoenix.cursor()
+cur.execute("UPDATE account SET balance = balance - 10 WHERE id = 1")
+print(f"Phoenix:     update applied, rowcount={cur.rowcount}, app saw no error")
+cur.execute("SELECT balance FROM account WHERE id = 1")
+print(f"Phoenix:     balance now {cur.fetchone()[0]} (applied exactly once)")
+phoenix.close()
+
+
+# ---------------------------------------------------------------------------
+print()
+print(banner)
+print("SCENARIO 2 — the poisonous one: commit executed, reply lost")
+print(banner)
+
+system = fresh_system()
+phoenix = repro.connect(system)
+auto_restart(system, phoenix)
+system.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "UPDATE account")
+cur = phoenix.cursor()
+cur.execute("UPDATE account SET balance = balance - 10 WHERE id = 2")
+print(f"Phoenix:     rowcount={cur.rowcount} recovered from the status table")
+print(f"Phoenix:     status-table probe hits: {phoenix.stats.probe_hits}")
+cur.execute("SELECT balance FROM account WHERE id = 2")
+print(f"Phoenix:     balance {cur.fetchone()[0]} — NOT 80: no double-execution")
+phoenix.close()
+print("(a naive retry without testable state would have re-run the UPDATE)")
+
+
+# ---------------------------------------------------------------------------
+print()
+print(banner)
+print("SCENARIO 3 — spurious timeout: the server is slow, not dead")
+print(banner)
+
+system = fresh_system()
+phoenix = repro.connect(system)
+auto_restart(system, phoenix)
+system.faults.schedule_on_sql(FaultKind.HANG, "SELECT balance")
+cur = phoenix.cursor()
+cur.execute("SELECT balance FROM account WHERE id = 1")
+print(f"Phoenix:     answer {cur.fetchone()} after probing the session proxy table")
+print(
+    f"Phoenix:     spurious timeouts detected: {phoenix.stats.spurious_timeouts}, "
+    f"full recoveries: {phoenix.stats.recoveries} (zero — session never died)"
+)
+phoenix.close()
+
+
+# ---------------------------------------------------------------------------
+print()
+print(banner)
+print("SCENARIO 4 — crash in the middle of an open transaction")
+print(banner)
+
+system = fresh_system()
+phoenix = repro.connect(system)
+auto_restart(system, phoenix)
+cur = phoenix.cursor()
+phoenix.begin()
+cur.execute("UPDATE account SET balance = balance - 25 WHERE id = 1")
+cur.execute("UPDATE account SET balance = balance + 25 WHERE id = 2")
+print("transfer in progress; crashing the server before COMMIT ...")
+system.server.crash()
+system.endpoint.restart_server()
+phoenix.commit()  # Phoenix replays the lost transaction and commits it
+cur.execute("SELECT id, balance FROM account ORDER BY id")
+print("after recovery + replay:", cur.fetchall())
+print(f"transactions replayed: {phoenix.stats.replayed_txns}")
+phoenix.close()
+
+print()
+print("All scenarios complete — the application never wrote a line of")
+print("failure-handling code.")

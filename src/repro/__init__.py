@@ -1,0 +1,121 @@
+"""repro — a full reproduction of *Persistent Client-Server Database
+Sessions* (Barga, Lomet, Baby, Agrawal; EDBT 2000).
+
+The package contains the paper's contribution — Phoenix/ODBC, an enhanced
+driver manager giving applications database sessions that survive server
+crashes (:mod:`repro.core`) — plus every substrate it needs, built from
+scratch: a SQL engine with WAL restart recovery (:mod:`repro.engine` and
+:mod:`repro.sql`), a fault-injectable client/server wire (:mod:`repro.net`),
+an ODBC-like client stack (:mod:`repro.odbc`), the TPC-H workload
+(:mod:`repro.workloads.tpch`), and the benchmark harness (:mod:`repro.bench`).
+
+Quickstart::
+
+    import repro
+
+    system = repro.make_system()          # server + endpoint + both managers
+    conn = system.phoenix.connect(system.DSN)
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(20))")
+    cur.execute("INSERT INTO t VALUES (1, 'hello')")
+    cur.execute("SELECT * FROM t")
+    system.server.crash()                 # pull the plug mid-session
+    system.endpoint.restart_server()      # database recovery runs
+    print(cur.fetchall())                 # the application never noticed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import errors
+from repro.core import PhoenixConfig, PhoenixConnection, PhoenixCursor, PhoenixDriverManager
+from repro.engine import DatabaseServer
+from repro.engine.storage import FileStableStorage, InMemoryStableStorage, StableStorage
+from repro.net import FaultInjector, FaultKind, NetworkMetrics, ServerEndpoint
+from repro.odbc import Connection, DriverManager, NativeDriver, Statement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "DatabaseServer",
+    "ServerEndpoint",
+    "FaultInjector",
+    "FaultKind",
+    "NetworkMetrics",
+    "DriverManager",
+    "NativeDriver",
+    "Connection",
+    "Statement",
+    "PhoenixDriverManager",
+    "PhoenixConnection",
+    "PhoenixCursor",
+    "PhoenixConfig",
+    "FileStableStorage",
+    "InMemoryStableStorage",
+    "System",
+    "make_system",
+    "connect",
+]
+
+
+@dataclass
+class System:
+    """A fully wired single-server deployment (see :func:`make_system`)."""
+
+    server: DatabaseServer
+    endpoint: ServerEndpoint
+    native: NativeDriver
+    plain: DriverManager
+    phoenix: PhoenixDriverManager
+    DSN: str = "main"
+
+    @property
+    def faults(self) -> FaultInjector:
+        return self.endpoint.faults
+
+    @property
+    def metrics(self) -> NetworkMetrics:
+        return self.native.metrics
+
+
+def make_system(
+    storage: StableStorage | None = None,
+    *,
+    dsn: str = "main",
+    config: PhoenixConfig | None = None,
+) -> System:
+    """Build server + wire + driver + both driver managers, ready to use.
+
+    ``storage`` defaults to in-memory stable storage (instant crashes); pass
+    a :class:`FileStableStorage` for on-disk durability.
+    """
+    server = DatabaseServer(storage)
+    endpoint = ServerEndpoint(server)
+    native = NativeDriver(endpoint)
+    plain = DriverManager()
+    plain.register_dsn(dsn, native)
+    phoenix = PhoenixDriverManager(config)
+    phoenix.register_dsn(dsn, native)
+    return System(
+        server=server,
+        endpoint=endpoint,
+        native=native,
+        plain=plain,
+        phoenix=phoenix,
+        DSN=dsn,
+    )
+
+
+def connect(
+    system: System,
+    *,
+    persistent: bool = True,
+    user: str = "app",
+    options: dict | None = None,
+):
+    """Connect to a system — Phoenix session by default, plain ODBC with
+    ``persistent=False`` (the baseline)."""
+    manager = system.phoenix if persistent else system.plain
+    return manager.connect(system.DSN, user, options)

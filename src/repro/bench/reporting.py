@@ -1,0 +1,108 @@
+"""Render the paper's tables and figures as text, and a small CLI.
+
+Usage::
+
+    python -m repro.bench.reporting table1 [--sf 0.001] [--reps 3]
+    python -m repro.bench.reporting fig2
+    python -m repro.bench.reporting all
+
+Output mirrors the paper's layout: Table 1's columns are query id, result
+rows, native seconds, Phoenix seconds, difference, ratio; Figure 2 prints
+the two stacked components per result size (the figure's bars) plus the
+recompute comparison discussed in §4.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.harness import (
+    AvailabilityResult,
+    Fig2Series,
+    Table1Row,
+    run_availability_experiment,
+    run_fig2_recovery_sweep,
+    run_table1_power_comparison,
+)
+
+__all__ = ["render_table1", "render_fig2", "render_availability", "main"]
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """ASCII Table 1 (paper §4)."""
+    lines = [
+        "Table 1. TPC-H power test: native ODBC vs Phoenix/ODBC",
+        f"{'Query/Update':14} {'Rows':>8} {'Native (s)':>12} {'Phoenix (s)':>12} "
+        f"{'Diff (s)':>10} {'Ratio':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:14} {row.result_rows:>8} {row.native_seconds:>12.4f} "
+            f"{row.phoenix_seconds:>12.4f} {row.difference:>10.4f} {row.ratio:>7.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig2(series: Fig2Series) -> str:
+    """Figure 2 as a table + bar sketch (stacked components per size)."""
+    lines = [
+        "Figure 2. Elapsed time for session recovery over varying result sizes",
+        f"{'Result size':>11} {'Virtual (s)':>12} {'SQL state (s)':>14} "
+        f"{'Fetch (s)':>10} {'Recovery (s)':>13} {'Recompute (s)':>14} {'Rec/Comp':>9}",
+    ]
+    for point in series.points:
+        lines.append(
+            f"{point.result_size:>11} {point.virtual_session_seconds:>12.4f} "
+            f"{point.sql_state_seconds:>14.4f} {point.outstanding_fetch_seconds:>10.4f} "
+            f"{point.recovery_seconds:>13.4f} {point.recompute_seconds:>14.4f} "
+            f"{point.recovery_vs_recompute:>9.3f}"
+        )
+    lines.append("")
+    scale = max((p.recovery_seconds for p in series.points), default=1.0) or 1.0
+    for point in series.points:
+        virtual = int(40 * point.virtual_session_seconds / scale)
+        sql_state = int(40 * point.sql_state_seconds / scale)
+        lines.append(
+            f"{point.result_size:>6} |{'V' * max(virtual, 1)}{'S' * max(sql_state, 1)}"
+        )
+    lines.append("        V = virtual session, S = SQL state (stacked, like the figure)")
+    return "\n".join(lines)
+
+
+def render_availability(results: dict[str, AvailabilityResult]) -> str:
+    """Experiment AV: session completion under periodic crashes."""
+    lines = [
+        "Experiment AV. Application availability under periodic server crashes",
+        f"{'Driver':10} {'Sessions':>9} {'Completed':>10} {'Availability':>13} {'Crashes seen':>13}",
+    ]
+    for result in results.values():
+        lines.append(
+            f"{result.driver:10} {result.sessions_total:>9} {result.sessions_completed:>10} "
+            f"{result.availability:>12.0%} {result.crashes:>13}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", choices=["table1", "fig2", "availability", "all"])
+    parser.add_argument("--sf", type=float, default=0.001, help="TPC-H scale factor")
+    parser.add_argument("--reps", type=int, default=3, help="power test repetitions")
+    args = parser.parse_args(argv)
+
+    if args.artifact in ("table1", "all"):
+        rows = run_table1_power_comparison(sf=args.sf, repetitions=args.reps)
+        print(render_table1(rows))
+        print()
+    if args.artifact in ("fig2", "all"):
+        series = run_fig2_recovery_sweep()
+        print(render_fig2(series))
+        print()
+    if args.artifact in ("availability", "all"):
+        results = run_availability_experiment()
+        print(render_availability(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Phoenix/ODBC — persistent client-server database sessions.
+
+The paper's contribution: an *enhanced driver manager* that gives
+applications database sessions that survive server crashes, with no changes
+to the application, the native driver, or the server.
+
+Public surface (drop-in for :mod:`repro.odbc`):
+
+* :class:`PhoenixDriverManager` — ``connect(dsn)`` returns a
+  :class:`PhoenixConnection` whose cursors behave exactly like plain
+  :class:`repro.odbc.Statement` objects, except that a server crash shows
+  up only as latency.
+* :class:`PhoenixConfig` — knobs, including the ablation switches the
+  benchmark suite flips (materialize via stored procedure vs. client
+  round-trip, ``WHERE 0=1`` metadata probe vs. execute-and-discard,
+  server-side vs. client-side repositioning, DML status table on/off).
+"""
+
+from repro.core.config import PhoenixConfig
+from repro.core.connection import PhoenixConnection
+from repro.core.cursor import PhoenixCursor
+from repro.core.driver_manager import PhoenixDriverManager
+
+__all__ = [
+    "PhoenixDriverManager",
+    "PhoenixConnection",
+    "PhoenixCursor",
+    "PhoenixConfig",
+]

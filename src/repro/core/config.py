@@ -1,0 +1,64 @@
+"""Phoenix configuration.
+
+Defaults reproduce the paper's design.  The ``*_via_*`` switches exist for
+the ablation benchmarks (DESIGN.md experiments A1–A4): each turns one of the
+paper's design decisions off so its cost/benefit can be measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["PhoenixConfig"]
+
+
+@dataclass
+class PhoenixConfig:
+    """Knobs for one Phoenix connection."""
+
+    # --- failure detection & reconnection -----------------------------------
+    #: how many times to ping a dead server before giving up and passing the
+    #: communication error to the application (paper §3: "If after a period
+    #: of time Phoenix/ODBC is unable to connect ... it passes the
+    #: communication error on to the application").
+    max_ping_attempts: int = 50
+    #: seconds between pings (the injectable sleep makes tests instant).
+    ping_interval: float = 0.05
+    #: sleep function — tests inject ``lambda _: None``.
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    #: how many times a recovery that is itself interrupted by another crash
+    #: is restarted before giving up.
+    max_recovery_attempts: int = 5
+    #: how many recovery cycles one idempotent request may trigger before
+    #: its error is passed to the application (each retry can meet a fresh,
+    #: independent crash).
+    max_operation_retries: int = 10
+
+    # --- persistence behaviour (the paper's design) ---------------------------
+    #: persist SELECT result sets as server tables (the core mechanism).
+    #: Off = behave like the plain driver manager for queries.
+    persist_results: bool = True
+    #: wrap DML in a transaction that records the outcome in the status
+    #: table ("testable state", §3).  Off = at-most-once DML (ablation A4).
+    persist_dml_status: bool = True
+    #: fill the result table with a server-side stored procedure (one round
+    #: trip, data never crosses the wire).  Off = fetch all rows to the
+    #: client and INSERT them back (ablation A1).
+    materialize_via_procedure: bool = True
+    #: learn result metadata with the WHERE 0=1 probe (compile-only, no
+    #: data).  Off = execute the real query once and discard the rows just
+    #: to see the metadata (ablation A2).
+    metadata_via_false_where: bool = True
+    #: after a crash, reposition result delivery server-side (open a server
+    #: cursor on the materialized table and ADVANCE — no rows shipped).
+    #: Off = refetch and discard delivered rows client-side (ablation A3).
+    reposition_server_side: bool = True
+
+    # --- misc -------------------------------------------------------------------
+    #: rows per block when Phoenix fetches keys / cursor blocks.
+    fetch_block_size: int = 100
+    #: values INSERTed per round trip in the client-side materialization
+    #: fallback (ablation A1 only).
+    insert_batch_size: int = 50

@@ -1,0 +1,749 @@
+"""The Phoenix virtual connection.
+
+The application holds a :class:`PhoenixConnection` — a *virtual* connection
+handle (paper §3 "Virtual ODBC Sessions").  Underneath live two real driver
+connections:
+
+* the **app connection** — carries exactly the traffic the application's
+  statements produce (after rewriting), so interrogating the session shows
+  the expected activity;
+* the **private connection** — carries Phoenix's own activity: creating
+  result tables, filling them via stored procedures, probing the status
+  table, pinging during recovery.
+
+Both are rebuilt after a crash; the virtual handle the application holds
+never changes.  All session context needed to rebuild (login, options in
+application order, temp-object maps, materialized-result registry, the open
+transaction's statement log) is kept client-side — the client survives; the
+paper only protects against *server* failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import Error, InterfaceError, ProgrammingError, RecoveryError
+from repro.engine.schema import Column, TableSchema
+from repro.net.protocol import ResultResponse
+from repro.core.config import PhoenixConfig
+from repro.core.interceptor import (
+    build_dml_batch,
+    build_fill_batch,
+    redirect_names,
+    with_false_where,
+)
+from repro.core.naming import PROXY_TABLE, NameAllocator
+from repro.core.recovery import RECOVERABLE_ERRORS, PhoenixRecovery
+from repro.core.statements import ResultState, TxnReplayLog
+from repro.odbc.constants import CursorType
+from repro.odbc.driver import DriverConnection, NativeDriver
+from repro.sql import ast
+
+__all__ = ["PhoenixConnection", "PhoenixStats"]
+
+
+@dataclass
+class PhoenixStats:
+    """Observable Phoenix activity — benchmarks and tests read these."""
+
+    queries_materialized: int = 0
+    cursors_materialized: int = 0
+    dml_wrapped: int = 0
+    recoveries: int = 0
+    spurious_timeouts: int = 0
+    status_probes: int = 0
+    probe_hits: int = 0
+    replayed_txns: int = 0
+    last_virtual_session_seconds: float = 0.0
+    last_sql_state_seconds: float = 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class PhoenixConnection:
+    """A persistent database session (drop-in for `repro.odbc.Connection`)."""
+
+    def __init__(
+        self,
+        manager,
+        dsn: str,
+        driver: NativeDriver,
+        user: str,
+        options: dict[str, Any] | None = None,
+        config: PhoenixConfig | None = None,
+    ):
+        self.manager = manager
+        self.dsn = dsn
+        self.driver = driver
+        self.user = user
+        self.options = dict(options or {})
+        self.config = config if config is not None else PhoenixConfig()
+        self.names = NameAllocator()
+        self.stats = PhoenixStats()
+
+        # client-side session context (replayed on recovery, in order)
+        self.set_log: list[tuple[str, Any]] = []
+        self.temp_table_map: dict[str, str] = {}
+        self.temp_proc_map: dict[str, str] = {}
+        self.results: dict[int, ResultState] = {}
+        self.txn_log = TxnReplayLog()
+        #: objects to drop at clean termination (paper: cleanup on success)
+        self.cleanup_tables: list[str] = []
+        self.cleanup_procs: list[str] = []
+
+        #: bumped by every completed recovery; cursors use it to notice that
+        #: their buffered delivery was re-mapped underneath them.
+        self.session_epoch = 0
+        self.closed = False
+
+        self.recovery = PhoenixRecovery(self)
+
+        # Real connections behind the virtual handle.  Session establishment
+        # itself must survive a crash: wait for the server and retry the
+        # whole setup (the fixture statements are idempotent).
+        attempts = max(1, self.config.max_recovery_attempts)
+        for attempt in range(attempts):
+            try:
+                self.app: DriverConnection = driver.connect(user, self.options)
+                self.private: DriverConnection = driver.connect(user, {})
+                self._install_session_fixtures()
+                break
+            except RECOVERABLE_ERRORS as exc:
+                if attempt + 1 >= attempts:
+                    raise
+                self.recovery._await_server(exc)
+
+    # ------------------------------------------------------------- fixtures
+
+    def _install_session_fixtures(self) -> None:
+        """Create the proxy temp table (app session) and ensure the status
+        table exists (persistent; idempotent for post-crash rebuilds)."""
+        self.app.execute(f"CREATE TABLE {PROXY_TABLE} (x INT)")
+        self.private.execute(
+            f"CREATE TABLE IF NOT EXISTS {self.names.status_table} "
+            f"(stmt_seq INT PRIMARY KEY, n_rows INT)"
+        )
+        if self.names.status_table not in self.cleanup_tables:
+            self.cleanup_tables.append(self.names.status_table)
+
+    # ------------------------------------------------------------- guarded I/O
+
+    def _app_execute(
+        self, sql: str, *, cursor_type: str = CursorType.FORWARD_ONLY, retries: int | None = None
+    ) -> ResultResponse:
+        """One guarded round trip on the app connection (idempotent
+        requests only — recovery makes re-sending safe).
+
+        A *different* crash can hit the retried request too; each failure
+        runs a fresh recovery cycle, bounded by ``max_operation_retries``
+        (recover() itself gives up when the server stays down, so this
+        terminates either way).  ``retries=0`` disables retrying (cleanup
+        paths that must not recover).
+        """
+        bound = self.config.max_operation_retries if retries is None else retries
+        attempt = 0
+        while True:
+            try:
+                return self.app.execute(sql, cursor_type=cursor_type)
+            except RECOVERABLE_ERRORS as exc:
+                if attempt >= bound:
+                    raise
+                attempt += 1
+                self.recovery.recover(exc)
+
+    def _private_execute(self, sql: str, *, retries: int | None = None) -> ResultResponse:
+        bound = self.config.max_operation_retries if retries is None else retries
+        attempt = 0
+        while True:
+            try:
+                return self.private.execute(sql)
+            except RECOVERABLE_ERRORS as exc:
+                if attempt >= bound:
+                    raise
+                attempt += 1
+                self.recovery.recover(exc)
+
+    # ------------------------------------------------------------- public API
+
+    def cursor(self):
+        self._require_open()
+        from repro.core.cursor import PhoenixCursor
+
+        return PhoenixCursor(self)
+
+    def set_option(self, name: str, value: Any) -> None:
+        """Record and forward a connection option (statement 1 of the
+        paper's example session: session context Phoenix must replay)."""
+        self._require_open()
+        self.set_log.append((name, value))
+        rendered = value if isinstance(value, (int, float)) else f"'{value}'"
+        self._app_execute(f"SET {name} {rendered}")
+
+    def begin(self) -> None:
+        self.handle_begin()
+
+    def commit(self) -> None:
+        self.handle_commit()
+
+    def rollback(self) -> None:
+        self.handle_rollback()
+
+    def close(self) -> None:
+        """Clean termination: drop every Phoenix-managed server object
+        (paper §3: "After the client application has successfully
+        terminated, Phoenix/ODBC cleans up all persistent structures")."""
+        if self.closed:
+            return
+        # mark every result state closed first: a recovery triggered *during*
+        # cleanup must not try to verify/reposition tables we just dropped;
+        # an abandoned open transaction is implicitly rolled back, not replayed
+        for state in self.results.values():
+            state.open = False
+        self.txn_log.clear()
+        attempts = max(1, self.config.max_operation_retries)
+        for attempt in range(attempts + 1):
+            try:
+                self._cleanup_server_objects()
+                break
+            except RECOVERABLE_ERRORS as exc:
+                if attempt >= attempts:
+                    break  # server stayed down: orphans reclaimed out of band
+                try:
+                    self.recovery.recover(exc)
+                except Exception:
+                    break
+        for connection in (self.app, self.private):
+            try:
+                connection.disconnect()
+            except RECOVERABLE_ERRORS:
+                pass
+        self.closed = True
+
+    def _cleanup_server_objects(self) -> None:
+        for proc in self.cleanup_procs:
+            self._private_execute(f"DROP PROCEDURE IF EXISTS {proc}", retries=0)
+        for table in self.cleanup_tables:
+            self._private_execute(f"DROP TABLE IF EXISTS {table}", retries=0)
+
+    def __enter__(self) -> "PhoenixConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("connection is closed")
+
+    # ------------------------------------------------------------- interception
+
+    def rewrite(self, stmt: ast.Statement) -> ast.Statement:
+        """Apply temp-object redirection to a parsed statement."""
+        return redirect_names(stmt, self.temp_table_map, self.temp_proc_map)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn_log.active
+
+    # --- transactions ---------------------------------------------------------
+
+    def handle_begin(self) -> None:
+        self._require_open()
+        if self.in_transaction:
+            raise ProgrammingError("transaction already in progress")
+        self._app_execute("BEGIN TRANSACTION")
+        self.txn_log.begin()
+
+    def handle_commit(self) -> ResultResponse:
+        """Commit with testable state: a status-table insert rides inside
+        the transaction, so a lost COMMIT reply is decidable afterwards."""
+        self._require_open()
+        if not self.in_transaction:
+            raise ProgrammingError("no transaction in progress")
+        seq = self.names.next_seq()
+        batch = f"INSERT INTO {self.names.status_table} VALUES ({seq}, 0); COMMIT"
+        attempts = max(1, self.config.max_operation_retries)
+        response: ResultResponse | None = None
+        for attempt in range(attempts + 1):
+            try:
+                response = self.app.execute(batch)
+                break
+            except RECOVERABLE_ERRORS as exc:
+                if attempt >= attempts:
+                    raise
+                rebuilt = self.recovery.recover(exc, replay_txn=False)
+                # probe EVERY round: a retried batch may have committed just
+                # before its reply died — replaying then would double-commit
+                if self.probe_status(seq) is not None:
+                    self.txn_log.clear()
+                    self.stats.probe_hits += 1
+                    return ResultResponse(kind="ok", message="COMMIT (recovered)")
+                if rebuilt:
+                    # transaction lost wholesale: replay, then commit again
+                    self._replay_transaction()
+                # spurious failure with no status row: the batch never ran;
+                # the transaction is still open — just retry the batch
+        self.txn_log.clear()
+        assert response is not None
+        return response
+
+    def handle_rollback(self) -> ResultResponse:
+        self._require_open()
+        if not self.in_transaction:
+            raise ProgrammingError("no transaction in progress")
+        attempts = max(1, self.config.max_operation_retries)
+        response: ResultResponse | None = None
+        for attempt in range(attempts + 1):
+            try:
+                response = self.app.execute("ROLLBACK")
+                break
+            except RECOVERABLE_ERRORS as exc:
+                if attempt >= attempts:
+                    raise
+                rebuilt = self.recovery.recover(exc, replay_txn=False)
+                if rebuilt:
+                    # a crash rolls the transaction back by definition
+                    response = ResultResponse(kind="ok", message="ROLLBACK (by crash)")
+                    break
+                # spurious: the transaction is still open — retry ROLLBACK
+        self.txn_log.clear()
+        assert response is not None
+        return response
+
+    def _replay_transaction(self) -> None:
+        """Re-execute the open transaction's statements after a crash.
+
+        The replay itself can be interrupted by another crash; each attempt
+        starts from scratch (the interrupted half-replay was rolled back by
+        the crash, or is aborted explicitly when the session survived a
+        spurious failure).  No statement is ever applied twice: an attempt
+        either commits nothing (it never reaches COMMIT — that happens
+        later) or is wholly discarded.
+        """
+        self.stats.replayed_txns += 1
+        attempts = max(1, self.config.max_operation_retries)
+        last_exc: Exception | None = None
+        for _attempt in range(attempts):
+            try:
+                # clear any half-replayed open transaction (no-op after a
+                # crash; required after a spurious failure mid-replay)
+                try:
+                    self.app.execute("ROLLBACK")
+                except RECOVERABLE_ERRORS:
+                    raise
+                except Error:
+                    pass
+                self.app.execute("BEGIN TRANSACTION")
+                for sql in self.txn_log.statements:
+                    self.app.execute(sql)
+                return
+            except RECOVERABLE_ERRORS as exc:
+                last_exc = exc
+                self.recovery.recover(exc, replay_txn=False)
+        raise RecoveryError(
+            f"transaction replay kept failing: {last_exc}"
+        ) from last_exc
+
+    def run_in_transaction(self, sql: str) -> ResultResponse:
+        """Execute a statement inside the app's explicit transaction.
+
+        Pass-through (no materialization — the transaction's effects are
+        volatile anyway) but recorded for wholesale replay.  A failure that
+        killed the session replays the lost transaction first; a spurious
+        failure (the session survived) just retries the statement.
+        """
+        attempts = max(1, self.config.max_operation_retries)
+        for attempt in range(attempts + 1):
+            try:
+                response = self.app.execute(sql)
+                self.txn_log.record(sql)
+                return response
+            except RECOVERABLE_ERRORS as exc:
+                if attempt >= attempts:
+                    raise
+                rebuilt = self.recovery.recover(exc, replay_txn=False)
+                if rebuilt:
+                    self._replay_transaction()
+        raise AssertionError("unreachable")
+
+    # --- DML (autocommit) --------------------------------------------------------
+
+    def run_dml(self, sql: str) -> tuple[int, int, "ResultResponse | None"]:
+        """Execute one autocommit DML/DDL/EXEC statement exactly once.
+
+        Returns (seq, rowcount, response).  The statement travels inside
+        the paper's wrapper transaction that also records its outcome in
+        the status table; after a failure Phoenix probes the table — hit:
+        return the logged outcome; miss: re-execute (§3 "Data Modification
+        Statements").  ``response`` carries any result rows the statement
+        produced (an EXEC of a row-returning procedure); it is None when
+        the reply was lost and only the logged outcome survives — the one
+        place our reply-buffer (a rowcount) is narrower than the paper's.
+        """
+        if not self.config.persist_dml_status:
+            response = self._app_execute(sql)  # at-most-once (ablation A4)
+            return (-1, response.rowcount, response)
+        seq = self.names.next_seq()
+        batch = build_dml_batch(sql, self.names.status_table, seq)
+        self.stats.dml_wrapped += 1
+        while True:
+            try:
+                response = self.app.execute(batch)
+                rowcounts = response.batch_rowcounts
+                return (seq, rowcounts[0] if rowcounts else 0, response)
+            except RECOVERABLE_ERRORS as exc:
+                self.recovery.recover(exc)
+                logged = self.probe_status(seq)
+                if logged is not None:
+                    self.stats.probe_hits += 1
+                    return (seq, logged, None)
+                # not logged → the wrapper transaction never committed;
+                # re-executing cannot double-apply.
+            except Error:
+                # a SQL error (duplicate key, missing table, ...) aborted
+                # the batch after its BEGIN: close the wrapper transaction
+                # before handing the error to the application, or the next
+                # wrapped statement would trip over the open transaction
+                self._rollback_wrapper_txn()
+                raise
+
+    def _rollback_wrapper_txn(self) -> None:
+        """Best-effort ROLLBACK of a failed DML wrapper transaction."""
+        try:
+            self.app.execute("ROLLBACK")
+        except Error:
+            pass  # no transaction open (error hit before BEGIN) or server gone
+
+    def probe_status(self, seq: int) -> int | None:
+        """Read the status table for a statement's outcome (None = absent)."""
+        self.stats.status_probes += 1
+        response = self._private_execute(
+            f"SELECT n_rows FROM {self.names.status_table} WHERE stmt_seq = {seq}"
+        )
+        if response.rows:
+            return response.rows[0][0]
+        return None
+
+    # --- temp-object redirection ----------------------------------------------------
+
+    def handle_create_temp_table(self, stmt: ast.CreateTable) -> ResultResponse:
+        """Rewrite CREATE of a temp table into a persistent Phoenix table
+        and remember the mapping (§3 "Temporary Objects")."""
+        original = stmt.name.lower()
+        persistent = self.names.redirected_table(original)
+        stmt.name = persistent
+        stmt.temporary = False
+        # idempotent under retry: a lost reply may have left the table
+        # created; any prior incarnation of this Phoenix-owned name is stale
+        response = self._app_execute(
+            f"DROP TABLE IF EXISTS {persistent}; {stmt.sql()}"
+        )
+        self.temp_table_map[original] = persistent
+        self.cleanup_tables.append(persistent)
+        return response
+
+    def handle_drop_temp_table(self, stmt: ast.DropTable) -> ResultResponse:
+        original = stmt.name.lower()
+        persistent = self.temp_table_map.pop(original, None)
+        if persistent is None:
+            raise ProgrammingError(f"temp table {stmt.name} does not exist")
+        if persistent in self.cleanup_tables:
+            self.cleanup_tables.remove(persistent)
+        return self._app_execute(f"DROP TABLE IF EXISTS {persistent}")
+
+    def handle_create_temp_proc(self, stmt: ast.CreateProcedure) -> ResultResponse:
+        original = stmt.name.lower()
+        persistent = self.names.redirected_procedure(original)
+        stmt.name = persistent
+        # the body was already rewritten for temp-table references;
+        # DROP-first makes the retry after a lost reply idempotent
+        response = self._app_execute(
+            f"DROP PROCEDURE IF EXISTS {persistent}; {stmt.sql()}"
+        )
+        self.temp_proc_map[original] = persistent
+        self.cleanup_procs.append(persistent)
+        return response
+
+    def handle_drop_temp_proc(self, stmt: ast.DropProcedure) -> ResultResponse:
+        original = stmt.name.lower()
+        persistent = self.temp_proc_map.pop(original, None)
+        if persistent is None:
+            raise ProgrammingError(f"temp procedure {stmt.name} does not exist")
+        if persistent in self.cleanup_procs:
+            self.cleanup_procs.remove(persistent)
+        return self._app_execute(f"DROP PROCEDURE IF EXISTS {persistent}")
+
+    # --- query materialization --------------------------------------------------------
+
+    def probe_metadata(self, select: ast.Select) -> list[Column]:
+        """Phoenix Step 1: result metadata in one cheap round trip."""
+        if self.config.metadata_via_false_where:
+            probe_sql = with_false_where(select).sql()
+        else:
+            probe_sql = select.sql()  # ablation A2: pay for real execution
+        response = self._app_execute(probe_sql)
+        return list(response.columns)
+
+    def materialize_default(self, select: ast.Select) -> ResultState:
+        """Steps 1–3 for a default result set: probe metadata, create the
+        persistent table, fill it server-side.  Idempotent under retry (the
+        batch drops and recreates its objects)."""
+        seq = self.names.next_seq()
+        app_columns = self.probe_metadata(select)
+        store_columns = _uniquify_columns(app_columns)
+        table_name = self.names.result_table(seq)
+        proc_name = self.names.fill_procedure(seq)
+        schema = TableSchema(name=table_name, columns=tuple(store_columns))
+        ddl = f"DROP TABLE IF EXISTS {table_name}; {schema.create_table_sql()}"
+        fill = build_fill_batch(
+            proc_name,
+            table_name,
+            select.sql(),
+            via_procedure=self.config.materialize_via_procedure,
+        )
+        while True:
+            try:
+                self.private.execute(ddl)
+                if self.config.materialize_via_procedure:
+                    self.private.execute(fill)
+                else:
+                    self._materialize_client_side(select, table_name)
+                break
+            except RECOVERABLE_ERRORS as exc:
+                self.recovery.recover(exc)
+        self.cleanup_tables.append(table_name)
+        if self.config.materialize_via_procedure:
+            self.cleanup_procs.append(proc_name)
+        self.stats.queries_materialized += 1
+        state = ResultState(
+            seq=seq,
+            kind="default",
+            table=table_name,
+            fill_proc=proc_name if self.config.materialize_via_procedure else None,
+            select=select,
+            app_columns=app_columns,
+            store_columns=store_columns,
+        )
+        self.results[seq] = state
+        return state
+
+    def _materialize_client_side(self, select: ast.Select, table_name: str) -> None:
+        """Ablation A1: ship every row to the client and INSERT it back."""
+        rows = self.private.execute(select.sql()).rows
+        batch_size = self.config.insert_batch_size
+        for start in range(0, len(rows), batch_size):
+            chunk = rows[start : start + batch_size]
+            values = ", ".join(
+                "(" + ", ".join(ast.quote_literal(v) for v in row) + ")" for row in chunk
+            )
+            self.private.execute(f"INSERT INTO {table_name} VALUES {values}")
+
+    def open_default_delivery(self, state: ResultState) -> list[tuple]:
+        """Step 3 tail: ``SELECT * FROM T`` — the app connection receives the
+        whole (now persistent) result as a normal default result set."""
+        response = self._app_execute(f"SELECT * FROM {state.table}")
+        return list(response.rows)
+
+    def materialize_cursor(self, select: ast.Select, kind: str) -> ResultState | None:
+        """Persist keyset/dynamic cursor state: only the *keys* go into the
+        Phoenix table (§3 "Cursors").  Returns None when the query shape
+        cannot support a key cursor (caller falls back to default)."""
+        keyable = self._keyable(select)
+        if keyable is None:
+            return None
+        base_table, key_column, key_col_meta = keyable
+        if kind == "dynamic" and select.order_by:
+            return None  # dynamic delivery is in key order only
+        seq = self.names.next_seq()
+        app_columns = self.probe_metadata(select)
+        keys_table = self.names.keys_table(seq)
+        key_select = ast.Select(
+            items=[ast.SelectItem(ast.ColumnRef(key_column))],
+            from_=select.from_,
+            where=select.where,
+            order_by=select.order_by
+            or [ast.OrderItem(ast.ColumnRef(key_column))],
+        )
+        schema = TableSchema(
+            name=keys_table,
+            columns=(Column("k", key_col_meta.type, length=key_col_meta.length),),
+        )
+        proc_name = self.names.fill_procedure(seq)
+        ddl = f"DROP TABLE IF EXISTS {keys_table}; {schema.create_table_sql()}"
+        fill = build_fill_batch(
+            proc_name,
+            keys_table,
+            key_select.sql(),
+            via_procedure=self.config.materialize_via_procedure,
+        )
+        while True:
+            try:
+                self.private.execute(ddl)
+                if self.config.materialize_via_procedure:
+                    self.private.execute(fill)
+                else:
+                    self._materialize_client_side(key_select, keys_table)
+                count_response = self.private.execute(
+                    f"SELECT count(*) FROM {keys_table}"
+                )
+                break
+            except RECOVERABLE_ERRORS as exc:
+                self.recovery.recover(exc)
+        self.cleanup_tables.append(keys_table)
+        if self.config.materialize_via_procedure:
+            self.cleanup_procs.append(proc_name)
+        self.stats.cursors_materialized += 1
+        state = ResultState(
+            seq=seq,
+            kind=kind,
+            table=keys_table,
+            fill_proc=proc_name if self.config.materialize_via_procedure else None,
+            select=select,
+            app_columns=app_columns,
+            store_columns=app_columns,
+            base_table=base_table,
+            key_column=key_column,
+            key_count=count_response.rows[0][0],
+        )
+        self.results[seq] = state
+        return state
+
+    def _keyable(self, select: ast.Select) -> tuple[str, str, Column] | None:
+        """Client-side keyability check via the driver's catalog call."""
+        if not isinstance(select, ast.Select):
+            return None  # unions etc. are never key-addressable
+        if (
+            select.group_by
+            or select.having is not None
+            or select.distinct
+            or select.limit is not None
+            or select.into is not None
+            or not isinstance(select.from_, ast.TableName)
+        ):
+            return None
+        # bare aggregates collapse rows — not key-addressable either
+        from repro.engine.executor import _collect_aggregates
+
+        aggs: list = []
+        for item in select.items:
+            if not isinstance(item.expr, ast.Star):
+                _collect_aggregates(item.expr, aggs)
+        if aggs:
+            return None
+        base = select.from_.name
+        try:
+            schema = self.app.table_schema(base)
+        except RECOVERABLE_ERRORS as exc:
+            self.recovery.recover(exc)
+            schema = self.app.table_schema(base)
+        except Exception:
+            return None
+        if len(schema.primary_key) != 1:
+            return None
+        key_column = schema.primary_key[0]
+        key_meta = next(c for c in schema.columns if c.name == key_column)
+        return base.lower(), key_column, key_meta
+
+    # --- cursor block fetching ------------------------------------------------------------
+
+    def fetch_key_block(self, state: ResultState, n: int) -> tuple[list[tuple], bool]:
+        """Fetch the next block of rows for a keyset/dynamic cursor.
+
+        Returns (rows, done).  Every path reads the persistent keys table,
+        so this works identically before and after a crash.
+        """
+        if state.kind == "keyset":
+            return self._fetch_keyset_block(state, n)
+        return self._fetch_dynamic_block(state, n)
+
+    def _fetch_keyset_block(self, state: ResultState, n: int) -> tuple[list[tuple], bool]:
+        keys = self._app_execute(
+            f"SELECT k FROM {state.table} LIMIT {n} OFFSET {state.delivered}"
+        ).rows
+        if not keys:
+            return [], True
+        key_values = [row[0] for row in keys]
+        in_list = ", ".join(ast.quote_literal(k) for k in key_values)
+        binding = state.select.from_.alias or state.select.from_.name
+        item_sql = ", ".join(item.sql() for item in state.select.items)
+        block = self._app_execute(
+            f"SELECT {item_sql}, {binding}.{state.key_column} "
+            f"FROM {state.select.from_.sql()} "
+            f"WHERE {state.key_column} IN ({in_list})"
+        ).rows
+        by_key = {row[-1]: row[:-1] for row in block}
+        # deliver in captured-key order; vanished keys are keyset "holes"
+        rows = [by_key[k] for k in key_values if k in by_key]
+        state.delivered += len(keys)
+        done = state.delivered >= (state.key_count or 0)
+        return rows, done
+
+    def _fetch_dynamic_block(self, state: ResultState, n: int) -> tuple[list[tuple], bool]:
+        """Paper §3: "use the last record key seen by the application and
+        the next record key from the table to SELECT a range of rows" —
+        inserts into the range are picked up, deletions fall out.  Past the
+        captured keys, the scan runs open-ended (new tail rows show up)."""
+        boundary = None
+        if not state.keys_exhausted:
+            boundary_rows = self._app_execute(
+                f"SELECT k FROM {state.table} LIMIT {n} OFFSET {state.delivered}"
+            ).rows
+            state.delivered += len(boundary_rows)
+            if len(boundary_rows) < n:
+                state.keys_exhausted = True
+            if boundary_rows:
+                boundary = boundary_rows[-1][0]
+        predicates = []
+        if state.select.where is not None:
+            predicates.append(f"({state.select.where.sql()})")
+        if state.last_key is not None:
+            predicates.append(
+                f"{state.key_column} > {ast.quote_literal(state.last_key)}"
+            )
+        if boundary is not None:
+            predicates.append(
+                f"{state.key_column} <= {ast.quote_literal(boundary)}"
+            )
+        item_sql = ", ".join(item.sql() for item in state.select.items)
+        sql = (
+            f"SELECT {item_sql}, {state.key_column} FROM {state.select.from_.sql()}"
+        )
+        if predicates:
+            sql += " WHERE " + " AND ".join(predicates)
+        sql += f" ORDER BY {state.key_column}"
+        if boundary is None:
+            sql += f" LIMIT {n}"
+        block = self._app_execute(sql).rows
+        rows = [row[:-1] for row in block]
+        if block:
+            state.last_key = block[-1][-1]
+        if boundary is None:
+            done = len(block) < n  # open-ended tail drained
+        else:
+            done = False
+        return rows, done
+
+
+def _uniquify_columns(columns: list[Column]) -> list[Column]:
+    """Result metadata can legally repeat names (two unaliased SUMs); a
+    table cannot.  The Phoenix store table gets uniquified names while the
+    application keeps seeing the originals."""
+    seen: dict[str, int] = {}
+    out: list[Column] = []
+    for column in columns:
+        base = column.name or "col"
+        count = seen.get(base, 0)
+        seen[base] = count + 1
+        name = base if count == 0 else f"{base}_{count + 1}"
+        out.append(
+            Column(
+                name,
+                column.type,
+                length=column.length,
+                precision=column.precision,
+                scale=column.scale,
+            )
+        )
+    return out

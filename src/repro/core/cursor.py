@@ -1,0 +1,347 @@
+"""The Phoenix cursor: the application's statement handle.
+
+Same surface as :class:`repro.odbc.Statement` (``execute`` → ``fetch*``,
+``description``, ``rowcount``, statement attributes), but every request is
+intercepted per the paper's dispatch:
+
+* **queries** are materialized as persistent server tables and delivered
+  from there, so delivery can resume after a crash at the exact row where
+  the application stopped;
+* **DML / DDL / EXEC** travel inside a wrapper transaction that records the
+  outcome in the status table — exactly-once across crashes;
+* **temp objects** are transparently redirected to persistent stand-ins;
+* statements inside an explicit transaction pass through natively but are
+  recorded for wholesale replay.
+
+A crash during any of this surfaces to the application only as latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import InterfaceError, ProgrammingError
+from repro.core.connection import PhoenixConnection
+from repro.core.interceptor import StatementClass, classify, inline_placeholders
+from repro.core.recovery import RECOVERABLE_ERRORS
+from repro.core.statements import ResultState
+from repro.net.protocol import ResultResponse
+from repro.odbc.constants import DEFAULT_FETCH_BLOCK, CursorType, StatementAttr
+from repro.odbc.driver_manager import describe_columns
+from repro.sql import ast, parse_script
+
+__all__ = ["PhoenixCursor"]
+
+
+class PhoenixCursor:
+    """Drop-in statement handle backed by a persistent virtual session."""
+
+    def __init__(self, connection: PhoenixConnection):
+        self.connection = connection
+        self.attrs: dict[str, Any] = {
+            StatementAttr.CURSOR_TYPE: CursorType.FORWARD_ONLY,
+            StatementAttr.FETCH_BLOCK_SIZE: DEFAULT_FETCH_BLOCK,
+            StatementAttr.QUERY_TIMEOUT: None,
+        }
+        self.closed = False
+        self._reset_result()
+
+    def _reset_result(self) -> None:
+        self.description: list[tuple] | None = None
+        self.rowcount: int = -1
+        self.messages: list[str] = []
+        self.effective_cursor_type: str = CursorType.FORWARD_ONLY
+        self._state: ResultState | None = None
+        self._buffer: list[tuple] = []
+        self._buffer_pos = 0
+        self._done = True
+        self._epoch = self.connection.session_epoch
+        self._rows_read = 0
+
+    # ------------------------------------------------------------- attributes
+
+    def set_attr(self, name: str, value: Any) -> None:
+        if name not in self.attrs:
+            raise ProgrammingError(f"unknown statement attribute {name!r}")
+        self.attrs[name] = value
+
+    # ------------------------------------------------------------- execute
+
+    def execute(self, sql: str, placeholders: list | None = None) -> "PhoenixCursor":
+        self._require_open()
+        self.connection._require_open()
+        self._reset_result()
+        statements = parse_script(sql)
+        bound = list(placeholders or [])
+        for stmt in statements:
+            if bound:
+                inline_placeholders(stmt, bound)
+            self._execute_one(stmt)
+        return self
+
+    def _execute_one(self, stmt: ast.Statement) -> None:
+        connection = self.connection
+        kind = classify(stmt)
+
+        if kind is StatementClass.SET_OPTION:
+            connection.set_log.append((stmt.name, stmt.value))
+            self._absorb_ok(connection._app_execute(stmt.sql()))
+            return
+        if kind is StatementClass.TXN_BEGIN:
+            connection.handle_begin()
+            self.messages.append("BEGIN")
+            return
+        if kind is StatementClass.TXN_COMMIT:
+            self._absorb_ok(connection.handle_commit())
+            return
+        if kind is StatementClass.TXN_ROLLBACK:
+            self._absorb_ok(connection.handle_rollback())
+            return
+        if kind is StatementClass.CREATE_TEMP_TABLE:
+            connection.rewrite(stmt)  # body refs to other temps
+            stmt.name = _original_temp_name(stmt.name, connection)
+            self._absorb_ok(connection.handle_create_temp_table(stmt))
+            return
+        if kind is StatementClass.DROP_TEMP_TABLE:
+            self._absorb_ok(connection.handle_drop_temp_table(stmt))
+            return
+        if kind is StatementClass.CREATE_TEMP_PROC:
+            connection.rewrite(stmt)
+            stmt.name = _original_temp_name(stmt.name, connection)
+            self._absorb_ok(connection.handle_create_temp_proc(stmt))
+            return
+        if kind is StatementClass.DROP_TEMP_PROC:
+            self._absorb_ok(connection.handle_drop_temp_proc(stmt))
+            return
+
+        # SELECT INTO a temp table creates a temp object as a side effect —
+        # register its redirection before rewriting, like CREATE TABLE #x
+        if isinstance(stmt, ast.Select) and stmt.into and stmt.into.startswith("#"):
+            original = stmt.into.lower()
+            if original not in connection.temp_table_map:
+                persistent = connection.names.redirected_table(original)
+                connection.temp_table_map[original] = persistent
+                connection.cleanup_tables.append(persistent)
+
+        # everything below references tables/procs: apply redirection
+        connection.rewrite(stmt)
+        rewritten_sql = stmt.sql()
+
+        if connection.in_transaction:
+            # pass-through + record for replay (queries buffer fully client
+            # side, so open in-transaction results need no repositioning)
+            self._absorb_response(connection.run_in_transaction(rewritten_sql))
+            return
+
+        if kind is StatementClass.QUERY:
+            self._execute_query(stmt)
+            return
+        if kind in (StatementClass.DML, StatementClass.DDL, StatementClass.EXEC):
+            seq, rowcount, response = connection.run_dml(rewritten_sql)
+            if response is not None and response.kind == "rows":
+                # an EXEC whose procedure returns a result set: deliver it
+                # like the native stack would
+                self._absorb_response(response)
+            self.rowcount = rowcount
+            self.messages.append(f"#{seq}: {rowcount} rows")
+            return
+        # OTHER (CHECKPOINT, ...): pass through, retry-safe
+        self._absorb_response(connection._app_execute(rewritten_sql))
+
+    def _execute_query(self, select: ast.Select) -> None:
+        connection = self.connection
+        requested = self.attrs[StatementAttr.CURSOR_TYPE]
+
+        if not connection.config.persist_results:
+            # behave like the plain driver manager (baseline / config off)
+            response = connection._app_execute(select.sql(), cursor_type=requested)
+            self._absorb_response(response)
+            return
+
+        if requested in (CursorType.KEYSET, CursorType.DYNAMIC):
+            state = connection.materialize_cursor(select, requested)
+            if state is not None:
+                self._state = state
+                self.description = describe_columns(state.app_columns)
+                self.effective_cursor_type = requested
+                self._done = False
+                return
+            # unsupported shape → downgrade, like real drivers do
+
+        state = connection.materialize_default(select)
+        self._state = state
+        self.description = describe_columns(state.app_columns)
+        self.effective_cursor_type = CursorType.FORWARD_ONLY
+        self._epoch = connection.session_epoch
+        rows = connection.open_default_delivery(state)
+        if state.mode == "buffered" and self._epoch == connection.session_epoch:
+            self._buffer = rows
+        else:
+            # A crash interrupted the open; recovery already re-attached
+            # delivery (server_cursor/rebuffered) at delivered=0 — the
+            # retried open's rows would be served twice if buffered here.
+            self._buffer = []
+        self._buffer_pos = 0
+        self._done = False
+        self._epoch = connection.session_epoch
+
+    def executemany(self, sql: str, rows: list[list]) -> "PhoenixCursor":
+        """DB-API executemany (same accumulation semantics as the plain
+        Statement; each row's statement is individually exactly-once)."""
+        total = 0
+        for row in rows:
+            self.execute(sql, list(row))
+            if self.rowcount > 0:
+                total += self.rowcount
+        self.rowcount = total
+        return self
+
+    # ------------------------------------------------------------- absorb helpers
+
+    def _absorb_ok(self, response: ResultResponse) -> None:
+        if response.message:
+            self.messages.append(response.message)
+
+    def _absorb_response(self, response: ResultResponse) -> None:
+        """Absorb a pass-through response (like the plain Statement does)."""
+        if response.kind == "rows":
+            self.description = describe_columns(response.columns)
+            self._buffer = list(response.rows)
+            self._buffer_pos = 0
+            self._done = False
+            self._state = None  # plain buffered rows, no materialized state
+        elif response.kind == "rowcount":
+            self.rowcount = response.rowcount
+            if response.message:
+                self.messages.append(response.message)
+        else:
+            self._absorb_ok(response)
+
+    # ------------------------------------------------------------- fetch
+
+    def fetchone(self) -> tuple | None:
+        rows = self.fetchmany(1)
+        return rows[0] if rows else None
+
+    def fetchmany(self, n: int) -> list[tuple]:
+        self._require_open()
+        out: list[tuple] = []
+        while len(out) < n:
+            row = self._next_row()
+            if row is None:
+                break
+            out.append(row)
+        self._rows_read += len(out)
+        return out
+
+    def fetchall(self) -> list[tuple]:
+        out: list[tuple] = []
+        while True:
+            chunk = self.fetchmany(1024)
+            if not chunk:
+                return out
+            out.extend(chunk)
+
+    @property
+    def rows_read(self) -> int:
+        return self._rows_read
+
+    def _next_row(self) -> tuple | None:
+        connection = self.connection
+        state = self._state
+
+        while True:
+            # a recovery re-mapped delivery under us: drop the stale buffer
+            # (the rows are safe in the materialized table; ``delivered``
+            # marks where the application actually is)
+            if state is not None and self._epoch != connection.session_epoch:
+                self._epoch = connection.session_epoch
+                if state.kind == "default" and state.mode != "buffered":
+                    self._buffer = []
+                    self._buffer_pos = 0
+
+            if self._buffer_pos < len(self._buffer):
+                row = self._buffer[self._buffer_pos]
+                self._buffer_pos += 1
+                if state is not None and state.kind == "default":
+                    state.delivered += 1
+                return row
+
+            if state is None or self._done:
+                return None
+
+            block = max(int(self.attrs[StatementAttr.FETCH_BLOCK_SIZE]), 1)
+            if state.is_cursor:
+                rows, done = connection.fetch_key_block(state, block)
+                # the block may have ridden through a recovery inside the
+                # guarded call — it is as fresh as that recovery, so adopt
+                # the new epoch or the stale-buffer check would discard it
+                self._epoch = connection.session_epoch
+                self._buffer = rows
+                self._buffer_pos = 0
+                if not rows and done:
+                    self._done = True
+                    return None
+                continue  # may loop: an all-holes keyset block yields no rows
+
+            if state.mode == "server_cursor":
+                rows = self._fetch_server_cursor_block(state, block)
+                # same epoch adoption: a recovery inside the fetch already
+                # advanced the re-opened server cursor past these rows —
+                # dropping them here would lose them for good
+                self._epoch = connection.session_epoch
+                if not rows:
+                    self._done = True
+                    return None
+                self._buffer = rows
+                self._buffer_pos = 0
+                continue
+            if state.mode == "rebuffered":
+                pending = state.pending_rows or []
+                state.pending_rows = None
+                state.mode = "buffered"
+                if not pending:
+                    self._done = True
+                    return None
+                self._buffer = pending
+                self._buffer_pos = 0
+                continue
+            # buffered mode with a drained buffer: the result is complete
+            self._done = True
+            return None
+
+    def _fetch_server_cursor_block(self, state: ResultState, block: int) -> list[tuple]:
+        connection = self.connection
+        while True:
+            try:
+                rows, _done = connection.app.fetch(state.cursor_id, block)
+                return rows
+            except RECOVERABLE_ERRORS as exc:
+                connection.recovery.recover(exc)
+                # recovery re-opened the cursor and re-advanced it to
+                # state.delivered; just fetch again
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        if self._state is not None:
+            self._state.open = False
+        self.closed = True
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("cursor is closed")
+
+
+def _original_temp_name(name: str, connection: PhoenixConnection) -> str:
+    """rewrite() may have mapped an existing temp name; undo that for a
+    CREATE/DROP of the temp object itself (the handler allocates names)."""
+    for original, mapped in connection.temp_table_map.items():
+        if mapped == name:
+            return original
+    for original, mapped in connection.temp_proc_map.items():
+        if mapped == name:
+            return original
+    return name

@@ -1,0 +1,46 @@
+"""The Phoenix-enhanced driver manager.
+
+Same registry and ``connect`` surface as the plain
+:class:`repro.odbc.DriverManager`; the only difference is what ``connect``
+returns.  The paper's deployment claim is visible right here: Phoenix wraps
+the *same* :class:`~repro.odbc.driver.NativeDriver` objects — no driver or
+server changes — and applications keep their code, gaining persistence by
+switching driver managers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import PhoenixConfig
+from repro.core.connection import PhoenixConnection
+from repro.odbc.driver_manager import DriverManager
+
+__all__ = ["PhoenixDriverManager"]
+
+
+class PhoenixDriverManager(DriverManager):
+    """Drop-in replacement for the plain driver manager."""
+
+    def __init__(self, config: PhoenixConfig | None = None):
+        super().__init__()
+        self.config = config if config is not None else PhoenixConfig()
+
+    def connect(
+        self,
+        dsn: str,
+        user: str = "app",
+        options: dict[str, Any] | None = None,
+        *,
+        config: PhoenixConfig | None = None,
+    ) -> PhoenixConnection:
+        """Open a persistent database session."""
+        driver = self.driver_for(dsn)
+        return PhoenixConnection(
+            self,
+            dsn,
+            driver,
+            user,
+            options,
+            config if config is not None else self.config,
+        )

@@ -1,0 +1,411 @@
+"""Request interception: classification and SQL rewriting.
+
+Phoenix performs "a one-pass parse to determine request type" (§3).  We do
+the honest version: parse to AST, classify, and rewrite by AST transform —
+appending ``WHERE 0=1`` for the metadata probe, redirecting temp-object
+names to their persistent stand-ins, and assembling the transaction-wrapped
+DML batches.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sql import ast, parse_script
+
+__all__ = [
+    "StatementClass",
+    "classify",
+    "with_false_where",
+    "redirect_names",
+    "referenced_tables",
+    "build_dml_batch",
+    "build_fill_batch",
+]
+
+
+class StatementClass(enum.Enum):
+    QUERY = "query"  # SELECT without INTO
+    DML = "dml"  # INSERT / UPDATE / DELETE / SELECT INTO
+    TXN_BEGIN = "txn_begin"
+    TXN_COMMIT = "txn_commit"
+    TXN_ROLLBACK = "txn_rollback"
+    SET_OPTION = "set_option"
+    CREATE_TEMP_TABLE = "create_temp_table"
+    DROP_TEMP_TABLE = "drop_temp_table"
+    CREATE_TEMP_PROC = "create_temp_proc"
+    DROP_TEMP_PROC = "drop_temp_proc"
+    DDL = "ddl"  # persistent CREATE/DROP TABLE/PROCEDURE
+    EXEC = "exec"
+    OTHER = "other"  # CHECKPOINT etc. — passed through untouched
+
+
+def classify(stmt: ast.Statement) -> StatementClass:
+    """Bucket a parsed statement for Phoenix's dispatch."""
+    if isinstance(stmt, ast.Select):
+        return StatementClass.DML if stmt.into else StatementClass.QUERY
+    if isinstance(stmt, ast.UnionSelect):
+        return StatementClass.QUERY
+    if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+        return StatementClass.DML
+    if isinstance(stmt, ast.BeginTransaction):
+        return StatementClass.TXN_BEGIN
+    if isinstance(stmt, ast.Commit):
+        return StatementClass.TXN_COMMIT
+    if isinstance(stmt, ast.Rollback):
+        return StatementClass.TXN_ROLLBACK
+    if isinstance(stmt, ast.SetOption):
+        return StatementClass.SET_OPTION
+    if isinstance(stmt, ast.CreateTable):
+        if stmt.temporary or stmt.name.startswith("#"):
+            return StatementClass.CREATE_TEMP_TABLE
+        return StatementClass.DDL
+    if isinstance(stmt, ast.DropTable):
+        if stmt.name.startswith("#"):
+            return StatementClass.DROP_TEMP_TABLE
+        return StatementClass.DDL
+    if isinstance(stmt, ast.CreateProcedure):
+        if stmt.temporary:
+            return StatementClass.CREATE_TEMP_PROC
+        return StatementClass.DDL
+    if isinstance(stmt, ast.DropProcedure):
+        if stmt.name.startswith("#"):
+            return StatementClass.DROP_TEMP_PROC
+        return StatementClass.DDL
+    if isinstance(stmt, (ast.CreateView, ast.DropView, ast.CreateIndex, ast.DropIndex)):
+        return StatementClass.DDL
+    if isinstance(stmt, ast.ExecProcedure):
+        return StatementClass.EXEC
+    return StatementClass.OTHER
+
+
+# --------------------------------------------------------------------- rewriting
+
+
+def with_false_where(select: "ast.Select | ast.UnionSelect") -> "ast.Select | ast.UnionSelect":
+    """Phoenix Step 1: the metadata probe.  ``WHERE <orig> AND 0=1``
+    guarantees compile-only execution — metadata comes back, no data does.
+    For a UNION the probe is applied to every part."""
+    if isinstance(select, ast.UnionSelect):
+        return ast.UnionSelect(
+            parts=[with_false_where(part) for part in select.parts],
+            all_flags=list(select.all_flags),
+        )
+    false = ast.Binary("=", ast.Literal(0), ast.Literal(1))
+    where = false if select.where is None else ast.Binary("AND", select.where, false)
+    return ast.Select(
+        items=select.items,
+        from_=select.from_,
+        where=where,
+        group_by=list(select.group_by),
+        having=select.having,
+        order_by=[],
+        distinct=select.distinct,
+    )
+
+
+def redirect_names(
+    stmt: ast.Statement,
+    table_map: dict[str, str],
+    proc_map: dict[str, str] | None = None,
+) -> ast.Statement:
+    """Rewrite temp-object references to their persistent stand-ins.
+
+    Mutates ``stmt`` in place (the AST was parsed by Phoenix, which owns it)
+    and returns it.  Lookup is case-insensitive on the original name.
+    """
+    proc_map = proc_map or {}
+
+    def map_table(name: str) -> str:
+        return table_map.get(name.lower(), name)
+
+    def walk_expr(expr: ast.Expr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.ColumnRef):
+            # a qualifier naming the temp table directly (no alias in FROM)
+            # must follow the rename, e.g. ``#w.x`` → ``phx_tmp_w.x``
+            if expr.table is not None:
+                expr.table = map_table(expr.table)
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, ast.Unary):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.IsNull):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.Between):
+            walk_expr(expr.operand)
+            walk_expr(expr.low)
+            walk_expr(expr.high)
+        elif isinstance(expr, ast.InList):
+            walk_expr(expr.operand)
+            for item in expr.items:
+                walk_expr(item)
+        elif isinstance(expr, ast.InSelect):
+            walk_expr(expr.operand)
+            walk_selectable(expr.select)
+        elif isinstance(expr, ast.Like):
+            walk_expr(expr.operand)
+            walk_expr(expr.pattern)
+        elif isinstance(expr, ast.Exists):
+            walk_selectable(expr.select)
+        elif isinstance(expr, ast.FuncCall):
+            for arg in expr.args:
+                walk_expr(arg)
+        elif isinstance(expr, ast.CaseExpr):
+            walk_expr(expr.operand)
+            for cond, result in expr.whens:
+                walk_expr(cond)
+                walk_expr(result)
+            walk_expr(expr.else_)
+        elif isinstance(expr, ast.Cast):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.ScalarSelect):
+            walk_selectable(expr.select)
+        elif isinstance(expr, ast.ExtractExpr):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.SubstringExpr):
+            walk_expr(expr.operand)
+            walk_expr(expr.start)
+            walk_expr(expr.length)
+
+    def walk_selectable(node) -> None:
+        if isinstance(node, ast.UnionSelect):
+            for part in node.parts:
+                walk_select(part)
+        else:
+            walk_select(node)
+
+    def walk_tableref(ref: ast.TableRef | None) -> None:
+        if ref is None:
+            return
+        if isinstance(ref, ast.TableName):
+            ref.name = map_table(ref.name)
+        elif isinstance(ref, ast.SubquerySource):
+            walk_selectable(ref.select)
+        elif isinstance(ref, ast.Join):
+            walk_tableref(ref.left)
+            walk_tableref(ref.right)
+            walk_expr(ref.on)
+
+    def walk_select(select: ast.Select) -> None:
+        for item in select.items:
+            if not isinstance(item.expr, ast.Star):
+                walk_expr(item.expr)
+        if select.into:
+            select.into = map_table(select.into)
+        walk_tableref(select.from_)
+        walk_expr(select.where)
+        for expr in select.group_by:
+            walk_expr(expr)
+        walk_expr(select.having)
+        for order in select.order_by:
+            walk_expr(order.expr)
+
+    def walk_statement(node: ast.Statement) -> None:
+        if isinstance(node, (ast.Select, ast.UnionSelect)):
+            walk_selectable(node)
+        elif isinstance(node, ast.Insert):
+            node.table = map_table(node.table)
+            if node.select is not None:
+                walk_selectable(node.select)
+            for row in node.rows or []:
+                for expr in row:
+                    walk_expr(expr)
+        elif isinstance(node, ast.Update):
+            node.table = map_table(node.table)
+            for _, expr in node.assignments:
+                walk_expr(expr)
+            walk_expr(node.where)
+        elif isinstance(node, ast.Delete):
+            node.table = map_table(node.table)
+            walk_expr(node.where)
+        elif isinstance(node, ast.CreateTable):
+            node.name = map_table(node.name)
+        elif isinstance(node, ast.DropTable):
+            node.name = map_table(node.name)
+        elif isinstance(node, ast.CreateProcedure):
+            node.name = proc_map.get(node.name.lower(), node.name)
+            for body_stmt in node.body:
+                walk_statement(body_stmt)
+        elif isinstance(node, ast.DropProcedure):
+            node.name = proc_map.get(node.name.lower(), node.name)
+        elif isinstance(node, ast.ExecProcedure):
+            node.name = proc_map.get(node.name.lower(), node.name)
+            for arg in node.args:
+                walk_expr(arg)
+
+    walk_statement(stmt)
+    return stmt
+
+
+def referenced_tables(stmt: ast.Statement) -> set[str]:
+    """Every table name a statement references (lower-cased).  Used by tests
+    and by Phoenix's sanity checks on redirection completeness."""
+    names: set[str] = set()
+    redirect_names(stmt, _TrackingMap(names))  # identity map recording lookups
+    return names
+
+
+class _TrackingMap(dict):
+    """An identity mapping that records every key it is asked for."""
+
+    def __init__(self, sink: set[str]):
+        super().__init__()
+        self._sink = sink
+
+    def get(self, key, default=None):
+        self._sink.add(key)
+        return default
+
+
+# ------------------------------------------------------------------ batch builders
+
+
+def build_dml_batch(dml_sql: str, status_table: str, seq: int) -> str:
+    """The paper's DML wrapper: one transaction containing the statement and
+    a status-table insert of its outcome (rows affected), shipped as a
+    single round trip::
+
+        BEGIN; <dml>; INSERT INTO <status> VALUES (<seq>, rowcount()); COMMIT
+    """
+    return (
+        "BEGIN TRANSACTION; "
+        f"{dml_sql}; "
+        f"INSERT INTO {status_table} VALUES ({seq}, rowcount()); "
+        "COMMIT"
+    )
+
+
+def build_fill_batch(
+    proc_name: str, result_table: str, select_sql: str, *, via_procedure: bool
+) -> str:
+    """Phoenix Step 3: move the result into the persistent table entirely
+    server-side.  With ``via_procedure`` this creates and executes a stored
+    procedure (the paper's design: "all data is moved locally at the
+    server"); the fallback is a bare INSERT..SELECT (equivalent round trips
+    here, but the procedure survives for re-fill and mirrors the paper).
+
+    Idempotent under retry: the procedure is dropped first if a previous
+    attempt got far enough to create it.
+    """
+    insert = f"INSERT INTO {result_table} {select_sql}"
+    if not via_procedure:
+        return insert
+    return (
+        f"DROP PROCEDURE IF EXISTS {proc_name}; "
+        f"CREATE PROCEDURE {proc_name} AS BEGIN {insert} END; "
+        f"EXEC {proc_name}"
+    )
+
+
+def parse_one(sql: str) -> ast.Statement:
+    """Parse a batch expected to hold exactly one statement."""
+    statements = parse_script(sql)
+    if len(statements) != 1:
+        raise ValueError(f"expected one statement, got {len(statements)}")
+    return statements[0]
+
+
+def inline_placeholders(stmt: ast.Statement, values: list) -> ast.Statement:
+    """Replace ``?`` placeholders with their bound values as literals.
+
+    Phoenix rewrites and re-ships SQL text (fill procedures, wrapped DML
+    batches), so parameters must be inlined before rewriting — middleware
+    doing statement rewriting cannot keep out-of-band bindings.
+    """
+
+    def expr(node: ast.Expr | None) -> ast.Expr | None:
+        if node is None:
+            return None
+        if isinstance(node, ast.Placeholder):
+            if node.index >= len(values):
+                raise ValueError(
+                    f"statement uses placeholder ?{node.index + 1} but only "
+                    f"{len(values)} values were bound"
+                )
+            return ast.Literal(values[node.index])
+        if isinstance(node, ast.Binary):
+            node.left = expr(node.left)
+            node.right = expr(node.right)
+        elif isinstance(node, ast.Unary):
+            node.operand = expr(node.operand)
+        elif isinstance(node, ast.IsNull):
+            node.operand = expr(node.operand)
+        elif isinstance(node, ast.Between):
+            node.operand = expr(node.operand)
+            node.low = expr(node.low)
+            node.high = expr(node.high)
+        elif isinstance(node, ast.InList):
+            node.operand = expr(node.operand)
+            node.items = [expr(e) for e in node.items]
+        elif isinstance(node, ast.InSelect):
+            node.operand = expr(node.operand)
+            select(node.select)
+        elif isinstance(node, ast.Like):
+            node.operand = expr(node.operand)
+            node.pattern = expr(node.pattern)
+        elif isinstance(node, ast.Exists):
+            select(node.select)
+        elif isinstance(node, ast.FuncCall):
+            node.args = [expr(e) for e in node.args]
+        elif isinstance(node, ast.CaseExpr):
+            node.operand = expr(node.operand)
+            node.whens = [(expr(c), expr(r)) for c, r in node.whens]
+            node.else_ = expr(node.else_)
+        elif isinstance(node, ast.Cast):
+            node.operand = expr(node.operand)
+        elif isinstance(node, ast.ScalarSelect):
+            select(node.select)
+        elif isinstance(node, ast.ExtractExpr):
+            node.operand = expr(node.operand)
+        elif isinstance(node, ast.SubstringExpr):
+            node.operand = expr(node.operand)
+            node.start = expr(node.start)
+            node.length = expr(node.length)
+        return node
+
+    def tableref(ref: ast.TableRef | None) -> None:
+        if ref is None:
+            return
+        if isinstance(ref, ast.SubquerySource):
+            select(ref.select)
+        elif isinstance(ref, ast.Join):
+            tableref(ref.left)
+            tableref(ref.right)
+            ref.on = expr(ref.on)
+
+    def select(node: ast.Select) -> None:
+        for item in node.items:
+            if not isinstance(item.expr, ast.Star):
+                item.expr = expr(item.expr)
+        tableref(node.from_)
+        node.where = expr(node.where)
+        node.group_by = [expr(e) for e in node.group_by]
+        node.having = expr(node.having)
+        for order in node.order_by:
+            order.expr = expr(order.expr)
+
+    def selectable(node) -> None:
+        if isinstance(node, ast.UnionSelect):
+            for part in node.parts:
+                select(part)
+        else:
+            select(node)
+
+    if isinstance(stmt, (ast.Select, ast.UnionSelect)):
+        selectable(stmt)
+    elif isinstance(stmt, ast.Insert):
+        if stmt.select is not None:
+            selectable(stmt.select)
+        if stmt.rows:
+            stmt.rows = [[expr(e) for e in row] for row in stmt.rows]
+    elif isinstance(stmt, ast.Update):
+        stmt.assignments = [(c, expr(e)) for c, e in stmt.assignments]
+        stmt.where = expr(stmt.where)
+    elif isinstance(stmt, ast.Delete):
+        stmt.where = expr(stmt.where)
+    elif isinstance(stmt, ast.ExecProcedure):
+        stmt.args = [expr(e) for e in stmt.args]
+    return stmt

@@ -1,0 +1,203 @@
+"""Phoenix session recovery: detect, decide, rebuild, re-sync.
+
+The paper's protocol (§3 "Server and Session Crash Recovery"), implemented
+as :meth:`PhoenixRecovery.recover`:
+
+1. **Decide whether anything actually died.**  A timeout with a healthy
+   channel might be a slow server — probe the session's temp proxy table;
+   success means "spurious timeout", and the caller simply retries.
+2. **Ping until the server answers** (bounded; on exhaustion the original
+   communication error is passed to the application, per the paper).
+3. **Phase one — recover the virtual session**: fresh app connection with
+   the original login, replay the SET options in application order,
+   recreate the proxy table, fresh private connection, re-ensure the status
+   table.  This phase's cost is independent of any result-set size (the
+   paper's flat 0.37 s line in Figure 2).
+4. **Phase two — reinstall SQL state**: verify every materialized table
+   survived database recovery, then reposition each open default-delivery
+   result at its ``delivered`` offset — server-side (open a cursor over the
+   materialized table and ADVANCE; no rows cross the wire) or client-side
+   re-fetch under the ablation flag.  Finally replay the open explicit
+   transaction, if any.
+
+Both phases are timed separately into ``PhoenixStats`` — that split *is*
+Figure 2.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    CatalogError,
+    CommunicationError,
+    RecoveryError,
+    SessionLostError,
+    TimeoutError,
+)
+from repro.core.naming import PROXY_TABLE
+
+if TYPE_CHECKING:
+    from repro.core.connection import PhoenixConnection
+    from repro.core.statements import ResultState
+
+__all__ = ["PhoenixRecovery", "RECOVERABLE_ERRORS"]
+
+#: errors that mean "the session may be gone" rather than "the SQL is wrong"
+RECOVERABLE_ERRORS = (CommunicationError, SessionLostError)
+
+
+class PhoenixRecovery:
+    """Recovery engine for one Phoenix connection."""
+
+    def __init__(self, connection: "PhoenixConnection"):
+        self.connection = connection
+
+    # ------------------------------------------------------------------ entry
+
+    def recover(self, cause: Exception, *, replay_txn: bool = True) -> bool:
+        """Bring the virtual session back to life (or raise).
+
+        Returns True when the session was actually rebuilt, False when the
+        failure turned out to be spurious (the session survived) — callers
+        holding an open transaction use that to decide whether replay is
+        needed.  ``replay_txn=False`` lets transaction handling own the
+        replay decision (commit probes the status table first).
+        """
+        connection = self.connection
+        stats = connection.stats
+
+        # 1. spurious timeout? (channel still healthy)
+        if isinstance(cause, TimeoutError) and not connection.app.channel.broken:
+            if self._probe_session():
+                stats.spurious_timeouts += 1
+                return False
+
+        # 2. wait for the server
+        self._await_server(cause)
+
+        # 2b. server answers and the session itself survived (e.g. the
+        # timeout fired while the server was merely slow) — nothing to do.
+        if not connection.app.channel.broken and self._probe_session():
+            stats.spurious_timeouts += 1
+            return False
+
+        # 3+4. rebuild; a server that crashes *again* mid-recovery just
+        # restarts the whole procedure (bounded).
+        attempts = max(1, connection.config.max_recovery_attempts)
+        for attempt in range(attempts):
+            try:
+                started = time.perf_counter()
+                self._rebuild_connections()
+                stats.last_virtual_session_seconds = time.perf_counter() - started
+
+                started = time.perf_counter()
+                self._verify_materialized_state()
+                self._reinstall_deliveries()
+                if replay_txn and connection.txn_log.active:
+                    connection._replay_transaction()
+                stats.last_sql_state_seconds = time.perf_counter() - started
+                break
+            except RECOVERABLE_ERRORS as exc:
+                if attempt + 1 >= attempts:
+                    raise RecoveryError(
+                        f"session recovery kept failing: {exc}"
+                    ) from exc
+                self._await_server(exc)
+
+        connection.session_epoch += 1
+        stats.recoveries += 1
+        return True
+
+    # ------------------------------------------------------------------ steps
+
+    def _probe_session(self) -> bool:
+        """The paper's proxy test: does the session's temp table still
+        exist?  Temp tables die with their session, so a hit proves the
+        session (and hence the server) survived."""
+        try:
+            self.connection.app.execute(f"SELECT count(*) FROM {PROXY_TABLE}")
+            return True
+        except Exception:
+            return False
+
+    def _await_server(self, cause: Exception) -> None:
+        """Ping (on throwaway channels) until the server answers."""
+        config = self.connection.config
+        for _ in range(config.max_ping_attempts):
+            try:
+                self.connection.driver.ping()
+                return
+            except RECOVERABLE_ERRORS:
+                config.sleep(config.ping_interval)
+        # paper: "If after a period of time Phoenix/ODBC is unable to
+        # connect to the server ... passes the communication error on."
+        raise cause
+
+    def _rebuild_connections(self) -> None:
+        """Fresh app + private connections; replay recorded session context."""
+        connection = self.connection
+        for old in (connection.app, connection.private):
+            try:
+                old.channel.close()
+            except Exception:
+                pass
+        connection.app = connection.driver.connect(connection.user, connection.options)
+        for name, value in connection.set_log:
+            rendered = value if isinstance(value, (int, float)) else f"'{value}'"
+            connection.app.execute(f"SET {name} {rendered}")
+        connection.app.execute(f"CREATE TABLE {PROXY_TABLE} (x INT)")
+        connection.private = connection.driver.connect(connection.user, {})
+        connection.private.execute(
+            f"CREATE TABLE IF NOT EXISTS {connection.names.status_table} "
+            f"(stmt_seq INT PRIMARY KEY, n_rows INT)"
+        )
+
+    def _verify_materialized_state(self) -> None:
+        """Paper: "first verifies that all application state materialized in
+        tables on the server was recovered by the database recovery
+        mechanisms"."""
+        connection = self.connection
+        for state in connection.results.values():
+            if not state.open:
+                continue
+            try:
+                connection.private.execute(f"SELECT count(*) FROM {state.table}")
+            except CatalogError as exc:
+                raise RecoveryError(
+                    f"materialized state {state.table} missing after database recovery"
+                ) from exc
+
+    def _reinstall_deliveries(self) -> None:
+        """Re-attach every open default-delivery result at its delivered
+        position.  Keyset/dynamic cursors need nothing here — each of their
+        blocks is an independent query over persistent tables."""
+        connection = self.connection
+        for state in connection.results.values():
+            if not state.open or state.kind != "default":
+                continue
+            self._reposition(state)
+
+    def _reposition(self, state: "ResultState") -> None:
+        connection = self.connection
+        if connection.config.reposition_server_side:
+            # Open a server cursor over the materialized table (rows stay on
+            # the server) and advance it — the paper's stored-procedure
+            # repositioning, "advancing through the result set on the server
+            # without passing tuples to the client".
+            response = connection.app.execute(
+                f"SELECT * FROM {state.table}", cursor_type="keyset"
+            )
+            state.cursor_id = response.cursor_id
+            if state.delivered:
+                connection.app.advance(state.cursor_id, state.delivered)
+            state.mode = "server_cursor"
+            state.pending_rows = None
+        else:
+            # Ablation A3: re-fetch the whole result and discard the
+            # already-delivered prefix client-side.
+            response = connection.app.execute(f"SELECT * FROM {state.table}")
+            state.pending_rows = list(response.rows[state.delivered :])
+            state.mode = "rebuffered"
+            state.cursor_id = None

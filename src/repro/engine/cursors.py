@@ -1,0 +1,298 @@
+"""Server-side cursors: default result sets, keyset cursors, dynamic cursors.
+
+These mirror the three delivery modes §3 of the paper distinguishes:
+
+* **default result set** — the server materializes all rows at execute time
+  and streams them; the client buffers.  (`DefaultResultSetCursor`)
+* **keyset cursor** — the *membership* of the result is frozen at open time
+  (the key set), but row values are read from the base table at fetch time:
+  updates show through, deleted rows leave holes.  (`KeysetCursor`)
+* **dynamic cursor** — nothing is frozen; each block fetch re-evaluates the
+  predicate beyond the last-seen key, so inserts and deletes both show
+  through.  (`DynamicCursor`)
+
+Keyset/dynamic cursors need a single-table query with a usable primary key;
+for anything else the server silently *downgrades* to a default result set,
+exactly as real ODBC drivers downgrade unsupported cursor types (the
+response carries the effective type so clients can tell).
+
+All cursors are volatile session state: a crash destroys them — that is the
+hole Phoenix plugs by persisting their state as tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ProgrammingError
+from repro.engine.expressions import Env, ExpressionCompiler, Scope
+from repro.engine.results import ResultSet
+from repro.engine.schema import Column
+from repro.sql import ast
+
+__all__ = [
+    "CursorType",
+    "ServerCursor",
+    "DefaultResultSetCursor",
+    "KeysetCursor",
+    "DynamicCursor",
+    "open_cursor",
+    "cursor_query_is_keyable",
+]
+
+_cursor_ids = itertools.count(1)
+
+
+class CursorType:
+    """Cursor type names used across the wire (string constants, mirroring
+    ODBC's SQL_CURSOR_* statement attribute)."""
+
+    DEFAULT = "default"  # a.k.a. forward-only default result set
+    KEYSET = "keyset"
+    DYNAMIC = "dynamic"
+
+    ALL = (DEFAULT, KEYSET, DYNAMIC)
+
+
+class ServerCursor:
+    """Base: identity, metadata, and forward block fetching."""
+
+    def __init__(self, columns: list[Column]):
+        self.cursor_id = next(_cursor_ids)
+        self.columns = columns
+        self.position = 0  # rows already delivered
+        self.closed = False
+
+    @property
+    def effective_type(self) -> str:
+        raise NotImplementedError
+
+    def fetch(self, n: int) -> tuple[list[tuple], bool]:
+        """Return (rows, done). ``done`` is True when the cursor is drained."""
+        raise NotImplementedError
+
+    def advance_to(self, position: int) -> None:
+        """Skip forward so the next fetch starts at ``position`` (0-based).
+
+        This is the server-side repositioning primitive Phoenix's recovery
+        uses (paper §4: a stored procedure advances to a specified tuple
+        without shipping rows to the client).
+        """
+        if position < self.position:
+            raise ProgrammingError("cursors only advance forward")
+        while self.position < position:
+            chunk, done = self.fetch(min(1024, position - self.position))
+            if done and self.position < position:
+                break
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class DefaultResultSetCursor(ServerCursor):
+    """Fully materialized rows, delivered in blocks."""
+
+    def __init__(self, result: ResultSet):
+        super().__init__(result.columns)
+        self.rows = result.rows
+
+    @property
+    def effective_type(self) -> str:
+        return CursorType.DEFAULT
+
+    def fetch(self, n: int) -> tuple[list[tuple], bool]:
+        chunk = self.rows[self.position : self.position + n]
+        self.position += len(chunk)
+        return chunk, self.position >= len(self.rows)
+
+    def advance_to(self, position: int) -> None:
+        if position < self.position:
+            raise ProgrammingError("cursors only advance forward")
+        self.position = min(position, len(self.rows))
+
+
+def cursor_query_is_keyable(select: ast.Select, executor) -> tuple[str, str] | None:
+    """If ``select`` supports key-based cursors, return (table, key column).
+
+    Requirements: one plain table in FROM, a single-column primary key, no
+    grouping/aggregates/DISTINCT/LIMIT.
+    """
+    if (
+        select.group_by
+        or select.having is not None
+        or select.distinct
+        or select.limit is not None
+        or select.offset is not None
+        or select.into is not None
+    ):
+        return None
+    if not isinstance(select.from_, ast.TableName):
+        return None
+    # bare aggregates (no GROUP BY) also collapse rows — not key-addressable
+    from repro.engine.executor import _collect_aggregates
+
+    aggs: list = []
+    for item in select.items:
+        if not isinstance(item.expr, ast.Star):
+            _collect_aggregates(item.expr, aggs)
+    if aggs:
+        return None
+    try:
+        table, _ = executor.resolve_table(select.from_.name)
+    except Exception:
+        return None
+    if len(table.schema.primary_key) != 1:
+        return None
+    return select.from_.name.lower(), table.schema.primary_key[0]
+
+
+class _KeyCursorBase(ServerCursor):
+    """Shared plumbing for keyset/dynamic cursors over (table, key)."""
+
+    def __init__(self, executor, select: ast.Select, table_name: str, key_column: str):
+        self.executor = executor
+        self.select = select
+        self.table_name = table_name
+        self.key_column = key_column
+        self.binding = (select.from_.alias or select.from_.name).lower()
+        columns = self._plan_columns()
+        super().__init__(columns)
+
+    def _plan_columns(self) -> list[Column]:
+        probe = self.executor.execute_select(_with_false_where(self.select))
+        return probe.columns
+
+    def _project_row(self, base_row: tuple) -> tuple:
+        """Evaluate the cursor's select list against one base-table row."""
+        table, _ = self.executor.resolve_table(self.table_name)
+        scope = Scope()
+        scope.add_source(self.binding, table.schema.column_names)
+        compiler = ExpressionCompiler(scope, self.executor)
+        env = Env(values=list(base_row))
+        values = []
+        for item in self.select.items:
+            if isinstance(item.expr, ast.Star):
+                values.extend(base_row)
+            else:
+                values.append(compiler.compile(item.expr)(env))
+        return tuple(values)
+
+
+class KeysetCursor(_KeyCursorBase):
+    """Membership frozen at open; values read through at fetch time."""
+
+    def __init__(self, executor, select: ast.Select, table_name: str, key_column: str):
+        super().__init__(executor, select, table_name, key_column)
+        self.keys = self._capture_keys()
+        self.holes = 0  # rows whose key vanished before fetch (deleted)
+
+    def _capture_keys(self) -> list:
+        key_query = ast.Select(
+            items=[ast.SelectItem(ast.ColumnRef(self.key_column))],
+            from_=self.select.from_,
+            where=self.select.where,
+            order_by=self.select.order_by
+            or [ast.OrderItem(ast.ColumnRef(self.key_column))],
+        )
+        return [row[0] for row in self.executor.execute_select(key_query).rows]
+
+    @property
+    def effective_type(self) -> str:
+        return CursorType.KEYSET
+
+    def fetch(self, n: int) -> tuple[list[tuple], bool]:
+        table, _ = self.executor.resolve_table(self.table_name)
+        out: list[tuple] = []
+        while len(out) < n and self.position < len(self.keys):
+            key = self.keys[self.position]
+            self.position += 1
+            rowid = table.lookup_key((key,))
+            if rowid is None:
+                self.holes += 1  # deleted since open: a keyset "hole"
+                continue
+            out.append(self._project_row(table.get(rowid)))
+        return out, self.position >= len(self.keys)
+
+    def advance_to(self, position: int) -> None:
+        if position < self.position:
+            raise ProgrammingError("cursors only advance forward")
+        self.position = min(position, len(self.keys))
+
+
+class DynamicCursor(_KeyCursorBase):
+    """Re-evaluates the predicate past the last-seen key on every block, so
+    concurrent inserts/deletes are visible."""
+
+    def __init__(self, executor, select: ast.Select, table_name: str, key_column: str):
+        if select.order_by:
+            raise ProgrammingError(
+                "dynamic cursors deliver in key order; ORDER BY is not supported"
+            )
+        super().__init__(executor, select, table_name, key_column)
+        self.last_key = None
+        self.drained = False
+
+    @property
+    def effective_type(self) -> str:
+        return CursorType.DYNAMIC
+
+    def _block_query(self, n: int) -> ast.Select:
+        where = self.select.where
+        if self.last_key is not None:
+            beyond = ast.Binary(
+                ">", ast.ColumnRef(self.key_column), ast.Literal(self.last_key)
+            )
+            where = beyond if where is None else ast.Binary("AND", where, beyond)
+        items = list(self.select.items) + [
+            ast.SelectItem(ast.ColumnRef(self.key_column), alias="__cursor_key")
+        ]
+        return ast.Select(
+            items=items,
+            from_=self.select.from_,
+            where=where,
+            order_by=[ast.OrderItem(ast.ColumnRef(self.key_column))],
+            limit=n,
+        )
+
+    def fetch(self, n: int) -> tuple[list[tuple], bool]:
+        if self.drained:
+            return [], True
+        block = self.executor.execute_select(self._block_query(n))
+        rows = []
+        for row in block.rows:
+            rows.append(row[:-1])  # strip the tracking key column
+            self.last_key = row[-1]
+        self.position += len(rows)
+        if len(rows) < n:
+            self.drained = True
+        return rows, self.drained
+
+
+def _with_false_where(select: ast.Select) -> ast.Select:
+    """The metadata probe: the same trick Phoenix plays (`WHERE 0=1`)."""
+    false = ast.Binary("=", ast.Literal(0), ast.Literal(1))
+    where = false if select.where is None else ast.Binary("AND", select.where, false)
+    return ast.Select(
+        items=select.items,
+        from_=select.from_,
+        where=where,
+        group_by=list(select.group_by),
+        having=select.having,
+        order_by=[],
+        distinct=select.distinct,
+    )
+
+
+def open_cursor(executor, select: ast.Select, requested_type: str) -> ServerCursor:
+    """Open the best cursor for ``requested_type``, downgrading when the
+    query shape does not support key-based cursors."""
+    if requested_type not in CursorType.ALL:
+        raise ProgrammingError(f"unknown cursor type {requested_type!r}")
+    if requested_type in (CursorType.KEYSET, CursorType.DYNAMIC):
+        keyable = cursor_query_is_keyable(select, executor)
+        if keyable is not None:
+            table_name, key_column = keyable
+            if requested_type == CursorType.KEYSET:
+                return KeysetCursor(executor, select, table_name, key_column)
+            return DynamicCursor(executor, select, table_name, key_column)
+    return DefaultResultSetCursor(executor.execute_select(select))

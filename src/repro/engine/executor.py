@@ -1,0 +1,1537 @@
+"""Statement execution.
+
+One :class:`Executor` is created per (database, session) pair and executes
+parsed statements.  SELECT goes through a straightforward materializing
+pipeline (FROM → WHERE → GROUP/HAVING → project → DISTINCT → ORDER →
+LIMIT); DML and DDL route through the logged mutation API for persistent
+objects and through direct in-memory operations for session temp objects —
+that split *is* the volatile/durable distinction the paper builds on.
+
+Transaction discipline: with no explicit transaction open, each DML/DDL
+statement runs in its own implicit transaction, committed (and the WAL
+forced) before the reply — matching the autocommit behaviour Phoenix
+assumes when it wraps statements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import (
+    CatalogError,
+    NotSupportedError,
+    ProgrammingError,
+    TransactionError,
+)
+from repro.engine import functions
+from repro.engine.database import Database
+from repro.engine.expressions import Env, ExpressionCompiler, Scope
+from repro.engine.results import ResultSet, StatementResult
+from repro.engine.schema import Column, schema_from_ast, type_spec_to_sql_type
+from repro.engine.table import Table
+from repro.engine.values import SqlType, sort_key
+from repro.sql import ast, parse_script
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Executes AST statements for one session against one database."""
+
+    def __init__(self, database: Database, session):
+        self.database = database
+        self.session = session  # repro.engine.session.Session
+        self._proc_cache: dict[str, ast.CreateProcedure] = {}
+
+    # ------------------------------------------------------------ entry point
+
+    def execute(
+        self,
+        stmt: ast.Statement,
+        *,
+        params: dict[str, Any] | None = None,
+        placeholders: list | None = None,
+    ) -> StatementResult:
+        """Execute one statement with autocommit semantics (see module doc)."""
+        if isinstance(stmt, ast.BeginTransaction):
+            return self._begin()
+        if isinstance(stmt, ast.Commit):
+            return self._commit()
+        if isinstance(stmt, ast.Rollback):
+            return self._rollback()
+        if isinstance(stmt, ast.SetOption):
+            self.session.options[stmt.name] = stmt.value
+            return StatementResult.ok(f"SET {stmt.name}")
+        if isinstance(stmt, ast.Checkpoint):
+            lsn = self.database.checkpoint()
+            return StatementResult.ok(f"CHECKPOINT at {lsn}")
+        if isinstance(stmt, ast.Explain):
+            if isinstance(stmt.select, ast.UnionSelect):
+                lines = []
+                for i, part in enumerate(stmt.select.parts):
+                    flag = (
+                        "" if i == 0
+                        else (" ALL" if stmt.select.all_flags[i - 1] else "")
+                    )
+                    lines.append(f"Union{flag} part {i + 1}:")
+                    part_plan = _SelectPlan(self, part, params or {}, placeholders or [], None)
+                    lines.extend("  " + line for line in part_plan.describe())
+            else:
+                plan = _SelectPlan(
+                    self, stmt.select, params or {}, placeholders or [], None
+                )
+                lines = plan.describe()
+            return StatementResult.rows(
+                ResultSet(
+                    columns=[Column("plan", SqlType.VARCHAR)],
+                    rows=[(line,) for line in lines],
+                )
+            )
+        if isinstance(stmt, (ast.Select, ast.UnionSelect)) and stmt.into is None:
+            result_set = self.execute_select(stmt, params=params, placeholders=placeholders)
+            return StatementResult.rows(result_set)
+
+        # Everything else mutates: run inside a transaction.
+        autocommit = self.session.current_txn is None
+        txn = self.database.begin() if autocommit else self.session.current_txn
+        statement_mark = len(txn.records)
+        try:
+            result = self._execute_mutation(stmt, txn, params or {}, placeholders or [])
+        except BaseException:
+            if autocommit:
+                self.database.abort(txn)
+            else:
+                # statement-level atomicity: a failed statement inside an
+                # explicit transaction rolls back only its own effects
+                self.database.rollback_statement(txn, statement_mark)
+            raise
+        if autocommit:
+            self.database.commit(txn)
+        if result.kind == "rowcount":
+            self.session.last_rowcount = result.rowcount
+        return result
+
+    def execute_sql(self, sql: str, **kwargs) -> StatementResult:
+        """Parse and execute a batch; returns the last statement's result."""
+        result = StatementResult.ok()
+        for stmt in parse_script(sql):
+            result = self.execute(stmt, **kwargs)
+        return result
+
+    # ------------------------------------------------------------ transactions
+
+    def _begin(self) -> StatementResult:
+        if self.session.current_txn is not None:
+            raise TransactionError("transaction already in progress")
+        self.session.current_txn = self.database.begin()
+        return StatementResult.ok("BEGIN")
+
+    def _commit(self) -> StatementResult:
+        txn = self.session.current_txn
+        if txn is None:
+            raise TransactionError("no transaction in progress")
+        self.database.commit(txn)
+        self.session.current_txn = None
+        return StatementResult.ok("COMMIT")
+
+    def _rollback(self) -> StatementResult:
+        txn = self.session.current_txn
+        if txn is None:
+            raise TransactionError("no transaction in progress")
+        self.database.abort(txn)
+        self.session.current_txn = None
+        return StatementResult.ok("ROLLBACK")
+
+    # ------------------------------------------------------------ mutation dispatch
+
+    def _execute_mutation(
+        self, stmt: ast.Statement, txn, params: dict[str, Any], placeholders: list
+    ) -> StatementResult:
+        if isinstance(stmt, ast.Select):  # SELECT ... INTO
+            return self._select_into(stmt, txn, params, placeholders)
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt, txn, params, placeholders)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt, txn, params, placeholders)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt, txn, params, placeholders)
+        if isinstance(stmt, ast.CreateTable):
+            return self._create_table(stmt, txn)
+        if isinstance(stmt, ast.DropTable):
+            return self._drop_table(stmt, txn)
+        if isinstance(stmt, ast.CreateIndex):
+            return self._create_index(stmt, txn)
+        if isinstance(stmt, ast.DropIndex):
+            return self._drop_index(stmt, txn)
+        if isinstance(stmt, ast.CreateView):
+            return self._create_view(stmt, txn)
+        if isinstance(stmt, ast.DropView):
+            return self._drop_view(stmt, txn)
+        if isinstance(stmt, ast.CreateProcedure):
+            return self._create_procedure(stmt, txn)
+        if isinstance(stmt, ast.DropProcedure):
+            return self._drop_procedure(stmt, txn)
+        if isinstance(stmt, ast.ExecProcedure):
+            return self._exec_procedure(stmt, txn, params, placeholders)
+        raise NotSupportedError(f"statement {type(stmt).__name__} is not supported")
+
+    # ------------------------------------------------------------ name resolution
+
+    def resolve_table(self, name: str) -> tuple[Table, bool]:
+        """Find a table by name; session temp tables shadow persistent ones.
+
+        Returns (table, is_temp).
+        """
+        lowered = name.lower()
+        temp = self.session.temp_tables.get(lowered)
+        if temp is not None:
+            return temp, True
+        return self.database.get_table(lowered), False
+
+    def table_exists(self, name: str) -> bool:
+        lowered = name.lower()
+        return lowered in self.session.temp_tables or self.database.has_table(lowered)
+
+    # ------------------------------------------------------------ DDL
+
+    def _create_table(self, stmt: ast.CreateTable, txn) -> StatementResult:
+        schema = schema_from_ast(stmt)
+        if self.table_exists(schema.name):
+            if stmt.if_not_exists:
+                return StatementResult.ok(f"table {schema.name} exists")
+            raise CatalogError(f"table {schema.name} already exists")
+        if schema.temporary:
+            self.session.temp_tables[schema.name] = Table.create(schema)
+        else:
+            self.database.create_table(txn, schema)
+        return StatementResult.ok(f"CREATE TABLE {schema.name}")
+
+    def _drop_table(self, stmt: ast.DropTable, txn) -> StatementResult:
+        name = stmt.name.lower()
+        if name in self.session.temp_tables:
+            del self.session.temp_tables[name]
+            return StatementResult.ok(f"DROP TABLE {name}")
+        if not self.database.has_table(name):
+            if stmt.if_exists:
+                return StatementResult.ok(f"table {name} absent")
+            raise CatalogError(f"table {name} does not exist")
+        self.database.drop_table(txn, name)
+        return StatementResult.ok(f"DROP TABLE {name}")
+
+    def _create_index(self, stmt: ast.CreateIndex, txn) -> StatementResult:
+        name = stmt.name.lower()
+        table = stmt.table.lower()
+        if table in self.session.temp_tables:
+            raise NotSupportedError("indexes on temp tables are not supported")
+        self.database.create_index(txn, name, table, stmt.column.lower())
+        return StatementResult.ok(f"CREATE INDEX {name}")
+
+    def _drop_index(self, stmt: ast.DropIndex, txn) -> StatementResult:
+        name = stmt.name.lower()
+        if not self.database.has_index(name):
+            if stmt.if_exists:
+                return StatementResult.ok(f"index {name} absent")
+            from repro.errors import CatalogError as _CatalogError
+
+            raise _CatalogError(f"index {name} does not exist")
+        self.database.drop_index(txn, name)
+        return StatementResult.ok(f"DROP INDEX {name}")
+
+    def _create_view(self, stmt: ast.CreateView, txn) -> StatementResult:
+        name = stmt.name.lower()
+        if self.table_exists(name) or self.database.has_view(name):
+            raise CatalogError(f"name {name} is already in use")
+        # plan the defining query now: unknown tables/columns fail at
+        # CREATE VIEW time, not first use (and the column list must fit)
+        meta = _SelectPlan(self, stmt.select, {}, [], None)
+        if stmt.columns and len(stmt.columns) != len(meta.output_columns):
+            raise CatalogError(
+                f"view {name} names {len(stmt.columns)} columns but its query "
+                f"produces {len(meta.output_columns)}"
+            )
+        self.database.create_view(txn, name, stmt.sql())
+        return StatementResult.ok(f"CREATE VIEW {name}")
+
+    def _drop_view(self, stmt: ast.DropView, txn) -> StatementResult:
+        name = stmt.name.lower()
+        if not self.database.has_view(name):
+            if stmt.if_exists:
+                return StatementResult.ok(f"view {name} absent")
+            raise CatalogError(f"view {name} does not exist")
+        self.database.drop_view(txn, name)
+        return StatementResult.ok(f"DROP VIEW {name}")
+
+    def view_definition(self, name: str) -> ast.CreateView | None:
+        """Parsed CREATE VIEW statement for ``name``, or None."""
+        source = self.database.views.get(name.lower())
+        if source is None:
+            return None
+        from repro.sql import parse
+
+        parsed = parse(source)
+        assert isinstance(parsed, ast.CreateView)
+        return parsed
+
+    def _create_procedure(self, stmt: ast.CreateProcedure, txn) -> StatementResult:
+        name = stmt.name.lower()
+        exists = name in self.session.temp_procedures or self.database.has_procedure(name)
+        if exists:
+            raise CatalogError(f"procedure {name} already exists")
+        if stmt.temporary:
+            self.session.temp_procedures[name] = stmt.sql()
+        else:
+            self.database.create_procedure(txn, name, stmt.sql())
+        return StatementResult.ok(f"CREATE PROCEDURE {name}")
+
+    def _drop_procedure(self, stmt: ast.DropProcedure, txn) -> StatementResult:
+        name = stmt.name.lower()
+        if name in self.session.temp_procedures:
+            del self.session.temp_procedures[name]
+            return StatementResult.ok(f"DROP PROCEDURE {name}")
+        if not self.database.has_procedure(name):
+            if stmt.if_exists:
+                return StatementResult.ok(f"procedure {name} absent")
+            raise CatalogError(f"procedure {name} does not exist")
+        self.database.drop_procedure(txn, name)
+        return StatementResult.ok(f"DROP PROCEDURE {name}")
+
+    # ------------------------------------------------------------ procedures
+
+    def _exec_procedure(
+        self, stmt: ast.ExecProcedure, txn, params: dict[str, Any], placeholders: list
+    ) -> StatementResult:
+        name = stmt.name.lower()
+        source = self.session.temp_procedures.get(name) or (
+            self.database.procedures.get(name)
+        )
+        if source is None:
+            raise CatalogError(f"procedure {name} does not exist")
+        proc = self._proc_cache.get(source)
+        if proc is None:
+            from repro.sql import parse
+
+            parsed = parse(source)
+            if not isinstance(parsed, ast.CreateProcedure):
+                raise CatalogError(f"stored text of {name} is not a procedure")
+            proc = parsed
+            self._proc_cache[source] = proc
+        if len(stmt.args) != len(proc.params):
+            raise ProgrammingError(
+                f"procedure {name} expects {len(proc.params)} args, got {len(stmt.args)}"
+            )
+        # Evaluate call arguments in a rowless scope (constants / outer params).
+        scope = Scope()
+        compiler = ExpressionCompiler(
+            scope, self, params=params, placeholders=placeholders
+        )
+        env = Env(values=[])
+        bound: dict[str, Any] = {}
+        for (pname, ptype), arg in zip(proc.params, stmt.args):
+            value = compiler.compile(arg)(env)
+            bound[pname.lower()] = Column(
+                pname.lower(), type_spec_to_sql_type(ptype), length=ptype.length
+            ).coerce(value)
+        result = StatementResult.ok(f"EXEC {name}")
+        for body_stmt in proc.body:
+            if isinstance(body_stmt, ast.Select) and body_stmt.into is None:
+                result = StatementResult.rows(
+                    self.execute_select(body_stmt, params=bound)
+                )
+            else:
+                result = self._execute_mutation(body_stmt, txn, bound, [])
+        return result
+
+    # ------------------------------------------------------------ DML
+
+    def _insert(
+        self, stmt: ast.Insert, txn, params: dict[str, Any], placeholders: list
+    ) -> StatementResult:
+        table, is_temp = self.resolve_table(stmt.table)
+        schema = table.schema
+        if stmt.columns is not None:
+            positions = [schema.column_index(c.lower()) for c in stmt.columns]
+        else:
+            positions = list(range(len(schema.columns)))
+
+        def make_full_row(values: list) -> list:
+            if len(values) != len(positions):
+                raise ProgrammingError(
+                    f"INSERT expects {len(positions)} values, got {len(values)}"
+                )
+            full: list = [None] * len(schema.columns)
+            for pos, value in zip(positions, values):
+                full[pos] = value
+            return full
+
+        count = 0
+        if stmt.select is not None:
+            result = self.execute_select(stmt.select, params=params, placeholders=placeholders)
+            for row in result.rows:
+                self._insert_row(table, is_temp, txn, make_full_row(list(row)))
+                count += 1
+        else:
+            scope = Scope()
+            compiler = ExpressionCompiler(scope, self, params=params, placeholders=placeholders)
+            env = Env(values=[])
+            for row_exprs in stmt.rows or []:
+                values = [compiler.compile(e)(env) for e in row_exprs]
+                self._insert_row(table, is_temp, txn, make_full_row(values))
+                count += 1
+        return StatementResult.count(count, f"INSERT {count}")
+
+    def _insert_row(self, table: Table, is_temp: bool, txn, full_row: list) -> None:
+        if is_temp:
+            table.insert(table.schema.coerce_row(full_row))
+        else:
+            self.database.insert_row(txn, table.name, full_row)
+
+    def _dml_candidates(self, table: Table, stmt_where, compiler, scope):
+        """(rowid, row) pairs a DML statement's WHERE might match.
+
+        Uses a PK/secondary index probe for a constant-equality conjunct
+        (the predicate is still applied in full afterwards); otherwise a
+        full scan.
+        """
+        if stmt_where is not None:
+            probe = _dml_index_probe(table, stmt_where, scope, compiler)
+            if probe is not None:
+                column, value_fn, probe_kind = probe
+                from repro.errors import DataError
+
+                value = value_fn(Env(values=[None] * scope.slot_count))
+                if value is None:
+                    return []
+                try:
+                    value = table.schema.column(column).coerce(value)
+                except DataError:
+                    return []
+                if probe_kind == "pk":
+                    rowid = table.lookup_key((value,))
+                    return [] if rowid is None else [(rowid, table.get(rowid))]
+                return [
+                    (rowid, table.get(rowid))
+                    for rowid in table.index_lookup(column, value)
+                ]
+        return list(table.scan())
+
+    def _update(
+        self, stmt: ast.Update, txn, params: dict[str, Any], placeholders: list
+    ) -> StatementResult:
+        table, is_temp = self.resolve_table(stmt.table)
+        schema = table.schema
+        scope = Scope()
+        scope.add_source(stmt.table, schema.column_names)
+        compiler = ExpressionCompiler(scope, self, params=params, placeholders=placeholders)
+        where = compiler.compile_predicate(stmt.where) if stmt.where is not None else None
+        assignments = [
+            (schema.column_index(col.lower()), compiler.compile(expr))
+            for col, expr in stmt.assignments
+        ]
+        # Snapshot first: assignments must see pre-statement values and the
+        # scan must not chase its own writes.
+        targets: list[tuple[int, tuple]] = []
+        for rowid, row in self._dml_candidates(table, stmt.where, compiler, scope):
+            env = Env(values=list(row))
+            if where is None or where(env) is True:
+                targets.append((rowid, row))
+        for rowid, row in targets:
+            env = Env(values=list(row))
+            new_row = list(row)
+            for index, value_fn in assignments:
+                new_row[index] = value_fn(env)
+            if is_temp:
+                table.update(rowid, schema.coerce_row(new_row))
+            else:
+                self.database.update_row(txn, table.name, rowid, new_row)
+        return StatementResult.count(len(targets), f"UPDATE {len(targets)}")
+
+    def _delete(
+        self, stmt: ast.Delete, txn, params: dict[str, Any], placeholders: list
+    ) -> StatementResult:
+        table, is_temp = self.resolve_table(stmt.table)
+        scope = Scope()
+        scope.add_source(stmt.table, table.schema.column_names)
+        compiler = ExpressionCompiler(scope, self, params=params, placeholders=placeholders)
+        where = compiler.compile_predicate(stmt.where) if stmt.where is not None else None
+        targets = [
+            rowid
+            for rowid, row in self._dml_candidates(table, stmt.where, compiler, scope)
+            if where is None or where(Env(values=list(row))) is True
+        ]
+        for rowid in targets:
+            if is_temp:
+                table.delete(rowid)
+            else:
+                self.database.delete_row(txn, table.name, rowid)
+        return StatementResult.count(len(targets), f"DELETE {len(targets)}")
+
+    def _select_into(
+        self, stmt: ast.Select, txn, params: dict[str, Any], placeholders: list
+    ) -> StatementResult:
+        """``SELECT ... INTO t`` — materialize a result as a new table."""
+        target = stmt.into
+        assert target is not None
+        result = self.execute_select(stmt, params=params, placeholders=placeholders)
+        schema = result.to_schema(target.lower())
+        if self.table_exists(schema.name):
+            raise CatalogError(f"table {schema.name} already exists")
+        if schema.temporary:
+            table = Table.create(schema)
+            self.session.temp_tables[schema.name] = table
+            for row in result.rows:
+                table.insert(schema.coerce_row(list(row)))
+        else:
+            self.database.create_table(txn, schema)
+            for row in result.rows:
+                self.database.insert_row(txn, schema.name, list(row))
+        return StatementResult.count(len(result.rows), f"SELECT INTO {schema.name}")
+
+    # ------------------------------------------------------------ SELECT pipeline
+
+    def execute_select(
+        self,
+        select: "ast.Select | ast.UnionSelect",
+        *,
+        params: dict[str, Any] | None = None,
+        placeholders: list | None = None,
+        outer_scope: Scope | None = None,
+        outer_env: Env | None = None,
+    ) -> ResultSet:
+        """Run the full SELECT pipeline and return a materialized result."""
+        if isinstance(select, ast.UnionSelect):
+            runner = _UnionRunner(self, select, params or {}, placeholders or [], outer_scope)
+            return runner.run(outer_env)
+        plan = _SelectPlan(self, select, params or {}, placeholders or [], outer_scope)
+        return plan.run(outer_env)
+
+    # -- SubqueryRunner protocol ------------------------------------------------
+
+    def prepare_subquery(self, select: ast.Select, scope: Scope):
+        """Plan a subquery once against ``scope``; returns (rows_fn,
+        correlated).  ``rows_fn(env)`` re-runs the compiled plan with the
+        outer row's environment — compilation happens exactly once per
+        statement, which is what makes correlated subqueries affordable."""
+        params = getattr(scope, "_params", None) or {}
+        if isinstance(select, ast.UnionSelect):
+            runner = _UnionRunner(self, select, params, [], scope)
+
+            def union_rows(env: Env) -> list[tuple]:
+                return runner.run(env).rows
+
+            return union_rows, runner.correlated
+        probe = Scope(parent=scope)
+        plan = _SelectPlan(
+            self,
+            select,
+            params,
+            [],
+            scope,
+            probe_scope=probe,
+        )
+
+        def rows_fn(env: Env) -> list[tuple]:
+            return plan.run(env).rows
+
+        return rows_fn, probe.used_parent
+
+
+class _SelectPlan:
+    """One compiled SELECT: scope, compiled filters, and the row pipeline."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        select: ast.Select,
+        params: dict[str, Any],
+        placeholders: list,
+        outer_scope: Scope | None,
+        probe_scope: Scope | None = None,
+    ):
+        self.executor = executor
+        self.select = select
+        self.params = params
+        self.placeholders = placeholders
+        self.scope = probe_scope if probe_scope is not None else Scope(parent=outer_scope)
+        self.scope._params = params  # stashed for nested subquery planning
+        #: Column metadata per scope slot, parallel to scope slots.
+        self.slot_columns: list[Column] = []
+        #: (binding, rows supplier) in scope order
+        self.sources: list[_Source] = []
+        self._register_from(select.from_)
+        self.compiler = ExpressionCompiler(
+            self.scope, executor, params=params, placeholders=placeholders
+        )
+        self._plan_joins()
+        self._plan_projection()
+
+    # -- FROM ---------------------------------------------------------------
+
+    def _register_from(self, ref: ast.TableRef | None) -> None:
+        if ref is None:
+            return
+        if isinstance(ref, ast.TableName):
+            if not self.executor.table_exists(ref.name):
+                view = self.executor.view_definition(ref.name)
+                if view is not None:
+                    self._register_view(ref, view)
+                    return
+            table, _ = self.executor.resolve_table(ref.name)
+            binding = (ref.alias or ref.name).lower()
+            self.scope.add_source(binding, table.schema.column_names)
+            self.slot_columns.extend(table.schema.columns)
+            self.sources.append(
+                _Source(binding, lambda t=table: (row for _, row in t.scan()), table=table)
+            )
+            return
+        if isinstance(ref, ast.SubquerySource):
+            # Derived tables are planned now (their column metadata becomes
+            # scope slots) and evaluated lazily once per statement — they
+            # cannot see sibling FROM items, only the statement's outer scope.
+            if isinstance(ref.select, ast.UnionSelect):
+                meta = _UnionRunner(
+                    self.executor, ref.select, self.params, self.placeholders, self.scope.parent
+                )
+            else:
+                meta = _SelectPlan(
+                    self.executor, ref.select, self.params, self.placeholders, self.scope.parent
+                )
+            self.scope.add_source(ref.alias, [c.name for c in meta.output_columns])
+            self.slot_columns.extend(
+                Column(c.name, c.type, length=c.length) for c in meta.output_columns
+            )
+            holder: dict[str, list[tuple]] = {}
+
+            def derived_rows_cached() -> Iterator[tuple]:
+                if "r" not in holder:
+                    holder["r"] = meta.run(None).rows
+                return iter(holder["r"])
+
+            self.sources.append(_Source(ref.alias.lower(), derived_rows_cached))
+            return
+        if isinstance(ref, ast.Join):
+            self._register_from(ref.left)
+            self._register_from(ref.right)
+            return
+        raise NotSupportedError(f"FROM element {type(ref).__name__}")
+
+    def _register_view(self, ref: ast.TableName, view: ast.CreateView) -> None:
+        """Expand a view reference as a derived table (planned once,
+        evaluated lazily once per statement), applying the view's declared
+        column names."""
+        meta = _SelectPlan(self.executor, view.select, self.params, self.placeholders, None)
+        names = view.columns or [c.name for c in meta.output_columns]
+        binding = (ref.alias or ref.name).lower()
+        self.scope.add_source(binding, names)
+        self.slot_columns.extend(
+            Column(name, c.type, length=c.length)
+            for name, c in zip(names, meta.output_columns)
+        )
+        holder: dict[str, list[tuple]] = {}
+
+        def view_rows() -> Iterator[tuple]:
+            if "r" not in holder:
+                holder["r"] = meta.run(None).rows
+            return iter(holder["r"])
+
+        self.sources.append(_Source(binding, view_rows))
+
+    def _plan_joins(self) -> None:
+        """Plan join execution: conjunct pushdown + hash equi-joins.
+
+        WHERE is split into AND-conjuncts; each conjunct that references
+        only base columns is evaluated at the *earliest* join step where all
+        its columns are bound (selection pushdown), and a ``col = col``
+        conjunct across two sources becomes a hash-join key.  Conjuncts
+        containing subqueries or outer references stay in the final WHERE —
+        their evaluation context is subtler and correctness wins.
+
+        Semantics guard: pushed WHERE conjuncts whose step is a LEFT join
+        are applied *after* the join (as post-filters), since filtering
+        inside a LEFT join would change which rows get NULL-padded.
+        """
+        # absolute slot range per source
+        self.source_ranges: list[tuple[int, int]] = []
+        offset = 0
+        for source in self.sources:
+            width = len(self.scope.columns_of(source.binding))
+            self.source_ranges.append((offset, offset + width))
+            offset += width
+
+        # collect per-step kind and ON expression from the FROM tree
+        kinds: list[str] = []
+        on_exprs: list[ast.Expr | None] = []
+
+        def walk(ref: ast.TableRef | None) -> None:
+            if ref is None:
+                return
+            if isinstance(ref, (ast.TableName, ast.SubquerySource)):
+                kinds.append("FIRST" if not kinds else "CROSS")
+                on_exprs.append(None)
+                return
+            if isinstance(ref, ast.Join):
+                walk(ref.left)
+                if isinstance(ref.right, ast.Join):
+                    raise NotSupportedError("right-nested joins are not supported")
+                walk(ref.right)
+                kinds[-1] = ref.kind
+                on_exprs[-1] = ref.on
+                return
+            raise NotSupportedError(f"FROM element {type(ref).__name__}")
+
+        walk(self.select.from_)
+
+        join_conjuncts: list[list[ast.Expr]] = [[] for _ in self.sources]
+        post_conjuncts: list[list[ast.Expr]] = [[] for _ in self.sources]
+        final_conjuncts: list[ast.Expr] = []
+
+        for index, on_expr in enumerate(on_exprs):
+            join_conjuncts[index].extend(_split_conjuncts(on_expr))
+
+        #: conjuncts referencing no column of this query (e.g. Phoenix's
+        #: ``0 = 1`` metadata probe, or purely outer-correlated guards) —
+        #: evaluated once per run, not once per row.  This is what makes
+        #: ``WHERE 0=1`` effectively compile-only, as the paper assumes.
+        constant_conjuncts: list[ast.Expr] = []
+
+        for conjunct in _split_conjuncts(self.select.where):
+            refs: list[ast.ColumnRef] = []
+            if _collect_plain_refs(conjunct, refs) and not any(
+                self._is_local_ref(ref) for ref in refs
+            ):
+                constant_conjuncts.append(conjunct)
+                continue
+            target = self._conjunct_target(conjunct)
+            if target is None:
+                final_conjuncts.append(conjunct)
+            elif kinds[target] == "LEFT":
+                post_conjuncts[target].append(conjunct)
+            else:
+                join_conjuncts[target].append(conjunct)
+        self.constant_filter = self._compile_conjunction(constant_conjuncts)
+
+        self.join_steps: list[_JoinStep] = []
+        for index, kind in enumerate(kinds):
+            equi: list[tuple[int, int]] = []
+            residual: list[ast.Expr] = []
+            for conjunct in join_conjuncts[index]:
+                pair = self._equi_pair(conjunct, index)
+                if pair is not None:
+                    equi.append(pair)  # LEFT joins hash on ON-equality too
+                else:
+                    residual.append(conjunct)
+            probe = None
+            if kind != "LEFT":
+                probe = self._index_probe(index, join_conjuncts[index])
+            self.join_steps.append(
+                _JoinStep(
+                    kind=kind,
+                    equi=equi,
+                    residual=self._compile_conjunction(residual),
+                    post=self._compile_conjunction(post_conjuncts[index]),
+                    probe=probe,
+                )
+            )
+        self.where = self._compile_conjunction(final_conjuncts)
+
+    def _index_probe(self, index: int, conjuncts: list[ast.Expr]):
+        """Find a ``col = constant`` conjunct usable as an index probe for
+        source ``index`` (PK or secondary hash index).  The conjunct is kept
+        in the residual too — the probe only narrows the scan."""
+        source = self.sources[index]
+        if source.table is None:
+            return None
+        table = source.table
+        start, end = self.source_ranges[index]
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+                continue
+            for col_side, value_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(col_side, ast.ColumnRef):
+                    continue
+                resolved = self.scope.try_resolve(col_side.name, col_side.table)
+                if resolved is None or resolved[0] != 0:
+                    continue
+                slot = resolved[1]
+                if not start <= slot < end:
+                    continue
+                # the value must not depend on this query's rows
+                refs: list[ast.ColumnRef] = []
+                if not _collect_plain_refs(value_side, refs):
+                    continue  # subquery
+                if any(self._is_local_ref(r) for r in refs):
+                    continue
+                column = table.schema.columns[slot - start].name
+                if table.has_secondary_index(column):
+                    probe_kind = "secondary"
+                elif table.schema.primary_key == (column,):
+                    probe_kind = "pk"
+                else:
+                    continue
+                value_fn = self.compiler.compile(value_side)
+                return (column, value_fn, probe_kind)
+        return None
+
+    def _compile_conjunction(self, conjuncts: list[ast.Expr]):
+        if not conjuncts:
+            return None
+        fns = [self.compiler.compile_predicate(c) for c in conjuncts]
+        if len(fns) == 1:
+            return fns[0]
+
+        def _all(env: Env):
+            for fn in fns:
+                if fn(env) is not True:
+                    return False
+            return True
+
+        return _all
+
+    def _is_local_ref(self, ref: ast.ColumnRef) -> bool:
+        """Does this column reference resolve to one of *this* query's rows
+        (depth 0), as opposed to an outer scope?"""
+        resolved = self.scope.try_resolve(ref.name, ref.table)
+        return resolved is not None and resolved[0] == 0
+
+    def _conjunct_target(self, conjunct: ast.Expr) -> int | None:
+        """Earliest join step at which ``conjunct`` can run, or None to keep
+        it in the final WHERE (subqueries, outer refs, unresolvable)."""
+        refs: list[ast.ColumnRef] = []
+        if not _collect_plain_refs(conjunct, refs):
+            return None  # contains a subquery
+        target = 0
+        for ref in refs:
+            resolved = self.scope.try_resolve(ref.name, ref.table)
+            if resolved is None:
+                return None
+            depth, slot = resolved
+            if depth > 0:
+                continue  # outer reference: constant w.r.t. this query's rows
+            for index, (start, end) in enumerate(self.source_ranges):
+                if start <= slot < end:
+                    target = max(target, index)
+                    break
+            else:
+                return None  # synthetic slot (aggregate) — not valid in WHERE
+        return target
+
+    def _equi_pair(self, conjunct: ast.Expr, step: int) -> tuple[int, int] | None:
+        """If ``conjunct`` is ``left_col = right_col`` linking an earlier
+        source to source ``step``, return (left_abs_slot, right_local_slot)."""
+        if not (
+            isinstance(conjunct, ast.Binary)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            return None
+        sides = []
+        for ref in (conjunct.left, conjunct.right):
+            resolved = self.scope.try_resolve(ref.name, ref.table)
+            if resolved is None or resolved[0] != 0:
+                return None
+            sides.append(resolved[1])
+        start, end = self.source_ranges[step]
+        a, b = sides
+        if start <= a < end and b < start:
+            return (b, a - start)
+        if start <= b < end and a < start:
+            return (a, b - start)
+        return None
+
+    # -- projection planning ----------------------------------------------------
+
+    def _expand_items(self) -> list[tuple[ast.Expr, str]]:
+        """Expand stars; returns [(expr, output name)]."""
+        items: list[tuple[ast.Expr, str]] = []
+        for item in self.select.items:
+            expr = item.expr
+            if isinstance(expr, ast.Star):
+                bindings = (
+                    [expr.table.lower()] if expr.table else [b for b, _ in self.scope.sources]
+                )
+                for binding in bindings:
+                    for name in self.scope.columns_of(binding):
+                        items.append((ast.ColumnRef(name, table=binding), name))
+                continue
+            name = item.alias or _derive_name(expr)
+            items.append((expr, name.lower()))
+        return items
+
+    def _plan_projection(self) -> None:
+        select = self.select
+        self.items = self._expand_items()
+        self.aliases = {
+            (item.alias or "").lower(): item.expr
+            for item in select.items
+            if item.alias
+        }
+
+        # Resolve GROUP BY entries (aliases allowed, TPC-H style).
+        group_exprs = [self._dealias(e) for e in select.group_by]
+        agg_nodes: list[ast.FuncCall] = []
+        for expr, _ in self.items:
+            _collect_aggregates(expr, agg_nodes)
+        if select.having is not None:
+            _collect_aggregates(self._dealias(select.having), agg_nodes)
+        for order in select.order_by:
+            _collect_aggregates(self._dealias(order.expr), agg_nodes)
+        self.group_exprs = group_exprs
+        self.agg_nodes = agg_nodes
+        self.grouped = bool(group_exprs) or bool(agg_nodes)
+
+        if self.grouped:
+            # Synthetic slots for aggregate results, post-group compilation.
+            agg_slots: dict[int, int] = {}
+            for node in agg_nodes:
+                agg_slots[id(node)] = self.scope.add_synthetic_slot()
+            self.group_key_fns = [self.compiler.compile(e) for e in group_exprs]
+            self.agg_arg_fns = [
+                None if node.star else self.compiler.compile(node.args[0])
+                for node in agg_nodes
+            ]
+            post_compiler = ExpressionCompiler(
+                self.scope,
+                self.executor,
+                agg_slots=agg_slots,
+                params=self.params,
+                placeholders=self.placeholders,
+            )
+            self.item_fns = [post_compiler.compile(expr) for expr, _ in self.items]
+            self.having_fn = (
+                post_compiler.compile_predicate(self._dealias(select.having))
+                if select.having is not None
+                else None
+            )
+            self.order_fns = self._compile_order(post_compiler)
+        else:
+            if select.having is not None:
+                raise ProgrammingError("HAVING requires GROUP BY or aggregates")
+            self.item_fns = [self.compiler.compile(expr) for expr, _ in self.items]
+            self.having_fn = None
+            self.order_fns = self._compile_order(self.compiler)
+
+        self.output_columns = [
+            _infer_column(expr, name, self.slot_columns, self.scope)
+            for expr, name in self.items
+        ]
+
+    def _dealias(self, expr: ast.Expr) -> ast.Expr:
+        """Replace a bare alias reference with the aliased expression."""
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            aliased = self.aliases.get(expr.name.lower())
+            if aliased is not None and self.scope.try_resolve(expr.name) is None:
+                return aliased
+        return expr
+
+    def _compile_order(self, compiler: ExpressionCompiler):
+        order_fns = []
+        for order in self.select.order_by:
+            expr = order.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                index = expr.value - 1
+                if not 0 <= index < len(self.items):
+                    raise ProgrammingError(f"ORDER BY position {expr.value} out of range")
+                order_fns.append(("position", index, order.desc))
+                continue
+            order_fns.append(("expr", compiler.compile(self._dealias(expr)), order.desc))
+        return order_fns
+
+    # -- plan introspection -------------------------------------------------------
+
+    def describe(self) -> list[str]:
+        """Human-readable plan: join order, hash keys, pushed filters —
+        the EXPLAIN output."""
+        lines: list[str] = []
+        select = self.select
+        if not self.sources:
+            lines.append("Result: constant row")
+        for index, (source, step) in enumerate(zip(self.sources, self.join_steps)):
+            if step.probe is not None:
+                column, _fn, probe_kind = step.probe
+                label = "PkLookup" if probe_kind == "pk" else "IndexScan"
+                head = f"{label} {source.binding} ({column} = const)"
+            elif index == 0:
+                head = f"Scan {source.binding}"
+            elif step.kind == "CROSS" and not step.equi:
+                head = f"NestedLoop(CROSS) {source.binding}"
+            elif step.equi:
+                keys = ", ".join(
+                    f"{self._slot_name(left)} = {source.binding}.{self._local_name(index, right)}"
+                    for left, right in step.equi
+                )
+                head = f"HashJoin({step.kind}) {source.binding} ON {keys}"
+            else:
+                head = f"NestedLoop({step.kind}) {source.binding}"
+            notes = []
+            if step.residual is not None:
+                notes.append("residual filter")
+            if step.post is not None:
+                notes.append("post filter")
+            lines.append(head + (f"  [{', '.join(notes)}]" if notes else ""))
+        if self.constant_filter is not None:
+            lines.append("ConstantFilter (evaluated once per run)")
+        if self.where is not None:
+            lines.append("Filter (final WHERE: subqueries / outer refs)")
+        if self.grouped:
+            keys = ", ".join(e.sql() for e in self.group_exprs) or "<all rows>"
+            lines.append(f"Aggregate by [{keys}] computing {len(self.agg_nodes)} aggregate(s)")
+        if select.having is not None:
+            lines.append("Having")
+        if select.distinct:
+            lines.append("Distinct")
+        if select.order_by:
+            lines.append("Sort " + ", ".join(o.sql() for o in select.order_by))
+        if select.limit is not None or select.offset is not None:
+            lines.append(f"Limit {select.limit} Offset {select.offset or 0}")
+        lines.append(f"Project {len(self.items)} column(s)")
+        return lines
+
+    def _slot_name(self, slot: int) -> str:
+        for index, (start, end) in enumerate(self.source_ranges):
+            if start <= slot < end:
+                binding = self.sources[index].binding
+                return f"{binding}.{self._local_name(index, slot - start)}"
+        return f"slot{slot}"
+
+    def _local_name(self, source_index: int, local_slot: int) -> str:
+        binding = self.sources[source_index].binding
+        return self.scope.columns_of(binding)[local_slot]
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, outer_env: Env | None) -> ResultSet:
+        if self.constant_filter is not None:
+            probe_env = _env([None] * self.scope.slot_count, outer_env)
+            if self.constant_filter(probe_env) is not True:
+                rows: list[list] = []
+            else:
+                rows = self._source_rows(outer_env)
+        else:
+            rows = self._source_rows(outer_env)
+        if self.where is not None:
+            where = self.where
+            rows = [r for r in rows if where(_env(r, outer_env)) is True]
+
+        if self.grouped:
+            out_rows = self._run_grouped(rows, outer_env)
+        else:
+            out_rows = [
+                tuple(fn(_env(r, outer_env)) for fn in self.item_fns) for r in rows
+            ]
+            self._ordering_rows = rows  # parallel to out_rows, for ORDER BY
+
+        out_rows = self._order_distinct_limit(out_rows, outer_env)
+        return ResultSet(self.output_columns, out_rows)
+
+    def _source_rows(self, outer_env: Env | None) -> list[list]:
+        """Join pipeline: hash joins on the planned equi-keys, nested loops
+        otherwise, with pushed filters applied at each step."""
+        if not self.sources:
+            return [[]]
+        total_width = self.scope.slot_count
+        current: list[list] = [[]]
+        for index, (source, step) in enumerate(zip(self.sources, self.join_steps)):
+            start, end = self.source_ranges[index]
+            width = end - start
+            pad_after = total_width - end
+            pad = [None] * pad_after
+            if step.probe is not None:
+                right_rows = self._probe_rows(source, step.probe, outer_env)
+            else:
+                right_rows = [list(row) for row in source.rows_fn()]
+
+            def passes(fn, candidate: list) -> bool:
+                if fn is None:
+                    return True
+                return fn(_env(candidate + pad, outer_env)) is True
+
+            next_rows: list[list] = []
+            if step.equi and step.kind != "LEFT":
+                index_map = _hash_rows(right_rows, [local for _, local in step.equi])
+                left_slots = [abs_slot for abs_slot, _ in step.equi]
+                for left in current:
+                    key = tuple(left[slot] for slot in left_slots)
+                    if None in key:
+                        continue  # NULL never equi-joins
+                    for right in index_map.get(key, ()):
+                        candidate = left + right
+                        if passes(step.residual, candidate) and passes(step.post, candidate):
+                            next_rows.append(candidate)
+            elif step.kind == "LEFT":
+                index_map = (
+                    _hash_rows(right_rows, [local for _, local in step.equi])
+                    if step.equi
+                    else None
+                )
+                left_slots = [abs_slot for abs_slot, _ in step.equi]
+                null_right = [None] * width
+                for left in current:
+                    matched = False
+                    if index_map is not None:
+                        key = tuple(left[slot] for slot in left_slots)
+                        candidates = () if None in key else index_map.get(key, ())
+                    else:
+                        candidates = right_rows
+                    for right in candidates:
+                        candidate = left + right
+                        if passes(step.residual, candidate):
+                            matched = True
+                            if passes(step.post, candidate):
+                                next_rows.append(candidate)
+                    if not matched:
+                        candidate = left + null_right
+                        if passes(step.post, candidate):
+                            next_rows.append(candidate)
+            else:
+                for left in current:
+                    for right in right_rows:
+                        candidate = left + right
+                        if passes(step.residual, candidate) and passes(step.post, candidate):
+                            next_rows.append(candidate)
+            current = next_rows
+        # pad to full width (synthetic agg slots)
+        if self.source_ranges:
+            end = self.source_ranges[-1][1]
+            if total_width > end:
+                tail = [None] * (total_width - end)
+                current = [row + tail for row in current]
+        return current
+
+    def _probe_rows(self, source: _Source, probe, outer_env: Env | None) -> list[list]:
+        """Fetch only the rows matching an index probe (PK or secondary)."""
+        from repro.errors import DataError
+
+        column, value_fn, probe_kind = probe
+        table = source.table
+        value = value_fn(_env([None] * self.scope.slot_count, outer_env))
+        if value is None:
+            return []  # NULL never equals anything
+        try:
+            value = table.schema.column(column).coerce(value)
+        except DataError:
+            return []  # incomparable constant: no row can match
+        if probe_kind == "pk":
+            rowid = table.lookup_key((value,))
+            return [] if rowid is None else [list(table.get(rowid))]
+        return [list(table.get(rowid)) for rowid in table.index_lookup(column, value)]
+
+    def _run_grouped(self, rows: list[list], outer_env: Env | None) -> list[tuple]:
+        groups: dict[tuple, dict] = {}
+        order: list[tuple] = []
+        for row in rows:
+            env = _env(row, outer_env)
+            key = tuple(fn(env) for fn in self.group_key_fns)
+            group = groups.get(key)
+            if group is None:
+                group = {
+                    "rep": row,
+                    "accs": [
+                        functions.make_accumulator(
+                            node.name, star=node.star, distinct=node.distinct
+                        )
+                        for node in self.agg_nodes
+                    ],
+                }
+                groups[key] = group
+                order.append(key)
+            for acc, arg_fn in zip(group["accs"], self.agg_arg_fns):
+                acc.add(1 if arg_fn is None else arg_fn(env))
+        if not groups and not self.group_exprs:
+            # aggregate over empty input: one all-NULL/zero row
+            groups[()] = {
+                "rep": [None] * self.scope.slot_count,
+                "accs": [
+                    functions.make_accumulator(
+                        node.name, star=node.star, distinct=node.distinct
+                    )
+                    for node in self.agg_nodes
+                ],
+            }
+            order.append(())
+
+        out_rows: list[tuple] = []
+        ordering_rows: list[list] = []
+        n_aggs = len(self.agg_nodes)
+        width = self.scope.slot_count
+        for key in order:
+            group = groups[key]
+            rep = list(group["rep"])
+            # place aggregate results in their synthetic slots (the last
+            # n_aggs slots, allocated in agg_nodes order)
+            agg_values = [acc.result() for acc in group["accs"]]
+            full = rep[: width - n_aggs] + agg_values if n_aggs else rep
+            env = _env(full, outer_env)
+            if self.having_fn is not None and self.having_fn(env) is not True:
+                continue
+            out_rows.append(tuple(fn(env) for fn in self.item_fns))
+            ordering_rows.append(full)
+        self._ordering_rows = ordering_rows
+        return out_rows
+
+    def _order_distinct_limit(self, out_rows: list[tuple], outer_env: Env | None) -> list[tuple]:
+        select = self.select
+        rows = out_rows
+        if select.distinct:
+            seen = set()
+            deduped = []
+            deduped_ordering = []
+            for row, orow in zip(rows, self._ordering_rows):
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+                    deduped_ordering.append(orow)
+            rows = deduped
+            self._ordering_rows = deduped_ordering
+        if self.order_fns:
+            indexed = list(zip(rows, self._ordering_rows))
+            for kind, key, desc in reversed(self.order_fns):
+                if kind == "position":
+                    indexed.sort(key=lambda pair: sort_key(pair[0][key]), reverse=desc)
+                else:
+                    indexed.sort(
+                        key=lambda pair: sort_key(key(_env(pair[1], outer_env))),
+                        reverse=desc,
+                    )
+            rows = [pair[0] for pair in indexed]
+        if select.offset is not None:
+            rows = rows[select.offset :]
+        if select.limit is not None:
+            rows = rows[: select.limit]
+        return rows
+
+
+class _UnionRunner:
+    """Executes a UNION chain: per-part plans + combination semantics.
+
+    Quacks like _SelectPlan where callers need it (``output_columns``,
+    ``run(env)``), so derived tables and subqueries can hold unions.
+    """
+
+    def __init__(self, executor, union, params, placeholders, outer_scope):
+        self.union = union
+        self.plans = []
+        self.correlated = False
+        for part in union.parts:
+            probe = Scope(parent=outer_scope)
+            plan = _SelectPlan(executor, part, params, placeholders, outer_scope, probe_scope=probe)
+            self.plans.append(plan)
+            self.correlated = self.correlated or probe.used_parent
+        widths = {len(p.output_columns) for p in self.plans}
+        if len(widths) != 1:
+            raise ProgrammingError(
+                f"UNION parts produce different column counts: {sorted(widths)}"
+            )
+        #: metadata comes from the first part (standard SQL behaviour)
+        self.output_columns = self.plans[0].output_columns
+
+    def run(self, outer_env: Env | None) -> ResultSet:
+        rows: list[tuple] = []
+        for index, plan in enumerate(self.plans):
+            part_rows = plan.run(outer_env).rows
+            rows.extend(part_rows)
+            # plain UNION dedupes everything accumulated so far (left-assoc)
+            if index > 0 and not self.union.all_flags[index - 1]:
+                seen: set = set()
+                deduped: list[tuple] = []
+                for row in rows:
+                    if row not in seen:
+                        seen.add(row)
+                        deduped.append(row)
+                rows = deduped
+        rows = self._order_limit(rows)
+        return ResultSet(self.output_columns, rows)
+
+    def _order_limit(self, rows: list[tuple]) -> list[tuple]:
+        union = self.union
+        if union.order_by:
+            name_to_index = {c.name: i for i, c in enumerate(self.output_columns)}
+            keys: list[tuple[int, bool]] = []
+            for order in union.order_by:
+                expr = order.expr
+                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    position = expr.value - 1
+                elif isinstance(expr, ast.ColumnRef) and expr.table is None:
+                    position = name_to_index.get(expr.name.lower(), -1)
+                else:
+                    position = -1
+                if not 0 <= position < len(self.output_columns):
+                    raise ProgrammingError(
+                        "UNION ORDER BY must name an output column or position"
+                    )
+                keys.append((position, order.desc))
+            for position, desc in reversed(keys):
+                rows = sorted(rows, key=lambda r: sort_key(r[position]), reverse=desc)
+        if union.offset is not None:
+            rows = rows[union.offset :]
+        if union.limit is not None:
+            rows = rows[: union.limit]
+        return rows
+
+
+class _Source:
+    """One FROM source: binding name, a fresh-iterator supplier, and (for
+    base tables) the Table object — the planner needs it for index probes."""
+
+    def __init__(self, binding: str, rows_fn, table=None):
+        self.binding = binding
+        self.rows_fn = rows_fn
+        self.table = table
+
+
+class _JoinStep:
+    """Execution plan for one join step (aligned with one source)."""
+
+    __slots__ = ("kind", "equi", "residual", "post", "probe")
+
+    def __init__(self, kind: str, equi, residual, post, probe=None):
+        self.kind = kind
+        #: [(left_absolute_slot, right_local_slot)] hash-join keys
+        self.equi = equi
+        #: remaining join condition (ON + pushed WHERE for inner joins)
+        self.residual = residual
+        #: pushed WHERE conjuncts applied after a LEFT join pads its rows
+        self.post = post
+        #: (column_name, value_fn, kind) index probe replacing the full scan
+        #: for a constant-equality selection; kind is "pk" or "secondary"
+        self.probe = probe
+
+
+def _hash_rows(rows: list[list], local_slots: list[int]) -> dict:
+    """Bucket rows by their key tuple; NULL keys never participate."""
+    index: dict[tuple, list] = {}
+    for row in rows:
+        key = tuple(row[slot] for slot in local_slots)
+        if None in key:
+            continue
+        index.setdefault(key, []).append(row)
+    return index
+
+
+def _dml_index_probe(table: Table, where: ast.Expr, scope: Scope, compiler):
+    """Find a ``col = constant`` conjunct of a DML WHERE usable as an index
+    probe (PK or secondary); returns (column, value_fn, kind) or None."""
+    for conjunct in _split_conjuncts(where):
+        if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+            continue
+        for col_side, value_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if not isinstance(col_side, ast.ColumnRef):
+                continue
+            resolved = scope.try_resolve(col_side.name, col_side.table)
+            if resolved is None or resolved[0] != 0:
+                continue
+            refs: list[ast.ColumnRef] = []
+            if not _collect_plain_refs(value_side, refs):
+                continue
+            if any(
+                scope.try_resolve(r.name, r.table) is not None
+                and scope.try_resolve(r.name, r.table)[0] == 0
+                for r in refs
+            ):
+                continue  # depends on the row itself
+            column = table.schema.columns[resolved[1]].name
+            if table.has_secondary_index(column):
+                return (column, compiler.compile(value_side), "secondary")
+            if table.schema.primary_key == (column,):
+                return (column, compiler.compile(value_side), "pk")
+    return None
+
+
+def _split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten a predicate into AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op.upper() == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _collect_plain_refs(expr: ast.Expr, out: list[ast.ColumnRef]) -> bool:
+    """Collect column refs; returns False if the expression contains a
+    subquery (which disqualifies it from pushdown)."""
+    if isinstance(expr, (ast.ScalarSelect, ast.InSelect, ast.Exists)):
+        return False
+    if isinstance(expr, ast.ColumnRef):
+        out.append(expr)
+        return True
+    children: list[ast.Expr] = []
+    if isinstance(expr, ast.Binary):
+        children = [expr.left, expr.right]
+    elif isinstance(expr, ast.Unary):
+        children = [expr.operand]
+    elif isinstance(expr, ast.IsNull):
+        children = [expr.operand]
+    elif isinstance(expr, ast.Between):
+        children = [expr.operand, expr.low, expr.high]
+    elif isinstance(expr, ast.InList):
+        children = [expr.operand, *expr.items]
+    elif isinstance(expr, ast.Like):
+        children = [expr.operand, expr.pattern]
+        if expr.escape is not None:
+            children.append(expr.escape)
+    elif isinstance(expr, ast.FuncCall):
+        children = list(expr.args)
+    elif isinstance(expr, ast.CaseExpr):
+        children = [c for c in [expr.operand, expr.else_] if c is not None]
+        for cond, result in expr.whens:
+            children.extend([cond, result])
+    elif isinstance(expr, ast.Cast):
+        children = [expr.operand]
+    elif isinstance(expr, ast.ExtractExpr):
+        children = [expr.operand]
+    elif isinstance(expr, ast.SubstringExpr):
+        children = [expr.operand, expr.start]
+        if expr.length is not None:
+            children.append(expr.length)
+    return all(_collect_plain_refs(child, out) for child in children)
+
+
+def _env(values: list, outer_env: Env | None) -> Env:
+    return Env(values=values, parent=outer_env)
+
+
+def _collect_aggregates(expr: ast.Expr, out: list[ast.FuncCall]) -> None:
+    """Gather aggregate calls at this query level (do not descend into
+    subqueries — their aggregates are their own)."""
+    if isinstance(expr, ast.FuncCall):
+        if expr.name.lower() in functions.AGGREGATE_NAMES:
+            out.append(expr)
+            return
+        for arg in expr.args:
+            _collect_aggregates(arg, out)
+        return
+    if isinstance(expr, (ast.ScalarSelect, ast.InSelect, ast.Exists)):
+        return
+    if isinstance(expr, ast.Binary):
+        _collect_aggregates(expr.left, out)
+        _collect_aggregates(expr.right, out)
+    elif isinstance(expr, ast.Unary):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.Between):
+        _collect_aggregates(expr.operand, out)
+        _collect_aggregates(expr.low, out)
+        _collect_aggregates(expr.high, out)
+    elif isinstance(expr, ast.InList):
+        _collect_aggregates(expr.operand, out)
+        for item in expr.items:
+            _collect_aggregates(item, out)
+    elif isinstance(expr, ast.Like):
+        _collect_aggregates(expr.operand, out)
+        _collect_aggregates(expr.pattern, out)
+    elif isinstance(expr, ast.IsNull):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.CaseExpr):
+        if expr.operand is not None:
+            _collect_aggregates(expr.operand, out)
+        for cond, result in expr.whens:
+            _collect_aggregates(cond, out)
+            _collect_aggregates(result, out)
+        if expr.else_ is not None:
+            _collect_aggregates(expr.else_, out)
+    elif isinstance(expr, ast.Cast):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, (ast.ExtractExpr,)):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.SubstringExpr):
+        _collect_aggregates(expr.operand, out)
+        _collect_aggregates(expr.start, out)
+        if expr.length is not None:
+            _collect_aggregates(expr.length, out)
+
+
+def _derive_name(expr: ast.Expr) -> str:
+    """Output column name for an unaliased select item."""
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return expr.name
+    return expr.sql().lower()[:64]
+
+
+def _infer_column(
+    expr: ast.Expr, name: str, slot_columns: list[Column], scope: Scope
+) -> Column:
+    """Static type inference for output metadata (Phoenix's CREATE TABLE is
+    built from this, so it must work without executing the query)."""
+    sql_type, length = _infer_type(expr, slot_columns, scope)
+    return Column(name.lower(), sql_type, length=length)
+
+
+def _infer_type(
+    expr: ast.Expr, slot_columns: list[Column], scope: Scope
+) -> tuple[SqlType, int | None]:
+    if isinstance(expr, ast.ColumnRef):
+        resolved = scope.try_resolve(expr.name, expr.table)
+        if resolved is not None and resolved[0] == 0 and resolved[1] < len(slot_columns):
+            column = slot_columns[resolved[1]]
+            return column.type, column.length
+        return SqlType.VARCHAR, None
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if expr.is_date:
+            return SqlType.DATE, None
+        if isinstance(value, bool):
+            return SqlType.BOOLEAN, None
+        if isinstance(value, int):
+            return SqlType.INT, None
+        if isinstance(value, float):
+            return SqlType.FLOAT, None
+        return SqlType.VARCHAR, None
+    if isinstance(expr, ast.FuncCall):
+        name = expr.name.lower()
+        if name == "count":
+            return SqlType.INT, None
+        if name in ("sum", "avg"):
+            return SqlType.FLOAT, None
+        if name in ("min", "max") and expr.args:
+            return _infer_type(expr.args[0], slot_columns, scope)
+        if name in ("upper", "lower", "trim", "ltrim", "rtrim", "substr", "substring", "concat", "replace"):
+            return SqlType.VARCHAR, None
+        if name in ("length", "floor", "ceil", "ceiling", "mod"):
+            return SqlType.INT, None
+        if name in ("abs", "round", "sqrt"):
+            return SqlType.FLOAT, None
+        if name == "date":
+            return SqlType.DATE, None
+        return SqlType.VARCHAR, None
+    if isinstance(expr, ast.Binary):
+        if expr.op.upper() in ("AND", "OR", "=", "<>", "<", "<=", ">", ">="):
+            return SqlType.BOOLEAN, None
+        if expr.op == "||":
+            return SqlType.VARCHAR, None
+        left_type, _ = _infer_type(expr.left, slot_columns, scope)
+        right_type, _ = _infer_type(expr.right, slot_columns, scope)
+        if left_type is SqlType.DATE and isinstance(expr.right, ast.IntervalLiteral):
+            return SqlType.DATE, None
+        if left_type is SqlType.DATE and right_type is SqlType.DATE:
+            return SqlType.INT, None
+        if left_type is SqlType.DATE:
+            return SqlType.DATE, None
+        if expr.op == "/":
+            return SqlType.FLOAT, None
+        if left_type is SqlType.INT and right_type is SqlType.INT:
+            return SqlType.INT, None
+        return SqlType.FLOAT, None
+    if isinstance(expr, ast.Unary):
+        if expr.op.upper() == "NOT":
+            return SqlType.BOOLEAN, None
+        return _infer_type(expr.operand, slot_columns, scope)
+    if isinstance(expr, (ast.IsNull, ast.Between, ast.InList, ast.InSelect, ast.Like, ast.Exists)):
+        return SqlType.BOOLEAN, None
+    if isinstance(expr, ast.CaseExpr):
+        for _, result in expr.whens:
+            return _infer_type(result, slot_columns, scope)
+    if isinstance(expr, ast.Cast):
+        return type_spec_to_sql_type(expr.type), expr.type.length
+    if isinstance(expr, ast.ScalarSelect):
+        return SqlType.FLOAT, None  # most common use: aggregated subquery
+    if isinstance(expr, ast.ExtractExpr):
+        return SqlType.INT, None
+    if isinstance(expr, ast.SubstringExpr):
+        return SqlType.VARCHAR, None
+    return SqlType.VARCHAR, None

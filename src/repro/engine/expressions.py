@@ -1,0 +1,597 @@
+"""Expression compilation: AST → Python closures.
+
+Expressions are compiled once per statement against a :class:`Scope`
+(name→slot resolution) and then evaluated per row against an :class:`Env`
+(the flat row values, chained to outer rows for correlated subqueries).
+This keeps per-row work to attribute-free closure calls, which is what
+makes TPC-H-scale scans tolerable in pure Python.
+
+Three-valued logic: predicate closures return ``True``/``False``/``None``;
+the executor treats only ``True`` as satisfying WHERE/HAVING/ON.
+
+Subqueries are compiled through a callback into the executor (to avoid an
+import cycle the executor passes itself in as the ``SubqueryRunner``).
+Uncorrelated subqueries are detected at compile time — their result is
+computed lazily once and cached for the statement.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.errors import DataError, ProgrammingError
+from repro.engine import functions
+from repro.engine.values import add_interval, coerce_value, compare, parse_date
+from repro.engine.schema import type_spec_to_sql_type
+from repro.sql import ast
+
+__all__ = ["Scope", "Env", "CompiledExpr", "ExpressionCompiler", "SubqueryRunner", "like_to_regex"]
+
+#: A compiled expression: env → value.
+CompiledExpr = Callable[["Env"], Any]
+
+
+@dataclass
+class Env:
+    """Runtime row environment: flat slot values + optional outer env."""
+
+    values: list
+    parent: "Env | None" = None
+
+    def at(self, depth: int, slot: int) -> Any:
+        env: Env | None = self
+        for _ in range(depth):
+            assert env is not None
+            env = env.parent
+        assert env is not None
+        return env.values[slot]
+
+
+class Scope:
+    """Compile-time name resolution over one level of row slots.
+
+    A scope is a sequence of *sources*; each source contributes its columns
+    as consecutive slots.  An extra block of anonymous slots can be added
+    for aggregate results (see :meth:`add_synthetic_slot`).
+    """
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self._sources: list[tuple[str, list[str]]] = []
+        self._slot_count = 0
+        #: (binding, column) -> slot; column -> [slots] for unqualified lookup
+        self._qualified: dict[tuple[str, str], int] = {}
+        self._unqualified: dict[str, list[int]] = {}
+        #: set by resolve() when a lookup escaped to the parent scope —
+        #: how we detect correlated subqueries.
+        self.used_parent = False
+
+    def add_source(self, binding: str, column_names: list[str]) -> None:
+        binding = binding.lower()
+        if any(b == binding for b, _ in self._sources):
+            raise ProgrammingError(f"duplicate table binding {binding!r} in FROM")
+        self._sources.append((binding, [c.lower() for c in column_names]))
+        for name in column_names:
+            slot = self._slot_count
+            self._qualified[(binding, name.lower())] = slot
+            self._unqualified.setdefault(name.lower(), []).append(slot)
+            self._slot_count += 1
+
+    def add_synthetic_slot(self) -> int:
+        """Reserve one anonymous slot (aggregate results); returns its index."""
+        slot = self._slot_count
+        self._slot_count += 1
+        return slot
+
+    @property
+    def slot_count(self) -> int:
+        return self._slot_count
+
+    @property
+    def sources(self) -> list[tuple[str, list[str]]]:
+        return list(self._sources)
+
+    def columns_of(self, binding: str) -> list[str]:
+        binding = binding.lower()
+        for b, cols in self._sources:
+            if b == binding:
+                return list(cols)
+        raise ProgrammingError(f"unknown table {binding!r}")
+
+    def try_resolve(self, name: str, table: str | None = None) -> tuple[int, int] | None:
+        """Resolve to (depth, slot) or None; marks parent usage."""
+        name = name.lower()
+        if table is not None:
+            slot = self._qualified.get((table.lower(), name))
+        else:
+            slots = self._unqualified.get(name, [])
+            if len(slots) > 1:
+                raise ProgrammingError(f"ambiguous column reference {name!r}")
+            slot = slots[0] if slots else None
+        if slot is not None:
+            return (0, slot)
+        if self.parent is not None:
+            resolved = self.parent.try_resolve(name, table)
+            if resolved is not None:
+                self.used_parent = True
+                depth, upper_slot = resolved
+                return (depth + 1, upper_slot)
+        return None
+
+    def resolve(self, name: str, table: str | None = None) -> tuple[int, int]:
+        resolved = self.try_resolve(name, table)
+        if resolved is None:
+            qualified = f"{table}.{name}" if table else name
+            raise ProgrammingError(f"unknown column {qualified!r}")
+        return resolved
+
+
+class SubqueryRunner(Protocol):
+    """The executor-side hook expression compilation needs for subqueries."""
+
+    def prepare_subquery(self, select: ast.Select, scope: Scope):
+        """Plan ``select`` once with ``scope`` as its outer level.  Returns
+        ``(rows_fn, correlated)`` where ``rows_fn(env)`` re-runs the plan
+        for one outer row's environment."""
+        ...
+
+
+def like_to_regex(pattern: str, escape: str | None = None) -> re.Pattern:
+    """Translate a SQL LIKE pattern to a compiled anchored regex."""
+    out: list[str] = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if escape is not None and ch == escape and i + 1 < len(pattern):
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    return re.compile("".join(out) + r"\Z", re.DOTALL)
+
+
+def _kleene_and(left: Any, right: Any) -> Any:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _kleene_or(left: Any, right: Any) -> Any:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def _truthy(value: Any) -> Any:
+    """Normalize a value used as a predicate to True/False/None."""
+    if value is None:
+        return None
+    return bool(value)
+
+
+class ExpressionCompiler:
+    """Compiles AST expressions against a scope.
+
+    ``agg_slots`` maps ``id(FuncCall-node) → slot`` for post-group-by
+    compilation, where aggregate calls become slot reads instead of being
+    evaluated (the group-by executor fills those slots per group).
+    ``params`` maps parameter names / placeholder indexes to values bound
+    by the client or procedure call.
+    """
+
+    def __init__(
+        self,
+        scope: Scope,
+        runner: SubqueryRunner,
+        *,
+        agg_slots: dict[int, int] | None = None,
+        params: dict[str, Any] | None = None,
+        placeholders: list | None = None,
+    ):
+        self.scope = scope
+        self.runner = runner
+        self.agg_slots = agg_slots or {}
+        self.params = params or {}
+        self.placeholders = placeholders or []
+
+    # -- entry point ----------------------------------------------------------
+
+    def compile(self, expr: ast.Expr) -> CompiledExpr:
+        method = getattr(self, "_compile_" + type(expr).__name__, None)
+        if method is None:
+            raise ProgrammingError(f"cannot compile expression {type(expr).__name__}")
+        return method(expr)
+
+    def compile_predicate(self, expr: ast.Expr) -> CompiledExpr:
+        """Compile an expression used as a filter (result normalized to 3VL)."""
+        inner = self.compile(expr)
+        return lambda env: _truthy(inner(env))
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _compile_Literal(self, expr: ast.Literal) -> CompiledExpr:
+        value = parse_date(str(expr.value)) if expr.is_date else expr.value
+        return lambda env: value
+
+    def _compile_ColumnRef(self, expr: ast.ColumnRef) -> CompiledExpr:
+        depth, slot = self.scope.resolve(expr.name, expr.table)
+        if depth == 0:
+            return lambda env: env.values[slot]
+        return lambda env: env.at(depth, slot)
+
+    def _compile_Param(self, expr: ast.Param) -> CompiledExpr:
+        name = expr.name.lower()
+        if name not in self.params:
+            raise ProgrammingError(f"unbound parameter @{expr.name}")
+        value = self.params[name]
+        return lambda env: value
+
+    def _compile_Placeholder(self, expr: ast.Placeholder) -> CompiledExpr:
+        if expr.index >= len(self.placeholders):
+            raise ProgrammingError(
+                f"statement has placeholder ?{expr.index + 1} but only "
+                f"{len(self.placeholders)} values were bound"
+            )
+        value = self.placeholders[expr.index]
+        return lambda env: value
+
+    def _compile_Star(self, expr: ast.Star) -> CompiledExpr:
+        raise ProgrammingError("'*' is only valid in a select list or COUNT(*)")
+
+    # -- operators -------------------------------------------------------------------
+
+    def _compile_Unary(self, expr: ast.Unary) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        if expr.op.upper() == "NOT":
+            def _not(env: Env) -> Any:
+                value = _truthy(operand(env))
+                return None if value is None else not value
+            return _not
+        if expr.op == "-":
+            def _neg(env: Env) -> Any:
+                value = operand(env)
+                return None if value is None else -value
+            return _neg
+        raise ProgrammingError(f"unknown unary operator {expr.op}")
+
+    def _compile_Binary(self, expr: ast.Binary) -> CompiledExpr:
+        op = expr.op.upper()
+        if op in ("+", "-") and isinstance(expr.right, ast.IntervalLiteral):
+            # date ± INTERVAL must be folded before the operand compiles
+            # (a bare IntervalLiteral has no value of its own)
+            base = self.compile(expr.left)
+            amount, unit = expr.right.amount, expr.right.unit
+            sign = 1 if op == "+" else -1
+
+            def _date_shift(env: Env) -> Any:
+                value = base(env)
+                return None if value is None else add_interval(value, amount, unit, sign)
+
+            return _date_shift
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op == "AND":
+            return lambda env: _kleene_and(_truthy(left(env)), _truthy(right(env)))
+        if op == "OR":
+            return lambda env: _kleene_or(_truthy(left(env)), _truthy(right(env)))
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return self._compile_comparison(op, left, right)
+        if op in ("+", "-"):
+            return self._compile_additive(expr, op, left, right)
+        if op == "*":
+            return _null_safe_binop(left, right, lambda a, b: a * b)
+        if op == "/":
+            def _div(a: Any, b: Any) -> Any:
+                if b == 0:
+                    raise DataError("division by zero")
+                return a / b
+            return _null_safe_binop(left, right, _div)
+        if op == "%":
+            return _null_safe_binop(left, right, lambda a, b: a % b)
+        if op == "||":
+            return _null_safe_binop(left, right, lambda a, b: f"{a}{b}")
+        raise ProgrammingError(f"unknown operator {expr.op}")
+
+    @staticmethod
+    def _compile_comparison(op: str, left: CompiledExpr, right: CompiledExpr) -> CompiledExpr:
+        tests: dict[str, Callable[[int], bool]] = {
+            "=": lambda c: c == 0,
+            "<>": lambda c: c != 0,
+            "<": lambda c: c < 0,
+            "<=": lambda c: c <= 0,
+            ">": lambda c: c > 0,
+            ">=": lambda c: c >= 0,
+        }
+        test = tests[op]
+
+        def _cmp(env: Env) -> Any:
+            c = compare(left(env), right(env))
+            return None if c is None else test(c)
+
+        return _cmp
+
+    def _compile_additive(
+        self, expr: ast.Binary, op: str, left: CompiledExpr, right: CompiledExpr
+    ) -> CompiledExpr:
+        sign = 1 if op == "+" else -1
+
+        def _add(env: Env) -> Any:
+            a = left(env)
+            b = right(env)
+            if a is None or b is None:
+                return None
+            if isinstance(a, datetime.date) and isinstance(b, int):
+                return a + datetime.timedelta(days=sign * b)
+            if op == "-" and isinstance(a, datetime.date) and isinstance(b, datetime.date):
+                return (a - b).days
+            return a + b if sign > 0 else a - b
+
+        return _add
+
+    def _compile_IntervalLiteral(self, expr: ast.IntervalLiteral) -> CompiledExpr:
+        raise ProgrammingError("INTERVAL is only valid in date +/- INTERVAL arithmetic")
+
+    # -- predicates -----------------------------------------------------------------
+
+    def _compile_IsNull(self, expr: ast.IsNull) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        if expr.negated:
+            return lambda env: operand(env) is not None
+        return lambda env: operand(env) is None
+
+    def _compile_Between(self, expr: ast.Between) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        negated = expr.negated
+
+        def _between(env: Env) -> Any:
+            value = operand(env)
+            lo = compare(value, low(env))
+            hi = compare(value, high(env))
+            if lo is None or hi is None:
+                return None
+            result = lo >= 0 and hi <= 0
+            return not result if negated else result
+
+        return _between
+
+    def _compile_InList(self, expr: ast.InList) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        items = [self.compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def _in_fixed(env: Env) -> Any:
+            value = operand(env)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                c = compare(value, item(env))
+                if c is None:
+                    saw_null = True
+                elif c == 0:
+                    return True if not negated else False
+            if saw_null:
+                return None
+            return False if not negated else True
+
+        return _in_fixed
+
+    def _compile_Like(self, expr: ast.Like) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        negated = expr.negated
+        escape_char: str | None = None
+        if expr.escape is not None:
+            if not isinstance(expr.escape, ast.Literal):
+                raise ProgrammingError("ESCAPE must be a string literal")
+            escape_char = str(expr.escape.value)
+        if isinstance(expr.pattern, ast.Literal):
+            regex = like_to_regex(str(expr.pattern.value), escape_char)
+
+            def _like_const(env: Env) -> Any:
+                value = operand(env)
+                if value is None:
+                    return None
+                matched = regex.match(str(value)) is not None
+                return not matched if negated else matched
+
+            return _like_const
+        pattern = self.compile(expr.pattern)
+
+        def _like(env: Env) -> Any:
+            value = operand(env)
+            pat = pattern(env)
+            if value is None or pat is None:
+                return None
+            matched = like_to_regex(str(pat), escape_char).match(str(value)) is not None
+            return not matched if negated else matched
+
+        return _like
+
+    # -- subqueries ---------------------------------------------------------------------
+
+    def _subquery_rows(self, select: ast.Select) -> tuple[Callable[[Env], list[tuple]], bool]:
+        """Compile a subquery; returns (rows_fn, correlated).
+
+        The runner plans the subquery exactly once (name resolution doubles
+        as the correlation probe: if nothing escaped to this scope, the
+        result cannot depend on the outer row and is safe to cache for the
+        whole statement); ``rows_fn`` re-runs the compiled plan per call.
+        """
+        return self.runner.prepare_subquery(select, self.scope)
+
+    def _compile_InSelect(self, expr: ast.InSelect) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        rows_fn, correlated = self._subquery_rows(expr.select)
+        negated = expr.negated
+
+        def gather(env: Env) -> tuple[set, bool]:
+            values = set()
+            saw_null = False
+            for row in rows_fn(env):
+                if len(row) != 1:
+                    raise ProgrammingError("IN subquery must return one column")
+                if row[0] is None:
+                    saw_null = True
+                else:
+                    values.add(row[0])
+            return values, saw_null
+
+        cache: list[tuple[set, bool]] = []
+
+        def _in_select_fixed(env: Env) -> Any:
+            value = operand(env)
+            if value is None:
+                return None
+            if correlated:
+                values, saw_null = gather(env)
+            else:
+                if not cache:
+                    cache.append(gather(env))
+                values, saw_null = cache[0]
+            if value in values:
+                return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return _in_select_fixed
+
+    def _compile_Exists(self, expr: ast.Exists) -> CompiledExpr:
+        rows_fn, correlated = self._subquery_rows(expr.select)
+        negated = expr.negated
+        cache: list[bool] = []
+
+        def _exists(env: Env) -> Any:
+            if correlated:
+                found = bool(rows_fn(env))
+            else:
+                if not cache:
+                    cache.append(bool(rows_fn(env)))
+                found = cache[0]
+            return not found if negated else found
+
+        return _exists
+
+    def _compile_ScalarSelect(self, expr: ast.ScalarSelect) -> CompiledExpr:
+        rows_fn, correlated = self._subquery_rows(expr.select)
+        cache: list = []
+
+        def scalar(env: Env) -> Any:
+            rows = rows_fn(env)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise ProgrammingError("scalar subquery returned more than one row")
+            if len(rows[0]) != 1:
+                raise ProgrammingError("scalar subquery must return one column")
+            return rows[0][0]
+
+        def _scalar_select(env: Env) -> Any:
+            if correlated:
+                return scalar(env)
+            if not cache:
+                cache.append(scalar(env))
+            return cache[0]
+
+        return _scalar_select
+
+    # -- functions & friends ---------------------------------------------------------------
+
+    def _compile_FuncCall(self, expr: ast.FuncCall) -> CompiledExpr:
+        name = expr.name.lower()
+        if name == "rowcount" and not expr.args:
+            # @@ROWCOUNT analog: affected rows of the session's last DML.
+            runner = self.runner
+            return lambda env: getattr(runner, "session").last_rowcount
+        if name in functions.AGGREGATE_NAMES:
+            slot = self.agg_slots.get(id(expr))
+            if slot is None:
+                raise ProgrammingError(
+                    f"aggregate {name}() is not allowed here (no GROUP BY context)"
+                )
+            return lambda env: env.values[slot]
+        fn = functions.SCALAR_FUNCTIONS.get(name)
+        if fn is None:
+            raise ProgrammingError(f"unknown function {expr.name}")
+        args = [self.compile(a) for a in expr.args]
+        return lambda env: fn(*[a(env) for a in args])
+
+    def _compile_CaseExpr(self, expr: ast.CaseExpr) -> CompiledExpr:
+        whens = [(self.compile(c), self.compile(r)) for c, r in expr.whens]
+        else_ = self.compile(expr.else_) if expr.else_ is not None else None
+        if expr.operand is None:
+            def _case(env: Env) -> Any:
+                for cond, result in whens:
+                    if _truthy(cond(env)) is True:
+                        return result(env)
+                return else_(env) if else_ is not None else None
+            return _case
+        operand = self.compile(expr.operand)
+
+        def _case_operand(env: Env) -> Any:
+            value = operand(env)
+            for cond, result in whens:
+                if compare(value, cond(env)) == 0:
+                    return result(env)
+            return else_(env) if else_ is not None else None
+
+        return _case_operand
+
+    def _compile_Cast(self, expr: ast.Cast) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        sql_type = type_spec_to_sql_type(expr.type)
+        length = expr.type.length
+        return lambda env: coerce_value(operand(env), sql_type, length=length)
+
+    def _compile_ExtractExpr(self, expr: ast.ExtractExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        part = expr.part.upper()
+
+        def _extract(env: Env) -> Any:
+            value = operand(env)
+            if value is None:
+                return None
+            if isinstance(value, str):
+                value = parse_date(value)
+            if not isinstance(value, datetime.date):
+                raise DataError(f"EXTRACT requires a date, got {value!r}")
+            return {"YEAR": value.year, "MONTH": value.month, "DAY": value.day}[part]
+
+        return _extract
+
+    def _compile_SubstringExpr(self, expr: ast.SubstringExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        start = self.compile(expr.start)
+        length = self.compile(expr.length) if expr.length is not None else None
+        substr = functions.SCALAR_FUNCTIONS["substring"]
+        if length is None:
+            return lambda env: substr(operand(env), start(env))
+        return lambda env: substr(operand(env), start(env), length(env))
+
+
+def _null_safe_binop(
+    left: CompiledExpr, right: CompiledExpr, fn: Callable[[Any, Any], Any]
+) -> CompiledExpr:
+    def _op(env: Env) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+
+    return _op

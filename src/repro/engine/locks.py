@@ -1,0 +1,67 @@
+"""Table-granularity lock manager.
+
+The engine executes one statement at a time (the server is a deterministic
+single-threaded simulation), so locks never *wait*: a conflicting request
+from another transaction fails fast with :class:`~repro.errors.LockError`.
+That is sufficient to enforce two-phase isolation between the interleaved
+transactions that do occur (e.g. Phoenix's private connection working next
+to the application's connection), and keeps tests deterministic.
+
+Lock modes: shared (reads) and exclusive (writes), with S→X upgrade when no
+other holder exists.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+
+from repro.errors import LockError
+
+__all__ = ["LockMode", "LockManager"]
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    """Tracks table locks per transaction (strict two-phase: released only
+    at commit/abort via :meth:`release_all`)."""
+
+    def __init__(self):
+        # table -> {txn_id -> LockMode}
+        self._locks: dict[str, dict[int, LockMode]] = defaultdict(dict)
+
+    def acquire(self, txn_id: int, table: str, mode: LockMode) -> None:
+        """Grant or upgrade a lock, or raise LockError on conflict."""
+        holders = self._locks[table]
+        current = holders.get(txn_id)
+        if current is LockMode.EXCLUSIVE or current is mode:
+            return
+        others = {t: m for t, m in holders.items() if t != txn_id}
+        if mode is LockMode.SHARED:
+            if any(m is LockMode.EXCLUSIVE for m in others.values()):
+                raise LockError(
+                    f"transaction {txn_id} blocked: {table} is exclusively locked"
+                )
+        else:  # EXCLUSIVE (fresh grant or S->X upgrade)
+            if others:
+                raise LockError(
+                    f"transaction {txn_id} blocked: {table} is locked by another transaction"
+                )
+        holders[txn_id] = mode
+
+    def release_all(self, txn_id: int) -> None:
+        """Drop every lock the transaction holds (commit/abort)."""
+        for table in list(self._locks):
+            self._locks[table].pop(txn_id, None)
+            if not self._locks[table]:
+                del self._locks[table]
+
+    def held(self, txn_id: int, table: str) -> LockMode | None:
+        return self._locks.get(table, {}).get(txn_id)
+
+    def holders(self, table: str) -> dict[int, LockMode]:
+        return dict(self._locks.get(table, {}))

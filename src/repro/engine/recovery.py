@@ -1,0 +1,246 @@
+"""Restart recovery: rebuild a :class:`~repro.engine.database.Database` from
+stable storage after a crash.
+
+Classic three phases, simplified to our logical log (DESIGN.md §5):
+
+1. **Analysis** — read the durable log; find the checkpoint the meta pointer
+   names; determine *loser* transactions (a BEGIN with no COMMIT/ABORT in
+   the durable log).
+2. **Redo** — load table files and the procedure snapshot, then re-apply
+   every record after the checkpoint.  Redo is idempotent because each
+   table snapshot carries ``last_lsn`` and records at or below it are
+   skipped (a crash can land between snapshot writes and the checkpoint
+   pointer update, leaving snapshots "newer" than the checkpoint).
+3. **Undo** — roll back losers in reverse LSN order, appending their CLRs
+   and ABORT records as one atomic batch per transaction (a crash during
+   undo leaves the transaction a loser; the next restart redoes the state
+   and undoes it again from scratch — safe because nothing of the partial
+   undo was logged).
+
+What is deliberately *not* recovered: sessions, temp tables, temp
+procedures, open cursors, and undelivered result sets.  They were never
+logged.  This is the paper's starting point — database recovery alone does
+not bring applications back.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError
+from repro.engine.database import (
+    Database,
+    _META_CHECKPOINT,
+    _META_INDEXES,
+    _META_PROCEDURES,
+    _META_VIEWS,
+)
+from repro.engine.storage import StableStorage, TableData
+from repro.engine.table import Table
+from repro.engine.wal import LogRecord, RecordType, decode_log
+
+__all__ = ["recover", "RecoveryReport"]
+
+
+class RecoveryReport:
+    """What a restart did — surfaced for tests, logging, and benchmarks."""
+
+    def __init__(self):
+        self.checkpoint_lsn: int = 0
+        self.records_scanned: int = 0
+        self.records_redone: int = 0
+        self.loser_txns: list[int] = []
+        self.committed_txns: list[int] = []
+        self.tables_loaded: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryReport(checkpoint={self.checkpoint_lsn}, "
+            f"scanned={self.records_scanned}, redone={self.records_redone}, "
+            f"losers={self.loser_txns}, tables={self.tables_loaded})"
+        )
+
+
+def recover(storage: StableStorage) -> tuple[Database, RecoveryReport]:
+    """Build a consistent Database from ``storage``; returns it plus a report."""
+    report = RecoveryReport()
+    base = getattr(storage, "log_base", 0)
+    records = decode_log(storage.read_log(), base_offset=base)
+    report.records_scanned = len(records)
+
+    checkpoint_lsn = int(storage.read_meta(_META_CHECKPOINT, 0) or 0)
+    report.checkpoint_lsn = checkpoint_lsn
+
+    # ---- analysis ----------------------------------------------------------
+    ended: set[int] = set()
+    seen: set[int] = set()
+    max_txn_id = 0
+    for record in records:
+        if record.txn_id:
+            seen.add(record.txn_id)
+            max_txn_id = max(max_txn_id, record.txn_id)
+        if record.type in (RecordType.COMMIT, RecordType.ABORT):
+            ended.add(record.txn_id)
+    losers = sorted(seen - ended)
+    report.loser_txns = losers
+    report.committed_txns = sorted(
+        r.txn_id for r in records if r.type is RecordType.COMMIT
+    )
+
+    # ---- load snapshots -----------------------------------------------------
+    tables: dict[str, Table] = {}
+    for name in storage.list_table_files():
+        data: TableData = storage.read_table_file(name)
+        tables[name] = Table(data)
+    report.tables_loaded = len(tables)
+
+    proc_snapshot = storage.read_meta(_META_PROCEDURES, ({}, 0)) or ({}, 0)
+    procedures: dict[str, str] = dict(proc_snapshot[0])
+    proc_lsn = int(proc_snapshot[1])
+    view_snapshot = storage.read_meta(_META_VIEWS, ({}, 0)) or ({}, 0)
+    views: dict[str, str] = dict(view_snapshot[0])
+    index_snapshot = storage.read_meta(_META_INDEXES, ({}, 0)) or ({}, 0)
+
+    database = Database(
+        storage, tables=tables, procedures=procedures, views=views, txn_seed=max_txn_id
+    )
+    database.indexes = dict(index_snapshot[0])
+    # recovery replays through a fresh WAL object; keep the one Database made
+    wal = database.wal
+
+    # ---- redo ---------------------------------------------------------------
+    # Every record is offered for redo; idempotence guards inside _redo
+    # (per-table last_lsn, proc snapshot lsn, existence checks) skip effects
+    # already present in the snapshots.
+    loser_records: dict[int, list[LogRecord]] = {txn: [] for txn in losers}
+    compensated: dict[int, set[int]] = {txn: set() for txn in losers}
+    for record in records:
+        if record.txn_id in loser_records:
+            if record.is_clr and record.compensates:
+                compensated[record.txn_id].add(record.compensates)
+            elif not record.is_clr and _is_undoable(record):
+                loser_records[record.txn_id].append(record)
+        _redo(record, database, proc_lsn, report)
+
+    # ---- undo losers ----------------------------------------------------------
+    # Records a statement-level rollback already compensated (their CLRs are
+    # in the redo stream) must not be undone a second time.
+    for txn_id in losers:
+        batch: list[LogRecord] = []
+        remaining = [
+            r for r in loser_records[txn_id]
+            if r.rec_id not in compensated[txn_id]
+        ]
+        for record in reversed(remaining):
+            try:
+                batch.append(database._undo_record(record))
+            except Exception as exc:  # inconsistent log — stop loudly
+                raise RecoveryError(
+                    f"undo failed for txn {txn_id} record {record.type}: {exc}"
+                ) from exc
+        batch.append(LogRecord(RecordType.ABORT, txn_id=txn_id))
+        wal.append_forced(batch)
+
+    # ---- rebuild volatile index structures -------------------------------------
+    for name, (table_name, column) in list(database.indexes.items()):
+        table = database.tables.get(table_name)
+        if table is None:
+            # table dropped without its index record surviving — reconcile
+            del database.indexes[name]
+            continue
+        table.add_secondary_index(column)
+
+    return database, report
+
+
+def _is_undoable(record: LogRecord) -> bool:
+    return record.type in (
+        RecordType.INSERT,
+        RecordType.DELETE,
+        RecordType.UPDATE,
+        RecordType.CREATE_TABLE,
+        RecordType.DROP_TABLE,
+        RecordType.CREATE_PROC,
+        RecordType.DROP_PROC,
+        RecordType.CREATE_VIEW,
+        RecordType.DROP_VIEW,
+        RecordType.CREATE_INDEX,
+        RecordType.DROP_INDEX,
+    )
+
+
+def _redo(record: LogRecord, database: Database, proc_lsn: int, report: RecoveryReport) -> None:
+    """Re-apply one record if its effect is missing from current state."""
+    kind = record.type
+    if kind in (RecordType.BEGIN, RecordType.COMMIT, RecordType.ABORT, RecordType.CHECKPOINT):
+        return
+    if kind is RecordType.CREATE_TABLE:
+        if record.schema.name not in database.tables:
+            table = Table(
+                TableData(
+                    schema=record.schema,
+                    rows=dict(record.dropped_rows or {}),
+                    next_rowid=record.next_rowid or 1,
+                    last_lsn=record.lsn,
+                )
+            )
+            database.tables[record.schema.name] = table
+            report.records_redone += 1
+        return
+    if kind is RecordType.DROP_TABLE:
+        existing = database.tables.get(record.schema.name)
+        if existing is not None and existing.data.last_lsn < record.lsn:
+            del database.tables[record.schema.name]
+            database.storage.delete_table_file(record.schema.name)
+            report.records_redone += 1
+        return
+    if kind is RecordType.CREATE_PROC:
+        if record.lsn > proc_lsn:
+            database.procedures[record.proc_name] = record.proc_sql
+            report.records_redone += 1
+        return
+    if kind is RecordType.DROP_PROC:
+        if record.lsn > proc_lsn:
+            database.procedures.pop(record.proc_name, None)
+            report.records_redone += 1
+        return
+    if kind is RecordType.CREATE_VIEW:
+        if record.lsn > proc_lsn:
+            database.views[record.proc_name] = record.proc_sql
+            report.records_redone += 1
+        return
+    if kind is RecordType.DROP_VIEW:
+        if record.lsn > proc_lsn:
+            database.views.pop(record.proc_name, None)
+            report.records_redone += 1
+        return
+    if kind is RecordType.CREATE_INDEX:
+        if record.lsn > proc_lsn and record.proc_name not in database.indexes:
+            from repro.engine.database import _parse_index_sql
+
+            table, column = _parse_index_sql(record.proc_sql)
+            database.indexes[record.proc_name] = (table, column)
+            report.records_redone += 1
+        return
+    if kind is RecordType.DROP_INDEX:
+        if record.lsn > proc_lsn:
+            database.indexes.pop(record.proc_name, None)
+            report.records_redone += 1
+        return
+
+    table = database.tables.get(record.table)
+    if table is None:
+        # The table was dropped later in the log (its row history is moot) —
+        # a missing CREATE would mean a truncated-too-far log, which the
+        # quiescent-only truncation rule prevents.
+        return
+    if record.lsn <= table.data.last_lsn:
+        return  # already reflected in the snapshot
+    if kind is RecordType.INSERT:
+        table.insert(record.after, rowid=record.rowid)
+    elif kind is RecordType.DELETE:
+        table.delete(record.rowid)
+    elif kind is RecordType.UPDATE:
+        table.update(record.rowid, record.after)
+    else:
+        raise RecoveryError(f"unexpected record type {kind}")
+    table.data.last_lsn = record.lsn
+    report.records_redone += 1

@@ -1,0 +1,72 @@
+"""Result containers shared by the executor, server, and wire protocol.
+
+A :class:`ResultSet` is column metadata plus materialized rows.  The
+metadata is a list of :class:`~repro.engine.schema.Column` — the same shape
+as table schemas — because Phoenix's whole materialization trick relies on
+turning result metadata directly into a CREATE TABLE statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.schema import Column, TableSchema
+
+__all__ = ["ResultSet", "StatementResult"]
+
+
+@dataclass
+class ResultSet:
+    """Column descriptions + rows (fully materialized)."""
+
+    columns: list[Column]
+    rows: list[tuple]
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def to_schema(self, table_name: str, *, primary_key: tuple[str, ...] = ()) -> TableSchema:
+        """Build a table schema that can hold this result (Phoenix Step 2)."""
+        return TableSchema(
+            name=table_name,
+            columns=tuple(self.columns),
+            primary_key=primary_key,
+            temporary=table_name.startswith("#"),
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class StatementResult:
+    """Outcome of one statement.
+
+    ``kind``:
+
+    * ``"rows"`` — a query; ``result_set`` is populated (or a cursor was
+      opened — then ``cursor_id`` is set and rows stream via FETCH);
+    * ``"rowcount"`` — DML; ``rowcount`` is the affected-tuple count (the
+      state the paper's status table makes testable);
+    * ``"ok"`` — DDL / transaction control / SET.
+    """
+
+    kind: str
+    result_set: ResultSet | None = None
+    rowcount: int = 0
+    message: str = ""
+    cursor_id: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def ok(cls, message: str = "") -> "StatementResult":
+        return cls(kind="ok", message=message)
+
+    @classmethod
+    def count(cls, rowcount: int, message: str = "") -> "StatementResult":
+        return cls(kind="rowcount", rowcount=rowcount, message=message)
+
+    @classmethod
+    def rows(cls, result_set: ResultSet) -> "StatementResult":
+        return cls(kind="rows", result_set=result_set)

@@ -1,0 +1,150 @@
+"""Table schemas and row validation.
+
+A :class:`TableSchema` is the engine's unit of metadata: column names, types,
+nullability, and the primary key.  Schemas are also the *metadata* payload
+the wire protocol ships to clients ahead of result rows — which is exactly
+what Phoenix's ``WHERE 0=1`` trick fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import CatalogError, IntegrityError
+from repro.engine.values import SqlType, coerce_value
+from repro.sql import ast
+
+__all__ = ["Column", "TableSchema", "schema_from_ast", "type_spec_to_sql_type"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, engine type, and constraints."""
+
+    name: str
+    type: SqlType
+    length: int | None = None
+    precision: int | None = None
+    scale: int | None = None
+    not_null: bool = False
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` to this column's type, enforcing NOT NULL."""
+        if value is None:
+            if self.not_null:
+                raise IntegrityError(f"column {self.name} is NOT NULL")
+            return None
+        return coerce_value(value, self.type, length=self.length)
+
+    def type_spec(self) -> ast.TypeSpec:
+        """Render back to an AST type for DDL generation."""
+        return ast.TypeSpec(
+            self.type.value,
+            length=self.length,
+            precision=self.precision,
+            scale=self.scale,
+        )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a table (or of a result set — same shape on the wire)."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    temporary: bool = False
+
+    _index: dict = field(default=None, repr=False, compare=False)  # lazy name→pos
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in {self.name}: {names}")
+        for key in self.primary_key:
+            if key not in names:
+                raise CatalogError(f"primary key column {key} not in table {self.name}")
+        object.__setattr__(self, "_index", {c.name: i for i, c in enumerate(self.columns)})
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(f"no column {name} in table {self.name}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def coerce_row(self, values: list[object]) -> tuple:
+        """Validate and coerce a full row (positional)."""
+        if len(values) != len(self.columns):
+            raise IntegrityError(
+                f"table {self.name} expects {len(self.columns)} values, got {len(values)}"
+            )
+        return tuple(col.coerce(v) for col, v in zip(self.columns, values))
+
+    def key_of(self, row: tuple) -> tuple:
+        """Extract the primary-key tuple from a row."""
+        return tuple(row[self._index[k]] for k in self.primary_key)
+
+    def renamed(self, new_name: str, *, temporary: bool | None = None) -> "TableSchema":
+        """A copy of this schema under a different table name.
+
+        Used by Phoenix when it turns a temp table into a persistent one and
+        when it creates result-set tables from result metadata.
+        """
+        return replace(
+            self,
+            name=new_name,
+            temporary=self.temporary if temporary is None else temporary,
+            _index=None,
+        )
+
+    def create_table_sql(self) -> str:
+        """Render a CREATE TABLE statement recreating this schema."""
+        columns = [
+            ast.ColumnDef(c.name, c.type_spec(), not_null=c.not_null) for c in self.columns
+        ]
+        stmt = ast.CreateTable(
+            name=self.name,
+            columns=columns,
+            primary_key=list(self.primary_key),
+            temporary=self.temporary,
+        )
+        return stmt.sql()
+
+
+def type_spec_to_sql_type(spec: ast.TypeSpec) -> SqlType:
+    """Map a parsed type spec to the engine type enum."""
+    try:
+        return SqlType(spec.name)
+    except ValueError:
+        raise CatalogError(f"unsupported type {spec.name}") from None
+
+
+def schema_from_ast(stmt: ast.CreateTable) -> TableSchema:
+    """Build a :class:`TableSchema` from a parsed CREATE TABLE."""
+    columns = tuple(
+        Column(
+            name=c.name.lower(),
+            type=type_spec_to_sql_type(c.type),
+            length=c.type.length,
+            precision=c.type.precision,
+            scale=c.type.scale,
+            not_null=c.not_null or c.name.lower() in [k.lower() for k in stmt.primary_key],
+        )
+        for c in stmt.columns
+    )
+    return TableSchema(
+        name=stmt.name.lower(),
+        columns=columns,
+        primary_key=tuple(k.lower() for k in stmt.primary_key),
+        temporary=stmt.temporary or stmt.name.startswith("#"),
+    )

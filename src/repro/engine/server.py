@@ -1,0 +1,240 @@
+"""The database server: sessions, SQL execution, crash and restart.
+
+:class:`DatabaseServer` is what sits on the far side of the wire.  It owns
+
+* a :class:`~repro.engine.database.Database` (volatile object over stable
+  storage),
+* the live :class:`~repro.engine.session.Session` objects,
+
+and exposes the operations the wire protocol maps onto: ``connect``,
+``execute``, ``fetch``, ``advance``, ``close_cursor``, ``disconnect``.
+
+Fault injection drives :meth:`crash` — which throws away every volatile
+object exactly as a process kill would — and :meth:`restart`, which runs
+restart recovery from stable storage.  Committed tables come back; sessions,
+temp tables, and open cursors do not.  That asymmetry is the entire reason
+Phoenix/ODBC exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import (
+    OperationalError,
+    ProgrammingError,
+    ServerCrashedError,
+    SessionLostError,
+)
+from repro.engine.cursors import CursorType, open_cursor
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.recovery import RecoveryReport, recover
+from repro.engine.results import StatementResult
+from repro.engine.session import Session
+from repro.engine.storage import InMemoryStableStorage, StableStorage
+from repro.sql import ast, parse_script
+
+__all__ = ["DatabaseServer", "ServerStats"]
+
+
+class ServerStats:
+    """Observability counters for the server object.  Cumulative across
+    crashes/restarts — they describe the simulation, not server state."""
+
+    def __init__(self):
+        self.statements = 0
+        self.rows_returned = 0
+        self.connects = 0
+        self.crashes = 0
+        self.restarts = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class DatabaseServer:
+    """A single-node SQL server over a stable-storage device."""
+
+    def __init__(self, storage: StableStorage | None = None, *, name: str = "server"):
+        self.name = name
+        self.storage = storage if storage is not None else InMemoryStableStorage()
+        self.database: Database | None = None
+        self.sessions: dict[int, Session] = {}
+        self._executors: dict[int, Executor] = {}
+        self.stats = ServerStats()
+        self.last_recovery: RecoveryReport | None = None
+        self.up = False
+        self._boot()
+
+    def _boot(self) -> None:
+        self.database, self.last_recovery = recover(self.storage)
+        self.up = True
+
+    # ----------------------------------------------------------- lifecycle
+
+    def crash(self) -> None:
+        """Kill the server: all volatile state is gone, stable storage stays."""
+        self.up = False
+        self.database = None
+        self.sessions.clear()
+        self._executors.clear()
+        self.stats.crashes += 1
+
+    def restart(self) -> RecoveryReport:
+        """Run restart recovery and come back up (with zero sessions)."""
+        if self.up:
+            raise OperationalError("server is already up")
+        self._boot()
+        self.stats.restarts += 1
+        return self.last_recovery
+
+    def shutdown(self) -> None:
+        """Clean shutdown: checkpoint, then stop."""
+        self._require_up()
+        for session_id in list(self.sessions):
+            self.disconnect(session_id)
+        self.database.checkpoint()
+        self.up = False
+        self.database = None
+
+    def _require_up(self) -> None:
+        if not self.up:
+            raise ServerCrashedError(f"server {self.name} is down")
+
+    # ----------------------------------------------------------- sessions
+
+    def connect(self, user: str = "app", options: dict[str, Any] | None = None) -> int:
+        """Open a session; returns the session id."""
+        self._require_up()
+        session = Session(user)
+        if options:
+            session.options.update(options)
+        self.sessions[session.session_id] = session
+        self._executors[session.session_id] = Executor(self.database, session)
+        self.stats.connects += 1
+        return session.session_id
+
+    def disconnect(self, session_id: int) -> None:
+        self._require_up()
+        session = self._session(session_id)
+        if session.current_txn is not None:
+            self.database.abort(session.current_txn)
+            session.current_txn = None
+        session.close()
+        del self.sessions[session_id]
+        del self._executors[session_id]
+
+    def _session(self, session_id: int) -> Session:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            # The server is up but this session is gone — it died in a crash
+            # + fast restart, or was disconnected.  A distinct error type so
+            # Phoenix can route straight to session recovery.
+            raise SessionLostError(
+                f"no session {session_id} (lost in a crash or closed)"
+            ) from None
+
+    def executor_for(self, session_id: int) -> Executor:
+        self._require_up()
+        self._session(session_id)
+        return self._executors[session_id]
+
+    def session_exists(self, session_id: int) -> bool:
+        return session_id in self.sessions
+
+    # ----------------------------------------------------------- execution
+
+    def execute(
+        self,
+        session_id: int,
+        sql: str,
+        *,
+        placeholders: list | None = None,
+        cursor_type: str = CursorType.DEFAULT,
+    ) -> StatementResult:
+        """Parse and execute a SQL batch for a session.
+
+        SELECT statements honour ``cursor_type``: the default materializes
+        the whole result in the reply (a *default result set*); keyset and
+        dynamic open a server cursor and return only metadata +
+        ``cursor_id`` — the client then block-fetches.
+        """
+        self._require_up()
+        session = self._session(session_id)
+        executor = self._executors[session_id]
+        self.stats.statements += 1
+        result = StatementResult.ok()
+        last_rows: StatementResult | None = None
+        batch_rowcounts: list[int] = []
+        for stmt in parse_script(sql):
+            if (
+                isinstance(stmt, ast.Select)
+                and stmt.into is None
+                and cursor_type != CursorType.DEFAULT
+            ):
+                cursor = open_cursor(executor, stmt, cursor_type)
+                session.register_cursor(cursor)
+                result = StatementResult(
+                    kind="rows",
+                    result_set=None,
+                    cursor_id=cursor.cursor_id,
+                    extra={
+                        "columns": cursor.columns,
+                        "effective_cursor_type": cursor.effective_type,
+                    },
+                )
+            else:
+                result = executor.execute(stmt, placeholders=placeholders)
+                if result.kind == "rows" and result.result_set is not None:
+                    self.stats.rows_returned += len(result.result_set.rows)
+                    last_rows = result
+                elif result.kind == "rowcount":
+                    batch_rowcounts.append(result.rowcount)
+        # Like typical clients consuming a batch: the result set survives
+        # trailing non-query statements (e.g. "CREATE VIEW; SELECT; DROP
+        # VIEW" — TPC-H Q15's shape); their rowcounts ride alongside.
+        if result.kind != "rows" and last_rows is not None:
+            result = last_rows
+        result.extra["batch_rowcounts"] = batch_rowcounts
+        return result
+
+    def fetch(self, session_id: int, cursor_id: int, n: int) -> tuple[list[tuple], bool]:
+        """Fetch the next block from an open cursor."""
+        self._require_up()
+        if n <= 0:
+            raise ProgrammingError("fetch count must be positive")
+        session = self._session(session_id)
+        cursor = session.get_cursor(cursor_id)
+        rows, done = cursor.fetch(n)
+        self.stats.rows_returned += len(rows)
+        return rows, done
+
+    def advance(self, session_id: int, cursor_id: int, position: int) -> None:
+        """Server-side reposition (no rows cross the wire)."""
+        self._require_up()
+        session = self._session(session_id)
+        session.get_cursor(cursor_id).advance_to(position)
+
+    def close_cursor(self, session_id: int, cursor_id: int) -> None:
+        self._require_up()
+        self._session(session_id).close_cursor(cursor_id)
+
+    # ----------------------------------------------------------- admin helpers
+
+    def checkpoint(self) -> int:
+        self._require_up()
+        return self.database.checkpoint()
+
+    def table_names(self) -> list[str]:
+        self._require_up()
+        return sorted(self.database.tables)
+
+    def table_schema(self, session_id: int, name: str):
+        """Catalog lookup for a table visible to the session (temp tables
+        shadow persistent ones, as in name resolution)."""
+        self._require_up()
+        executor = self.executor_for(session_id)
+        table, _ = executor.resolve_table(name)
+        return table.schema

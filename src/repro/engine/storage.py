@@ -1,0 +1,281 @@
+"""Stable storage — the durability boundary of the engine.
+
+Everything the engine keeps in ordinary Python objects is *volatile*: a
+:meth:`~repro.engine.server.DatabaseServer.crash` throws it away.  The only
+state that survives is what was explicitly written through a
+:class:`StableStorage` implementation:
+
+* **table files** — snapshots of table contents, written at checkpoints;
+* **the log** — append-only WAL bytes, forced at commit;
+* **meta entries** — small key/value items (last checkpoint LSN).
+
+Two implementations are provided.  :class:`InMemoryStableStorage` keeps
+"disk" contents in dictionaries but deep-copies every payload on the way in
+and out, so no volatile structure can alias it — this is what tests and
+benchmarks use, because crashes are then instantaneous.
+:class:`FileStableStorage` puts the same contents in real files for
+end-to-end durability demonstrations.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.engine.schema import TableSchema
+
+__all__ = ["TableData", "StableStorage", "InMemoryStableStorage", "FileStableStorage"]
+
+
+@dataclass
+class TableData:
+    """The picklable on-disk image of one table.
+
+    ``rows`` maps an engine-assigned row id to the row tuple.  Row ids are
+    stable for the life of a row and never reused (``next_rowid`` only
+    grows), which is what makes logical WAL records unambiguous.
+    """
+
+    schema: TableSchema
+    rows: dict[int, tuple] = field(default_factory=dict)
+    next_rowid: int = 1
+    #: LSN of the last log record whose effect is reflected here; restart
+    #: redo skips records at or below it, making redo idempotent even when a
+    #: crash interleaves snapshot writes with the checkpoint-pointer update.
+    last_lsn: int = 0
+
+
+class StableStorage:
+    """Interface every stable-storage backend implements."""
+
+    # -- table files --------------------------------------------------------
+
+    def write_table_file(self, name: str, data: TableData) -> None:
+        raise NotImplementedError
+
+    def read_table_file(self, name: str) -> TableData:
+        raise NotImplementedError
+
+    def delete_table_file(self, name: str) -> None:
+        raise NotImplementedError
+
+    def list_table_files(self) -> list[str]:
+        raise NotImplementedError
+
+    # -- the log ------------------------------------------------------------
+
+    def append_log(self, payload: bytes) -> int:
+        """Durably append ``payload`` and return its start offset (LSN).
+
+        The append is atomic: a crash either leaves the log without the
+        payload or with all of it (see wal.py for why recovery leans on
+        this).
+        """
+        raise NotImplementedError
+
+    def read_log(self) -> bytes:
+        raise NotImplementedError
+
+    def log_size(self) -> int:
+        raise NotImplementedError
+
+    def truncate_log_prefix(self, offset: int) -> None:
+        """Discard log bytes before ``offset`` (log head after a quiescent
+        checkpoint).  Offsets/LSNs remain absolute."""
+        raise NotImplementedError
+
+    # -- meta ----------------------------------------------------------------
+
+    def write_meta(self, key: str, value: object) -> None:
+        raise NotImplementedError
+
+    def read_meta(self, key: str, default: object = None) -> object:
+        raise NotImplementedError
+
+
+class InMemoryStableStorage(StableStorage):
+    """Stable storage held in process memory.
+
+    Deep-copies enforce the durability boundary: the engine can never keep a
+    live reference into "disk" state, so ``crash()`` genuinely loses every
+    unflushed change.
+    """
+
+    def __init__(self):
+        self._tables: dict[str, TableData] = {}
+        self._log = bytearray()
+        self._log_base = 0  # absolute offset of _log[0] after truncation
+        self._meta: dict[str, object] = {}
+        #: counters exposed to benchmarks (forced writes etc.)
+        self.log_appends = 0
+        self.table_writes = 0
+
+    def write_table_file(self, name: str, data: TableData) -> None:
+        self._tables[name] = copy.deepcopy(data)
+        self.table_writes += 1
+
+    def read_table_file(self, name: str) -> TableData:
+        return copy.deepcopy(self._tables[name])
+
+    def delete_table_file(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def list_table_files(self) -> list[str]:
+        return sorted(self._tables)
+
+    def append_log(self, payload: bytes) -> int:
+        offset = self._log_base + len(self._log)
+        self._log.extend(payload)
+        self.log_appends += 1
+        return offset
+
+    def read_log(self) -> bytes:
+        return bytes(self._log)
+
+    @property
+    def log_base(self) -> int:
+        """Absolute LSN of the first retained log byte."""
+        return self._log_base
+
+    def log_size(self) -> int:
+        return self._log_base + len(self._log)
+
+    def truncate_log_prefix(self, offset: int) -> None:
+        keep_from = offset - self._log_base
+        if keep_from <= 0:
+            return
+        del self._log[:keep_from]
+        self._log_base = offset
+
+    def write_meta(self, key: str, value: object) -> None:
+        self._meta[key] = copy.deepcopy(value)
+
+    def read_meta(self, key: str, default: object = None) -> object:
+        return copy.deepcopy(self._meta.get(key, default))
+
+
+class FileStableStorage(StableStorage):
+    """Stable storage backed by a directory of real files.
+
+    Layout::
+
+        <root>/tables/<name>.tbl   pickled TableData
+        <root>/wal.log             raw log bytes
+        <root>/meta.pickle         pickled meta dict
+
+    Table and meta writes go through a temp-file + ``os.replace`` so a crash
+    mid-write never leaves a torn file.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self._tables_dir = os.path.join(root, "tables")
+        self._log_path = os.path.join(root, "wal.log")
+        self._meta_path = os.path.join(root, "meta.pickle")
+        self._base_path = os.path.join(root, "wal.base")
+        os.makedirs(self._tables_dir, exist_ok=True)
+        if not os.path.exists(self._log_path):
+            with open(self._log_path, "wb"):
+                pass
+
+    # -- helpers --------------------------------------------------------------
+
+    def _table_path(self, name: str) -> str:
+        # Escape path-hostile characters conservatively ('#' from temp names).
+        safe = name.replace(os.sep, "_").replace("#", "_tmp_")
+        return os.path.join(self._tables_dir, safe + ".tbl")
+
+    @staticmethod
+    def _atomic_write(path: str, payload: bytes) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp_path = tempfile.mkstemp(dir=directory)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    # -- table files ------------------------------------------------------------
+
+    def write_table_file(self, name: str, data: TableData) -> None:
+        payload = pickle.dumps((name, data), protocol=pickle.HIGHEST_PROTOCOL)
+        self._atomic_write(self._table_path(name), payload)
+
+    def read_table_file(self, name: str) -> TableData:
+        with open(self._table_path(name), "rb") as handle:
+            stored_name, data = pickle.load(handle)
+        return data
+
+    def delete_table_file(self, name: str) -> None:
+        path = self._table_path(name)
+        if os.path.exists(path):
+            os.unlink(path)
+
+    def list_table_files(self) -> list[str]:
+        names = []
+        for entry in sorted(os.listdir(self._tables_dir)):
+            if not entry.endswith(".tbl"):
+                continue
+            with open(os.path.join(self._tables_dir, entry), "rb") as handle:
+                stored_name, _ = pickle.load(handle)
+            names.append(stored_name)
+        return sorted(names)
+
+    # -- log -----------------------------------------------------------------------
+
+    @property
+    def log_base(self) -> int:
+        if os.path.exists(self._base_path):
+            with open(self._base_path, "rb") as handle:
+                return pickle.load(handle)
+        return 0
+
+    def append_log(self, payload: bytes) -> int:
+        offset = self.log_base + os.path.getsize(self._log_path)
+        with open(self._log_path, "ab") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return offset
+
+    def read_log(self) -> bytes:
+        with open(self._log_path, "rb") as handle:
+            return handle.read()
+
+    def log_size(self) -> int:
+        return self.log_base + os.path.getsize(self._log_path)
+
+    def truncate_log_prefix(self, offset: int) -> None:
+        base = self.log_base
+        keep_from = offset - base
+        if keep_from <= 0:
+            return
+        with open(self._log_path, "rb") as handle:
+            handle.seek(keep_from)
+            remainder = handle.read()
+        self._atomic_write(self._log_path, remainder)
+        self._atomic_write(self._base_path, pickle.dumps(offset))
+
+    # -- meta --------------------------------------------------------------------------
+
+    def _load_meta(self) -> dict:
+        if not os.path.exists(self._meta_path):
+            return {}
+        with open(self._meta_path, "rb") as handle:
+            return pickle.load(handle)
+
+    def write_meta(self, key: str, value: object) -> None:
+        meta = self._load_meta()
+        meta[key] = value
+        self._atomic_write(self._meta_path, pickle.dumps(meta))
+
+    def read_meta(self, key: str, default: object = None) -> object:
+        return self._load_meta().get(key, default)

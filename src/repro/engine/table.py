@@ -1,0 +1,196 @@
+"""Volatile table representation: rows in memory plus a primary-key index.
+
+A :class:`Table` wraps a :class:`~repro.engine.storage.TableData` image and
+adds the structures that are *not* persisted (the PK hash index).  All
+methods here are unlogged primitives — the logged mutation API lives on
+:class:`~repro.engine.database.Database`, which writes WAL records before
+calling these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import IntegrityError, InternalError
+from repro.engine.schema import TableSchema
+from repro.engine.storage import TableData
+
+__all__ = ["Table"]
+
+
+class Table:
+    """In-memory table: row store + PK index."""
+
+    def __init__(self, data: TableData):
+        self.data = data
+        self._pk_index: dict[tuple, int] = {}
+        #: secondary hash indexes: column name -> value -> set of rowids.
+        #: Volatile (never snapshotted); rebuilt from index DDL at recovery.
+        self._secondary: dict[str, dict] = {}
+        self._rebuild_index()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, schema: TableSchema) -> "Table":
+        return cls(TableData(schema=schema))
+
+    def _rebuild_index(self) -> None:
+        self._pk_index.clear()
+        schema = self.schema
+        if not schema.primary_key:
+            return
+        for rowid, row in self.data.rows.items():
+            key = schema.key_of(row)
+            if key in self._pk_index:
+                raise InternalError(
+                    f"duplicate primary key {key!r} while loading table {schema.name}"
+                )
+            self._pk_index[key] = rowid
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def schema(self) -> TableSchema:
+        return self.data.schema
+
+    @property
+    def name(self) -> str:
+        return self.data.schema.name
+
+    def row_count(self) -> int:
+        return len(self.data.rows)
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Iterate (rowid, row) in insertion (rowid) order."""
+        for rowid in sorted(self.data.rows):
+            yield rowid, self.data.rows[rowid]
+
+    def get(self, rowid: int) -> tuple | None:
+        return self.data.rows.get(rowid)
+
+    def lookup_key(self, key: tuple) -> int | None:
+        """Row id for a primary-key value, or None."""
+        return self._pk_index.get(key)
+
+    # -- secondary indexes -------------------------------------------------------
+
+    def add_secondary_index(self, column: str) -> None:
+        """Build a hash index over ``column`` (idempotent)."""
+        column = column.lower()
+        if column in self._secondary:
+            return
+        position = self.schema.column_index(column)
+        index: dict = {}
+        for rowid, row in self.data.rows.items():
+            index.setdefault(row[position], set()).add(rowid)
+        self._secondary[column] = index
+
+    def drop_secondary_index(self, column: str) -> None:
+        self._secondary.pop(column.lower(), None)
+
+    def has_secondary_index(self, column: str) -> bool:
+        return column.lower() in self._secondary
+
+    def index_lookup(self, column: str, value) -> list[int]:
+        """Rowids whose ``column`` equals ``value`` (via the hash index)."""
+        return sorted(self._secondary[column.lower()].get(value, ()))
+
+    def _secondary_add(self, rowid: int, row: tuple) -> None:
+        for column, index in self._secondary.items():
+            value = row[self.schema.column_index(column)]
+            index.setdefault(value, set()).add(rowid)
+
+    def _secondary_remove(self, rowid: int, row: tuple) -> None:
+        for column, index in self._secondary.items():
+            value = row[self.schema.column_index(column)]
+            bucket = index.get(value)
+            if bucket is not None:
+                bucket.discard(rowid)
+                if not bucket:
+                    del index[value]
+
+    # -- unlogged mutation primitives ------------------------------------------------
+
+    def check_insert(self, row: tuple) -> None:
+        """Raise IntegrityError if inserting ``row`` would violate the PK.
+
+        Called by the logged API *before* it writes the WAL record.
+        """
+        schema = self.schema
+        if schema.primary_key and schema.key_of(row) in self._pk_index:
+            raise IntegrityError(
+                f"duplicate primary key {schema.key_of(row)!r} in table {schema.name}"
+            )
+
+    def check_update(self, rowid: int, new_row: tuple) -> None:
+        """Raise IntegrityError if updating ``rowid`` to ``new_row`` would
+        collide with another row's primary key."""
+        schema = self.schema
+        if not schema.primary_key:
+            return
+        new_key = schema.key_of(new_row)
+        existing = self._pk_index.get(new_key)
+        if existing is not None and existing != rowid:
+            raise IntegrityError(
+                f"duplicate primary key {new_key!r} in table {schema.name}"
+            )
+
+    def insert(self, row: tuple, rowid: int | None = None) -> int:
+        """Insert a coerced row; returns its rowid.
+
+        ``rowid`` is supplied during redo to reproduce the original id.
+        """
+        schema = self.schema
+        if schema.primary_key:
+            key = schema.key_of(row)
+            if key in self._pk_index:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {schema.name}"
+                )
+        if rowid is None:
+            rowid = self.data.next_rowid
+            self.data.next_rowid += 1
+        else:
+            self.data.next_rowid = max(self.data.next_rowid, rowid + 1)
+        if rowid in self.data.rows:
+            raise InternalError(f"rowid {rowid} already present in {schema.name}")
+        self.data.rows[rowid] = row
+        if schema.primary_key:
+            self._pk_index[schema.key_of(row)] = rowid
+        self._secondary_add(rowid, row)
+        return rowid
+
+    def delete(self, rowid: int) -> tuple:
+        """Remove a row; returns the deleted row (the undo image)."""
+        try:
+            row = self.data.rows.pop(rowid)
+        except KeyError:
+            raise InternalError(f"rowid {rowid} not in table {self.name}") from None
+        if self.schema.primary_key:
+            self._pk_index.pop(self.schema.key_of(row), None)
+        self._secondary_remove(rowid, row)
+        return row
+
+    def update(self, rowid: int, new_row: tuple) -> tuple:
+        """Replace a row in place; returns the before image."""
+        schema = self.schema
+        try:
+            old_row = self.data.rows[rowid]
+        except KeyError:
+            raise InternalError(f"rowid {rowid} not in table {self.name}") from None
+        if schema.primary_key:
+            old_key = schema.key_of(old_row)
+            new_key = schema.key_of(new_row)
+            if new_key != old_key:
+                existing = self._pk_index.get(new_key)
+                if existing is not None and existing != rowid:
+                    raise IntegrityError(
+                        f"duplicate primary key {new_key!r} in table {schema.name}"
+                    )
+                self._pk_index.pop(old_key, None)
+                self._pk_index[new_key] = rowid
+        self._secondary_remove(rowid, old_row)
+        self.data.rows[rowid] = new_row
+        self._secondary_add(rowid, new_row)
+        return old_row

@@ -1,0 +1,71 @@
+"""Transaction objects and state tracking.
+
+A :class:`Transaction` remembers the WAL records it produced so abort can
+undo them in reverse.  Lifecycle: ACTIVE → COMMITTED | ABORTED.  The logged
+mutation API lives on :class:`~repro.engine.database.Database`; this module
+only carries state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionError
+from repro.engine.wal import LogRecord
+
+__all__ = ["TxnState", "Transaction", "TransactionManager"]
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One transaction: id, state, and its undo trail."""
+
+    txn_id: int
+    state: TxnState = TxnState.ACTIVE
+    records: list[LogRecord] = field(default_factory=list)
+    #: monotone per-transaction record counter (rec_id source); never
+    #: decreases even when statement rollback trims ``records``
+    next_rec_id: int = 0
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(f"transaction {self.txn_id} is {self.state.value}")
+
+
+class TransactionManager:
+    """Hands out transaction ids and tracks active transactions.
+
+    Ids restart from max(logged ids)+1 after recovery so ids never collide
+    across a crash (``seed`` is supplied by restart recovery).
+    """
+
+    def __init__(self, seed: int = 0):
+        self._next_id = seed + 1
+        self._active: dict[int, Transaction] = {}
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self._next_id)
+        self._next_id += 1
+        self._active[txn.txn_id] = txn
+        return txn
+
+    def finish(self, txn: Transaction, state: TxnState) -> None:
+        txn.state = state
+        self._active.pop(txn.txn_id, None)
+
+    def active_ids(self) -> list[int]:
+        return sorted(self._active)
+
+    def get(self, txn_id: int) -> Transaction | None:
+        return self._active.get(txn_id)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)

@@ -1,0 +1,201 @@
+"""Write-ahead log: record types, framing, and the log manager.
+
+Record framing on stable storage::
+
+    [u32 length][u32 crc32][pickled LogRecord payload]
+
+The CRC lets recovery detect a torn tail write and stop cleanly there (the
+classic "read until the first bad frame" scan).
+
+The :class:`WriteAheadLog` buffers records in volatile memory and only moves
+them to stable storage on :meth:`force` — so a crash loses exactly the
+un-forced tail, which is the behaviour commit-time forcing exists to bound.
+
+Correctness notes (see DESIGN.md §5):
+
+* **Logical records.** Each data record carries table name, row id, and
+  before/after images; redo and undo are deterministic by row id.
+* **CLRs as atomic batches.** Instead of per-record compensation with
+  undoNextLSN chaining, an abort (at runtime or during restart undo) applies
+  the undo in memory and then appends all CLRs plus the ABORT record as one
+  atomic log append.  A crash before the batch lands leaves the transaction
+  a loser (undone again from scratch — idempotent because redo rebuilds the
+  pre-undo state first); after it lands the transaction is cleanly aborted.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.engine.schema import TableSchema
+from repro.engine.storage import StableStorage
+
+__all__ = ["RecordType", "LogRecord", "WriteAheadLog", "encode_record", "decode_log"]
+
+_FRAME_HEADER = struct.Struct("<II")  # length, crc32
+
+
+class RecordType(enum.Enum):
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ABORT = "abort"
+    INSERT = "insert"
+    DELETE = "delete"
+    UPDATE = "update"
+    CREATE_TABLE = "create_table"
+    DROP_TABLE = "drop_table"
+    CREATE_PROC = "create_proc"
+    DROP_PROC = "drop_proc"
+    CREATE_VIEW = "create_view"
+    DROP_VIEW = "drop_view"
+    CREATE_INDEX = "create_index"
+    DROP_INDEX = "drop_index"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class LogRecord:
+    """One log record.  Field usage by type:
+
+    * INSERT: table, rowid, after
+    * DELETE: table, rowid, before
+    * UPDATE: table, rowid, before, after
+    * CREATE_TABLE: schema
+    * DROP_TABLE: schema, dropped_rows (for undo)
+    * CREATE_PROC / DROP_PROC: proc_name, proc_sql
+    * CREATE_VIEW / DROP_VIEW: proc_name, proc_sql (same fields, view text)
+    * CHECKPOINT: active_txns (ids of transactions in flight)
+    * is_clr marks a compensation record (never undone itself)
+    """
+
+    type: RecordType
+    txn_id: int = 0
+    table: str | None = None
+    rowid: int | None = None
+    before: tuple | None = None
+    after: tuple | None = None
+    schema: TableSchema | None = None
+    dropped_rows: dict[int, tuple] | None = None
+    next_rowid: int | None = None
+    proc_name: str | None = None
+    proc_sql: str | None = None
+    active_txns: tuple[int, ...] = ()
+    is_clr: bool = False
+    #: per-transaction sequence number of this record (data records only);
+    #: lets a CLR name exactly which record it compensates
+    rec_id: int = 0
+    #: for CLRs: the rec_id of the record this compensates.  Restart undo
+    #: skips compensated records — that is what makes statement-level
+    #: rollback (partial undo inside a live transaction) crash-safe.
+    compensates: int | None = None
+    lsn: int = field(default=-1, compare=False)  # assigned when appended
+
+
+def encode_record(record: LogRecord) -> bytes:
+    """Frame one record for the log."""
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_log(raw: bytes, base_offset: int = 0) -> list[LogRecord]:
+    """Decode every intact frame; stop silently at a torn/corrupt tail.
+
+    ``base_offset`` is the absolute LSN of ``raw[0]`` (log truncation keeps
+    LSNs absolute)."""
+    records: list[LogRecord] = []
+    pos = 0
+    total = len(raw)
+    while pos + _FRAME_HEADER.size <= total:
+        length, crc = _FRAME_HEADER.unpack_from(raw, pos)
+        start = pos + _FRAME_HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn tail
+        payload = raw[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt tail
+        record: LogRecord = pickle.loads(payload)
+        record.lsn = base_offset + pos
+        records.append(record)
+        pos = end
+    return records
+
+
+class WriteAheadLog:
+    """Volatile log buffer in front of stable storage.
+
+    The engine appends records freely; only :meth:`force` (called at commit,
+    checkpoint, and abort-batch time) moves them to stable storage.
+    """
+
+    def __init__(self, storage: StableStorage):
+        self._storage = storage
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
+        #: stats for benchmarks
+        self.records_written = 0
+        self.forces = 0
+
+    def _next_lsn(self) -> int:
+        """LSN the next appended record will land at.
+
+        Appends are strictly sequential and a force writes the whole buffer,
+        so `durable size + buffered bytes` predicts the offset exactly; this
+        lets us stamp the LSN *into* the record before encoding it, which
+        table snapshots use for idempotent redo (``TableData.last_lsn``).
+        """
+        return self._storage.log_size() + self._pending_bytes
+
+    def append(self, record: LogRecord) -> int:
+        """Buffer one record (volatile until the next force); returns its LSN."""
+        record.lsn = self._next_lsn()
+        frame = encode_record(record)
+        self._pending.append(frame)
+        self._pending_bytes += len(frame)
+        self.records_written += 1
+        return record.lsn
+
+    def force(self) -> int:
+        """Durably flush buffered records; returns the log size (next LSN)."""
+        if self._pending:
+            payload = b"".join(self._pending)
+            self._pending.clear()
+            self._pending_bytes = 0
+            self._storage.append_log(payload)
+        self.forces += 1
+        return self._storage.log_size()
+
+    def append_forced(self, records: list[LogRecord]) -> list[int]:
+        """Append ``records`` and force, as one atomic storage append.
+
+        Used for CLR batches and checkpoint records (see module docstring).
+        Returns the LSNs assigned to ``records``.
+        """
+        lsns: list[int] = []
+        frames: list[bytes] = []
+        for record in records:
+            record.lsn = self._next_lsn()
+            frame = encode_record(record)
+            frames.append(frame)
+            self._pending_bytes += len(frame)
+            lsns.append(record.lsn)
+        payload = b"".join(self._pending) + b"".join(frames)
+        self._pending.clear()
+        self._pending_bytes = 0
+        self.records_written += len(records)
+        self.forces += 1
+        if payload:
+            self._storage.append_log(payload)
+        return lsns
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def read_all(self) -> list[LogRecord]:
+        """Decode the durable portion of the log (what recovery will see)."""
+        base = getattr(self._storage, "log_base", 0)
+        return decode_log(self._storage.read_log(), base_offset=base)

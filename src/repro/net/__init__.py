@@ -1,0 +1,25 @@
+"""Client/server network substrate.
+
+A deterministic stand-in for the TCP/TDS link the paper's prototype used.
+The boundary is real in the ways that matter to Phoenix:
+
+* every client-visible operation is one serialized request/response round
+  trip (:mod:`repro.net.protocol`), counted and sized by
+  :class:`~repro.net.metrics.NetworkMetrics`;
+* failures are the ones ODBC applications actually observe — connection
+  reset when the server dies mid-request, a reply lost after the server
+  committed, and hangs that surface as client-side timeouts — injected
+  deterministically by :class:`~repro.net.faults.FaultInjector`.
+"""
+
+from repro.net.faults import FaultInjector, FaultKind
+from repro.net.metrics import NetworkMetrics
+from repro.net.transport import ClientChannel, ServerEndpoint
+
+__all__ = [
+    "ClientChannel",
+    "ServerEndpoint",
+    "FaultInjector",
+    "FaultKind",
+    "NetworkMetrics",
+]

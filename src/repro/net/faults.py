@@ -1,0 +1,116 @@
+"""Deterministic fault injection on the client/server wire.
+
+A :class:`FaultInjector` sits inside the server endpoint and fires scheduled
+faults when a matching request arrives.  The three failure shapes the paper
+cares about:
+
+* ``CRASH_BEFORE_EXECUTE`` — the server dies while the request is in
+  flight; nothing executed; the client sees a connection reset.  (The
+  classic "ODBC function hangs or errors" case of §2.)
+* ``CRASH_AFTER_EXECUTE`` — the server executes the request — including any
+  commit — and *then* dies before replying.  The client cannot tell this
+  from the previous case; distinguishing them is exactly why Phoenix logs
+  DML outcomes in a status table ("testable state", §3).
+* ``HANG`` — the server stays up but the reply never comes; the client's
+  timeout fires.  Phoenix must then ping to decide crash vs. slow network.
+
+Faults are one-shot by default and matched by an optional predicate on the
+request (e.g. "the third FETCH", "any SQL containing 'invoices'"), which
+keeps failure tests exact and repeatable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.protocol import Request
+
+__all__ = ["FaultKind", "ScheduledFault", "FaultInjector"]
+
+
+class FaultKind(enum.Enum):
+    CRASH_BEFORE_EXECUTE = "crash_before_execute"
+    CRASH_AFTER_EXECUTE = "crash_after_execute"
+    HANG = "hang"
+    DROP_CONNECTION = "drop_connection"  # comm glitch: server stays up
+
+
+@dataclass
+class ScheduledFault:
+    """One armed fault.
+
+    ``matcher`` filters requests (default: match anything).  ``after``
+    skips that many matching requests before firing.  ``repeat`` keeps the
+    fault armed after it fires (default one-shot).  ``every`` makes a
+    repeating fault *periodic*: it fires on each Nth matching request —
+    the chaos schedule availability experiments use.
+    """
+
+    kind: FaultKind
+    matcher: Callable[[Request], bool] | None = None
+    after: int = 0
+    repeat: bool = False
+    every: int | None = None
+    _seen: int = field(default=0, repr=False)
+
+    def check(self, request: Request) -> bool:
+        """True if this fault fires for ``request`` (consumes one-shot)."""
+        if self.matcher is not None and not self.matcher(request):
+            return False
+        self._seen += 1
+        if self.every is not None:
+            return self._seen % self.every == 0
+        return self._seen > self.after
+
+
+class FaultInjector:
+    """Holds the schedule and decides, per request, what fate it meets."""
+
+    def __init__(self):
+        self._faults: list[ScheduledFault] = []
+        self.fired: list[FaultKind] = []
+
+    def schedule(
+        self,
+        kind: FaultKind,
+        *,
+        matcher: Callable[[Request], bool] | None = None,
+        after: int = 0,
+        repeat: bool = False,
+        every: int | None = None,
+    ) -> ScheduledFault:
+        if every is not None:
+            repeat = True
+        fault = ScheduledFault(
+            kind=kind, matcher=matcher, after=after, repeat=repeat, every=every
+        )
+        self._faults.append(fault)
+        return fault
+
+    def schedule_on_sql(self, kind: FaultKind, needle: str, *, after: int = 0) -> ScheduledFault:
+        """Convenience: fire when an ExecuteRequest's SQL contains ``needle``."""
+
+        def matcher(request: Request) -> bool:
+            sql = getattr(request, "sql", "")
+            return needle.lower() in sql.lower()
+
+        return self.schedule(kind, matcher=matcher, after=after)
+
+    def cancel_all(self) -> None:
+        self._faults.clear()
+
+    def next_fault(self, request: Request) -> FaultKind | None:
+        """The fault (if any) that fires for this request."""
+        for fault in self._faults:
+            if fault.check(request):
+                if not fault.repeat:
+                    self._faults.remove(fault)
+                self.fired.append(fault.kind)
+                return fault.kind
+        return None
+
+    @property
+    def pending(self) -> int:
+        return len(self._faults)

@@ -1,0 +1,72 @@
+"""Network accounting: round trips, bytes, and simulated latency.
+
+The paper's design decisions are round-trip-count decisions (`WHERE 0=1`,
+server-side INSERT procedures, server-side repositioning), so the harness
+treats round trips as a first-class measurement next to wall-clock time.
+
+Latency is *simulated*: each round trip adds ``latency_seconds`` to
+:attr:`simulated_seconds` instead of sleeping, so benchmarks stay fast while
+still letting reports show what a 1 ms LAN or 30 ms WAN would do to each
+strategy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkMetrics"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Counters for one channel (or aggregated across channels)."""
+
+    round_trips: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    simulated_seconds: float = 0.0
+    latency_seconds: float = 0.0
+    by_request_type: Counter = field(default_factory=Counter)
+    errors: int = 0
+
+    def record(self, request_type: str, sent: int, received: int) -> None:
+        self.round_trips += 1
+        self.bytes_sent += sent
+        self.bytes_received += received
+        self.simulated_seconds += self.latency_seconds
+        self.by_request_type[request_type] += 1
+
+    def record_error(self, request_type: str, sent: int) -> None:
+        """A round trip that died in flight still costs a trip out."""
+        self.round_trips += 1
+        self.bytes_sent += sent
+        self.simulated_seconds += self.latency_seconds
+        self.by_request_type[request_type] += 1
+        self.errors += 1
+
+    def merge(self, other: "NetworkMetrics") -> None:
+        self.round_trips += other.round_trips
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.simulated_seconds += other.simulated_seconds
+        self.by_request_type.update(other.by_request_type)
+        self.errors += other.errors
+
+    def reset(self) -> None:
+        self.round_trips = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.simulated_seconds = 0.0
+        self.by_request_type.clear()
+        self.errors = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "round_trips": self.round_trips,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "simulated_seconds": self.simulated_seconds,
+            "errors": self.errors,
+            "by_request_type": dict(self.by_request_type),
+        }

@@ -1,0 +1,181 @@
+"""Wire protocol: request/response message types and their serialization.
+
+Messages cross the "wire" as pickled bytes — not because pickle is a great
+wire format, but because serializing at all keeps the boundary honest: the
+client cannot share live objects with the server, and the metrics layer can
+count real message sizes.
+
+Every request carries the session id it operates on (like a TDS connection
+carries its login context); ``ConnectRequest`` is the exception.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.schema import Column
+
+__all__ = [
+    "Message",
+    "Request",
+    "Response",
+    "ConnectRequest",
+    "ExecuteRequest",
+    "FetchRequest",
+    "AdvanceRequest",
+    "CloseCursorRequest",
+    "DisconnectRequest",
+    "PingRequest",
+    "TableSchemaRequest",
+    "TableSchemaResponse",
+    "ConnectResponse",
+    "ResultResponse",
+    "FetchResponse",
+    "OkResponse",
+    "ErrorResponse",
+    "PongResponse",
+    "encode_message",
+    "decode_message",
+]
+
+
+@dataclass
+class Message:
+    """Base for everything that crosses the wire."""
+
+
+@dataclass
+class Request(Message):
+    session_id: int = 0
+
+
+@dataclass
+class Response(Message):
+    pass
+
+
+# ---- requests ---------------------------------------------------------------
+
+
+@dataclass
+class ConnectRequest(Request):
+    user: str = "app"
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExecuteRequest(Request):
+    sql: str = ""
+    placeholders: list = field(default_factory=list)
+    cursor_type: str = "default"
+
+
+@dataclass
+class FetchRequest(Request):
+    cursor_id: int = 0
+    n: int = 1
+
+
+@dataclass
+class AdvanceRequest(Request):
+    """Server-side cursor reposition — no rows travel back."""
+
+    cursor_id: int = 0
+    position: int = 0
+
+
+@dataclass
+class CloseCursorRequest(Request):
+    cursor_id: int = 0
+
+
+@dataclass
+class DisconnectRequest(Request):
+    pass
+
+
+@dataclass
+class PingRequest(Request):
+    """Liveness probe (Phoenix's private connection uses this)."""
+
+
+@dataclass
+class TableSchemaRequest(Request):
+    """Catalog lookup — the SQLPrimaryKeys/SQLColumns analog real ODBC
+    drivers expose.  Phoenix needs the primary key of a cursor's base table
+    to persist keyset/dynamic cursor state."""
+
+    table: str = ""
+
+
+# ---- responses ------------------------------------------------------------------
+
+
+@dataclass
+class ConnectResponse(Response):
+    session_id: int = 0
+    server_epoch: int = 0
+
+
+@dataclass
+class ResultResponse(Response):
+    """Outcome of an ExecuteRequest.
+
+    ``kind`` mirrors :class:`~repro.engine.results.StatementResult`:
+    ``rows`` (with either inline ``rows`` for a default result set or a
+    ``cursor_id`` for server cursors), ``rowcount``, or ``ok``.
+    """
+
+    kind: str = "ok"
+    columns: list[Column] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    message: str = ""
+    cursor_id: int | None = None
+    effective_cursor_type: str = "default"
+    #: affected-row counts of every DML statement in the batch, in order —
+    #: how a transaction-wrapped batch still reports the inner statement's
+    #: rowcount when the final statement is the COMMIT.
+    batch_rowcounts: list[int] = field(default_factory=list)
+
+
+@dataclass
+class FetchResponse(Response):
+    rows: list[tuple] = field(default_factory=list)
+    done: bool = False
+
+
+@dataclass
+class OkResponse(Response):
+    message: str = ""
+
+
+@dataclass
+class ErrorResponse(Response):
+    """A server-side error, shipped back by class name + message and
+    re-raised client-side as the matching exception type."""
+
+    error_type: str = "DatabaseError"
+    message: str = ""
+
+
+@dataclass
+class PongResponse(Response):
+    server_epoch: int = 0
+    up_sessions: int = 0
+
+
+@dataclass
+class TableSchemaResponse(Response):
+    columns: list[Column] = field(default_factory=list)
+    primary_key: tuple[str, ...] = ()
+
+
+def encode_message(message: Message) -> bytes:
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_message(raw: bytes) -> Message:
+    return pickle.loads(raw)

@@ -1,0 +1,215 @@
+"""Transport: the request/response channel between clients and the server.
+
+:class:`ServerEndpoint` wraps a :class:`~repro.engine.DatabaseServer` and is
+the *only* way clients reach it — every call serializes a request, consults
+the fault injector, dispatches, and serializes a response.
+
+:class:`ClientChannel` is one client connection.  Once a channel observes a
+communication failure it is *broken* — further sends fail immediately, like
+a closed socket — and the client must open a fresh channel (reconnect).
+That matches what Phoenix has to deal with: the old ODBC connection is dead
+even if the server is back.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro import errors
+from repro.engine.server import DatabaseServer
+from repro.net.faults import FaultInjector, FaultKind
+from repro.net.metrics import NetworkMetrics
+from repro.net.protocol import (
+    AdvanceRequest,
+    CloseCursorRequest,
+    ConnectRequest,
+    ConnectResponse,
+    DisconnectRequest,
+    ErrorResponse,
+    ExecuteRequest,
+    FetchRequest,
+    FetchResponse,
+    OkResponse,
+    PingRequest,
+    PongResponse,
+    Request,
+    Response,
+    ResultResponse,
+    TableSchemaRequest,
+    TableSchemaResponse,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["ServerEndpoint", "ClientChannel"]
+
+
+class ServerEndpoint:
+    """The server side of the wire: dispatch + fault injection."""
+
+    def __init__(self, server: DatabaseServer, faults: FaultInjector | None = None):
+        self.server = server
+        self.faults = faults if faults is not None else FaultInjector()
+        #: bumped every restart so clients can see "same server, new life"
+        self.epoch = 0
+
+    def restart_server(self):
+        """Restart the crashed server and bump the epoch."""
+        report = self.server.restart()
+        self.epoch += 1
+        return report
+
+    # -- the wire ------------------------------------------------------------
+
+    def handle(self, raw_request: bytes) -> bytes:
+        """Process one serialized request; returns the serialized response.
+
+        Raises :class:`~repro.errors.CommunicationError` subclasses for
+        transport-level failures (crash, hang, drop) — exactly what a real
+        socket layer would surface.  SQL-level errors travel *in-band* as
+        :class:`ErrorResponse`.
+        """
+        request = decode_message(raw_request)
+        assert isinstance(request, Request)
+
+        if not self.server.up:
+            raise errors.ServerCrashedError("connection refused: server is down")
+
+        fault = self.faults.next_fault(request)
+        if fault is FaultKind.CRASH_BEFORE_EXECUTE:
+            self.server.crash()
+            raise errors.CommunicationError("connection reset by peer (server crashed)")
+        if fault is FaultKind.HANG:
+            raise errors.TimeoutError("request timed out (server not responding)")
+        if fault is FaultKind.DROP_CONNECTION:
+            raise errors.CommunicationError("connection reset by peer (network glitch)")
+
+        try:
+            response = self._dispatch(request)
+        except errors.Error as exc:
+            response = ErrorResponse(error_type=type(exc).__name__, message=str(exc))
+
+        if fault is FaultKind.CRASH_AFTER_EXECUTE:
+            # The work (commits and all) happened; the reply is lost.
+            self.server.crash()
+            raise errors.CommunicationError(
+                "connection reset by peer (server crashed before replying)"
+            )
+        return encode_message(response)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch(self, request: Request) -> Response:
+        server = self.server
+        if isinstance(request, ConnectRequest):
+            session_id = server.connect(request.user, request.options)
+            return ConnectResponse(session_id=session_id, server_epoch=self.epoch)
+        if isinstance(request, ExecuteRequest):
+            result = server.execute(
+                request.session_id,
+                request.sql,
+                placeholders=request.placeholders,
+                cursor_type=request.cursor_type,
+            )
+            if result.kind == "rows":
+                if result.cursor_id is not None:
+                    return ResultResponse(
+                        kind="rows",
+                        columns=result.extra["columns"],
+                        cursor_id=result.cursor_id,
+                        effective_cursor_type=result.extra["effective_cursor_type"],
+                    )
+                return ResultResponse(
+                    kind="rows",
+                    columns=result.result_set.columns,
+                    rows=result.result_set.rows,
+                )
+            if result.kind == "rowcount":
+                return ResultResponse(
+                    kind="rowcount",
+                    rowcount=result.rowcount,
+                    message=result.message,
+                    batch_rowcounts=result.extra.get("batch_rowcounts", []),
+                )
+            return ResultResponse(
+                kind="ok",
+                message=result.message,
+                batch_rowcounts=result.extra.get("batch_rowcounts", []),
+            )
+        if isinstance(request, FetchRequest):
+            rows, done = server.fetch(request.session_id, request.cursor_id, request.n)
+            return FetchResponse(rows=rows, done=done)
+        if isinstance(request, AdvanceRequest):
+            server.advance(request.session_id, request.cursor_id, request.position)
+            return OkResponse(message="advanced")
+        if isinstance(request, CloseCursorRequest):
+            server.close_cursor(request.session_id, request.cursor_id)
+            return OkResponse(message="cursor closed")
+        if isinstance(request, DisconnectRequest):
+            server.disconnect(request.session_id)
+            return OkResponse(message="bye")
+        if isinstance(request, PingRequest):
+            return PongResponse(server_epoch=self.epoch, up_sessions=len(server.sessions))
+        if isinstance(request, TableSchemaRequest):
+            schema = server.table_schema(request.session_id, request.table)
+            return TableSchemaResponse(
+                columns=list(schema.columns), primary_key=schema.primary_key
+            )
+        raise errors.InterfaceError(f"unknown request type {type(request).__name__}")
+
+
+_channel_ids = itertools.count(1)
+
+
+class ClientChannel:
+    """One client connection to a :class:`ServerEndpoint`.
+
+    Not a session by itself — the session is created by sending a
+    ``ConnectRequest`` — but the channel mirrors a socket's lifecycle:
+    usable until the first communication error, then permanently broken.
+    """
+
+    def __init__(
+        self,
+        endpoint: ServerEndpoint,
+        metrics: NetworkMetrics | None = None,
+    ):
+        self.channel_id = next(_channel_ids)
+        self.endpoint = endpoint
+        self.metrics = metrics if metrics is not None else NetworkMetrics()
+        self.broken = False
+
+    def send(self, request: Request) -> Response:
+        """One round trip.  Raises CommunicationError subclasses on
+        transport failure and re-raises SQL errors shipped in-band."""
+        if self.broken:
+            raise errors.CommunicationError("channel is broken (previous failure)")
+        raw = encode_message(request)
+        request_type = type(request).__name__
+        try:
+            raw_response = self.endpoint.handle(raw)
+        except errors.TimeoutError:
+            # a client-side timeout abandons the request but not the socket:
+            # the server may just be slow (Phoenix probes to find out)
+            self.metrics.record_error(request_type, len(raw))
+            raise
+        except errors.CommunicationError:
+            self.broken = True
+            self.metrics.record_error(request_type, len(raw))
+            raise
+        response = decode_message(raw_response)
+        self.metrics.record(request_type, len(raw), len(raw_response))
+        if isinstance(response, ErrorResponse):
+            raise _rebuild_error(response)
+        return response
+
+    def close(self) -> None:
+        self.broken = True
+
+
+def _rebuild_error(response: ErrorResponse) -> errors.Error:
+    """Re-raise a server error as its original exception class."""
+    error_class = getattr(errors, response.error_type, errors.DatabaseError)
+    if not (isinstance(error_class, type) and issubclass(error_class, errors.Error)):
+        error_class = errors.DatabaseError
+    return error_class(response.message)

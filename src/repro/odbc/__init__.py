@@ -1,0 +1,28 @@
+"""The ODBC-like client stack: native driver + plain driver manager.
+
+Layering mirrors the real ODBC world the paper describes (§2):
+
+* the **application** talks to a :class:`~repro.odbc.driver_manager.DriverManager`
+  (``connect(dsn)`` → connection → statements);
+* the driver manager routes calls to the **native driver**
+  (:mod:`repro.odbc.driver`), the vendor-specific client stub;
+* the driver speaks the wire protocol to the database server.
+
+Phoenix/ODBC (:mod:`repro.core`) is an *enhanced driver manager*: it exposes
+this same application API, wraps the same native driver, and changes neither
+the driver nor the server — the paper's headline deployment property.
+"""
+
+from repro.odbc.constants import CursorType, StatementAttr
+from repro.odbc.driver import DriverConnection, NativeDriver
+from repro.odbc.driver_manager import Connection, DriverManager, Statement
+
+__all__ = [
+    "DriverManager",
+    "Connection",
+    "Statement",
+    "NativeDriver",
+    "DriverConnection",
+    "CursorType",
+    "StatementAttr",
+]

@@ -1,0 +1,43 @@
+"""ODBC-flavoured constants: cursor types, statement attributes, rc codes.
+
+String-valued rather than the standard's integers — the *shape* of the API
+(attributes set on a statement before execute decide delivery mode) is what
+matters to the reproduction, not binary compatibility.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CursorType", "StatementAttr", "ReturnCode", "DEFAULT_FETCH_BLOCK"]
+
+
+class CursorType:
+    """Mirror of SQL_ATTR_CURSOR_TYPE values (paper §3 "Result Sets" /
+    "Cursors")."""
+
+    FORWARD_ONLY = "default"  # default result set: server ships all rows
+    KEYSET = "keyset"
+    DYNAMIC = "dynamic"
+
+    ALL = (FORWARD_ONLY, KEYSET, DYNAMIC)
+
+
+class StatementAttr:
+    """Attributes settable on a statement handle before execute."""
+
+    CURSOR_TYPE = "cursor_type"
+    FETCH_BLOCK_SIZE = "fetch_block_size"
+    QUERY_TIMEOUT = "query_timeout"
+
+
+class ReturnCode:
+    """SQL/CLI-style return codes surfaced by the handle API."""
+
+    SUCCESS = 0
+    SUCCESS_WITH_INFO = 1
+    NO_DATA = 100
+    ERROR = -1
+    INVALID_HANDLE = -2
+
+
+#: rows per FETCH round trip for server cursors
+DEFAULT_FETCH_BLOCK = 100

@@ -1,0 +1,146 @@
+"""The native driver: the vendor client stub.
+
+:class:`NativeDriver` knows how to reach one database server (through a
+:class:`~repro.net.transport.ServerEndpoint`) and exposes the low-level
+connection operations the driver manager builds statements on.  It performs
+no recovery of any kind: a communication error breaks the connection and is
+the application's problem — which is the baseline behaviour Phoenix fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import InterfaceError
+from repro.net.metrics import NetworkMetrics
+from repro.net.protocol import (
+    AdvanceRequest,
+    CloseCursorRequest,
+    ConnectRequest,
+    DisconnectRequest,
+    ExecuteRequest,
+    FetchRequest,
+    PingRequest,
+    PongResponse,
+    ResultResponse,
+    TableSchemaRequest,
+    TableSchemaResponse,
+)
+from repro.net.transport import ClientChannel, ServerEndpoint
+
+__all__ = ["NativeDriver", "DriverConnection"]
+
+
+class NativeDriver:
+    """Factory for driver connections to one server endpoint."""
+
+    def __init__(self, endpoint: ServerEndpoint, *, metrics: NetworkMetrics | None = None):
+        self.endpoint = endpoint
+        #: shared metrics for every channel this driver opens
+        self.metrics = metrics if metrics is not None else NetworkMetrics()
+
+    def connect(self, user: str = "app", options: dict[str, Any] | None = None) -> "DriverConnection":
+        channel = ClientChannel(self.endpoint, metrics=self.metrics)
+        response = channel.send(ConnectRequest(user=user, options=dict(options or {})))
+        return DriverConnection(self, channel, response.session_id, user)
+
+    def ping(self) -> PongResponse:
+        """Liveness probe on a throwaway channel (so a dead server does not
+        break any long-lived connection state)."""
+        channel = ClientChannel(self.endpoint, metrics=self.metrics)
+        response = channel.send(PingRequest())
+        assert isinstance(response, PongResponse)
+        return response
+
+
+class DriverConnection:
+    """One live connection (channel + server session)."""
+
+    def __init__(self, driver: NativeDriver, channel: ClientChannel, session_id: int, user: str):
+        self.driver = driver
+        self.channel = channel
+        self.session_id = session_id
+        self.user = user
+        self.closed = False
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("connection is closed")
+
+    @property
+    def broken(self) -> bool:
+        return self.channel.broken
+
+    # -- operations ----------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        *,
+        placeholders: list | None = None,
+        cursor_type: str = "default",
+    ) -> ResultResponse:
+        self._require_open()
+        response = self.channel.send(
+            ExecuteRequest(
+                session_id=self.session_id,
+                sql=sql,
+                placeholders=list(placeholders or []),
+                cursor_type=cursor_type,
+            )
+        )
+        assert isinstance(response, ResultResponse)
+        return response
+
+    def fetch(self, cursor_id: int, n: int) -> tuple[list[tuple], bool]:
+        self._require_open()
+        response = self.channel.send(
+            FetchRequest(session_id=self.session_id, cursor_id=cursor_id, n=n)
+        )
+        return response.rows, response.done
+
+    def advance(self, cursor_id: int, position: int) -> None:
+        self._require_open()
+        self.channel.send(
+            AdvanceRequest(
+                session_id=self.session_id, cursor_id=cursor_id, position=position
+            )
+        )
+
+    def table_schema(self, table: str) -> TableSchemaResponse:
+        """Catalog lookup (the SQLPrimaryKeys/SQLColumns analog)."""
+        self._require_open()
+        response = self.channel.send(
+            TableSchemaRequest(session_id=self.session_id, table=table)
+        )
+        assert isinstance(response, TableSchemaResponse)
+        return response
+
+    def close_cursor(self, cursor_id: int) -> None:
+        self._require_open()
+        self.channel.send(
+            CloseCursorRequest(session_id=self.session_id, cursor_id=cursor_id)
+        )
+
+    def set_option(self, name: str, value: Any) -> None:
+        """Apply a connection option server-side (``SET name value``)."""
+        rendered = value if isinstance(value, (int, float)) else f"'{value}'"
+        self.execute(f"SET {name} {rendered}")
+
+    def disconnect(self) -> None:
+        """Best-effort: a session that died in a crash is already gone,
+        and close() is the one call that must never raise for that."""
+        if self.closed:
+            return
+        try:
+            if not self.channel.broken:
+                self.channel.send(DisconnectRequest(session_id=self.session_id))
+        except InterfaceError:
+            raise
+        except Exception:
+            pass
+        finally:
+            self.channel.close()
+            self.closed = True

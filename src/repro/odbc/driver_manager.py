@@ -1,0 +1,274 @@
+"""The plain driver manager: what applications program against.
+
+``DriverManager.connect(dsn)`` returns a :class:`Connection`;
+``Connection.cursor()`` returns a :class:`Statement` with a DB-API-flavoured
+surface (``execute`` / ``fetchone`` / ``fetchmany`` / ``fetchall`` /
+``description`` / ``rowcount``) plus ODBC statement attributes (cursor type,
+fetch block size).
+
+This class is deliberately thin — it routes calls to the native driver and
+does nothing about failures.  Phoenix/ODBC subclasses the application-facing
+API (same classes' duck type) while wrapping the same native driver,
+demonstrating the paper's "no changes to app, driver, or server" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import InterfaceError, ProgrammingError
+from repro.engine.schema import Column
+from repro.net.protocol import ResultResponse
+from repro.odbc.constants import DEFAULT_FETCH_BLOCK, CursorType, StatementAttr
+from repro.odbc.driver import DriverConnection, NativeDriver
+
+__all__ = ["DriverManager", "Connection", "Statement", "describe_columns"]
+
+
+def describe_columns(columns: list[Column]) -> list[tuple]:
+    """DB-API style 7-tuples from engine column metadata."""
+    return [
+        (c.name, c.type.value, None, c.length, c.precision, c.scale, not c.not_null)
+        for c in columns
+    ]
+
+
+class DriverManager:
+    """Registry of DSN → native driver, and the application's entry point."""
+
+    def __init__(self):
+        self._drivers: dict[str, NativeDriver] = {}
+
+    def register_dsn(self, dsn: str, driver: NativeDriver) -> None:
+        self._drivers[dsn] = driver
+
+    def driver_for(self, dsn: str) -> NativeDriver:
+        try:
+            return self._drivers[dsn]
+        except KeyError:
+            raise InterfaceError(f"unknown DSN {dsn!r}") from None
+
+    def connect(
+        self, dsn: str, user: str = "app", options: dict[str, Any] | None = None
+    ) -> "Connection":
+        driver = self.driver_for(dsn)
+        driver_connection = driver.connect(user, options)
+        return Connection(self, dsn, driver_connection, options or {})
+
+
+class Connection:
+    """An application connection handle."""
+
+    def __init__(
+        self,
+        manager: DriverManager,
+        dsn: str,
+        driver_connection: DriverConnection,
+        options: dict[str, Any],
+    ):
+        self.manager = manager
+        self.dsn = dsn
+        self._driver_connection = driver_connection
+        self.options = dict(options)
+        self.closed = False
+        self._statements: list[Statement] = []
+
+    # -- DB-API-ish surface ------------------------------------------------------
+
+    def cursor(self) -> "Statement":
+        self._require_open()
+        statement = Statement(self)
+        self._statements.append(statement)
+        return statement
+
+    def set_option(self, name: str, value: Any) -> None:
+        """Set a connection option (recorded and applied server-side)."""
+        self._require_open()
+        self.options[name] = value
+        self._driver_connection.set_option(name, value)
+
+    def begin(self) -> None:
+        self._execute_raw("BEGIN TRANSACTION")
+
+    def commit(self) -> None:
+        self._execute_raw("COMMIT")
+
+    def rollback(self) -> None:
+        self._execute_raw("ROLLBACK")
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        for statement in self._statements:
+            statement.close()
+        self._driver_connection.disconnect()
+        self.closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("connection is closed")
+
+    def _execute_raw(self, sql: str, **kwargs) -> ResultResponse:
+        self._require_open()
+        return self._driver_connection.execute(sql, **kwargs)
+
+    # The driver-level hooks statements use; Phoenix overrides these.
+    def _stmt_execute(
+        self, statement: "Statement", sql: str, placeholders: list
+    ) -> ResultResponse:
+        return self._driver_connection.execute(
+            sql, placeholders=placeholders, cursor_type=statement.attrs[StatementAttr.CURSOR_TYPE]
+        )
+
+    def _stmt_fetch(self, statement: "Statement", cursor_id: int, n: int):
+        return self._driver_connection.fetch(cursor_id, n)
+
+    def _stmt_close_cursor(self, statement: "Statement", cursor_id: int) -> None:
+        self._driver_connection.close_cursor(cursor_id)
+
+
+class Statement:
+    """A statement handle: execute once, then fetch.
+
+    For default result sets the whole result arrives with the execute reply
+    and fetches drain a client-side buffer (the paper's "the client must
+    buffer any rows not used immediately").  For keyset/dynamic cursors each
+    exhausted block triggers a FETCH round trip.
+    """
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self.attrs: dict[str, Any] = {
+            StatementAttr.CURSOR_TYPE: CursorType.FORWARD_ONLY,
+            StatementAttr.FETCH_BLOCK_SIZE: DEFAULT_FETCH_BLOCK,
+            StatementAttr.QUERY_TIMEOUT: None,
+        }
+        self.closed = False
+        self._reset_result()
+
+    def _reset_result(self) -> None:
+        self.description: list[tuple] | None = None
+        self.columns: list[Column] = []
+        self.rowcount: int = -1
+        self.messages: list[str] = []
+        self._buffer: list[tuple] = []
+        self._buffer_pos = 0
+        self._cursor_id: int | None = None
+        self._server_done = True
+        self._rows_read = 0
+        self.effective_cursor_type: str = CursorType.FORWARD_ONLY
+
+    # -- attributes ----------------------------------------------------------------
+
+    def set_attr(self, name: str, value: Any) -> None:
+        if name not in self.attrs:
+            raise ProgrammingError(f"unknown statement attribute {name!r}")
+        self.attrs[name] = value
+
+    # -- execute -----------------------------------------------------------------------
+
+    def execute(self, sql: str, placeholders: list | None = None) -> "Statement":
+        self._require_open()
+        self._reset_result()
+        response = self.connection._stmt_execute(self, sql, list(placeholders or []))
+        self._absorb(response)
+        return self
+
+    def _absorb(self, response: ResultResponse) -> None:
+        if response.kind == "rows":
+            self.columns = response.columns
+            self.description = describe_columns(response.columns)
+            if response.cursor_id is not None:
+                self._cursor_id = response.cursor_id
+                self._server_done = False
+                self.effective_cursor_type = response.effective_cursor_type
+            else:
+                self._buffer = list(response.rows)
+                self._server_done = True
+            self.rowcount = -1
+        elif response.kind == "rowcount":
+            self.rowcount = response.rowcount
+            if response.message:
+                self.messages.append(response.message)
+        else:
+            if response.message:
+                self.messages.append(response.message)
+
+    # -- fetch ---------------------------------------------------------------------------
+
+    def executemany(self, sql: str, rows: list[list]) -> "Statement":
+        """DB-API executemany: run ``sql`` once per parameter row.
+
+        The statement's ``rowcount`` accumulates across the rows (like most
+        drivers); the last execution's result shape is retained.
+        """
+        total = 0
+        for row in rows:
+            self.execute(sql, list(row))
+            if self.rowcount > 0:
+                total += self.rowcount
+        self.rowcount = total
+        return self
+
+    def fetchone(self) -> tuple | None:
+        rows = self.fetchmany(1)
+        return rows[0] if rows else None
+
+    def fetchmany(self, n: int) -> list[tuple]:
+        self._require_open()
+        out: list[tuple] = []
+        while len(out) < n:
+            if self._buffer_pos < len(self._buffer):
+                out.append(self._buffer[self._buffer_pos])
+                self._buffer_pos += 1
+                continue
+            if self._server_done or self._cursor_id is None:
+                break
+            block_size = max(
+                int(self.attrs[StatementAttr.FETCH_BLOCK_SIZE]), n - len(out)
+            )
+            rows, done = self.connection._stmt_fetch(self, self._cursor_id, block_size)
+            self._buffer = list(rows)
+            self._buffer_pos = 0
+            self._server_done = done
+            if not rows and done:
+                break
+        self._rows_read += len(out)
+        return out
+
+    def fetchall(self) -> list[tuple]:
+        out: list[tuple] = []
+        while True:
+            chunk = self.fetchmany(1024)
+            if not chunk:
+                return out
+            out.extend(chunk)
+
+    @property
+    def rows_read(self) -> int:
+        """How many rows the application has consumed from this statement."""
+        return self._rows_read
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        if self._cursor_id is not None and not self.connection.closed:
+            try:
+                self.connection._stmt_close_cursor(self, self._cursor_id)
+            except Exception:
+                pass  # closing against a dead server is best-effort
+        self.closed = True
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("statement is closed")

@@ -1,0 +1,24 @@
+"""SQL front end: lexer, AST, and parser for the engine's SQL dialect.
+
+The dialect is a pragmatic subset of ANSI SQL with a few SQL Server-isms the
+paper depends on (``#temp`` table names, ``@param`` procedure parameters,
+``EXEC``, ``TOP``), because Phoenix/ODBC was built against SQL Server.
+
+Public entry points:
+
+* :func:`parse` — parse a single statement.
+* :func:`parse_script` — parse a ``;``-separated batch into a list.
+* :func:`tokenize` — lex SQL text into :class:`Token` objects.
+"""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_expression, parse_script
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+    "parse_script",
+    "parse_expression",
+]

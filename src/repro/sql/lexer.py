@@ -1,0 +1,217 @@
+"""Hand-written SQL lexer.
+
+Produces a flat list of :class:`Token` objects.  Keywords are recognized
+case-insensitively and reported with ``TokenType.KEYWORD`` and an upper-cased
+``value``; identifiers keep their original spelling (the engine folds
+unquoted identifiers to lower case at name-resolution time, like PostgreSQL).
+
+Dialect notes (things the paper's SQL Server context needs):
+
+* ``#name`` lexes as a temp-table identifier (``is_temp`` marker preserved in
+  the raw text; the parser interprets it).
+* ``@name`` lexes as a :attr:`TokenType.PARAM` token (procedure parameter or
+  named client parameter).
+* ``?`` is a positional parameter placeholder.
+* ``[bracketed identifiers]`` and ``"quoted identifiers"`` are supported.
+* string literals use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PARAM = "param"  # @name
+    PLACEHOLDER = "placeholder"  # ?
+    EOF = "eof"
+
+
+#: Reserved words.  Anything lexed as a bare word that is in this set becomes
+#: a KEYWORD token; everything else is an IDENT.
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET TOP DISTINCT ALL
+    AS AND OR NOT IN IS NULL LIKE ESCAPE BETWEEN EXISTS CASE WHEN THEN ELSE END
+    JOIN INNER LEFT RIGHT FULL OUTER CROSS ON UNION
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE TEMPORARY TEMP DROP IF TRUE FALSE
+    PRIMARY KEY UNIQUE DEFAULT
+    INT INTEGER BIGINT SMALLINT FLOAT REAL DOUBLE PRECISION DECIMAL NUMERIC
+    CHAR CHARACTER VARCHAR TEXT STRING DATE BOOLEAN BOOL
+    COUNT SUM AVG MIN MAX
+    CAST INTERVAL DAY MONTH YEAR EXTRACT SUBSTRING FOR
+    BEGIN COMMIT ROLLBACK TRANSACTION WORK
+    PROCEDURE PROC EXEC EXECUTE RETURN DECLARE
+    CHECKPOINT SHUTDOWN EXPLAIN VIEW INDEX
+    """.split()
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (0-based offset)."""
+
+    type: TokenType
+    value: str
+    pos: int
+    line: int
+
+    def matches(self, type_: TokenType, value: str | None = None) -> bool:
+        """True when this token has ``type_`` and (if given) ``value``."""
+        return self.type is type_ and (value is None or self.value == value)
+
+    def __repr__(self) -> str:  # compact, for parser error messages
+        return f"{self.type.name}({self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, ending with a single EOF token.
+
+    Raises :class:`~repro.errors.SQLSyntaxError` on unterminated strings or
+    characters outside the dialect.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):  # line comment
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if text.startswith("/*", i):  # block comment
+            j = text.find("*/", i + 2)
+            if j < 0:
+                raise SQLSyntaxError("unterminated block comment", position=i, line=line)
+            line += text.count("\n", i, j)
+            i = j + 2
+            continue
+        if ch == "'":
+            value, i2 = _lex_string(text, i, line)
+            tokens.append(Token(TokenType.STRING, value, i, line))
+            line += text.count("\n", i, i2)
+            i = i2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i2 = _lex_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, i, line))
+            i = i2
+            continue
+        if ch == "@":
+            value, i2 = _lex_word(text, i + 1)
+            if not value:
+                raise SQLSyntaxError("'@' must introduce a parameter name", position=i, line=line)
+            tokens.append(Token(TokenType.PARAM, value, i, line))
+            i = i2
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PLACEHOLDER, "?", i, line))
+            i += 1
+            continue
+        if ch == "#":
+            value, i2 = _lex_word(text, i + 1)
+            if not value:
+                raise SQLSyntaxError("'#' must introduce a temp table name", position=i, line=line)
+            tokens.append(Token(TokenType.IDENT, "#" + value, i, line))
+            i = i2
+            continue
+        if ch == '"' or ch == "[":
+            closing = '"' if ch == '"' else "]"
+            j = text.find(closing, i + 1)
+            if j < 0:
+                raise SQLSyntaxError("unterminated quoted identifier", position=i, line=line)
+            tokens.append(Token(TokenType.IDENT, text[i + 1 : j], i, line))
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            value, i2 = _lex_word(text, i)
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i, line))
+            else:
+                tokens.append(Token(TokenType.IDENT, value, i, line))
+            i = i2
+            continue
+        matched_op = next((op for op in _OPERATORS if text.startswith(op, i)), None)
+        if matched_op is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_op, i, line))
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i, line))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", position=i, line=line)
+    tokens.append(Token(TokenType.EOF, "", n, line))
+    return tokens
+
+
+def _lex_string(text: str, start: int, line: int) -> tuple[str, int]:
+    """Lex a single-quoted string starting at ``start``; returns (value, end)."""
+    parts: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":  # doubled quote escape
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", position=start, line=line)
+
+
+def _lex_number(text: str, start: int) -> tuple[str, int]:
+    """Lex an integer or decimal/scientific literal; returns (text, end)."""
+    i = start
+    n = len(text)
+    while i < n and text[i].isdigit():
+        i += 1
+    if i < n and text[i] == ".":
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            i = j
+            while i < n and text[i].isdigit():
+                i += 1
+    return text[start:i], i
+
+
+def _lex_word(text: str, start: int) -> tuple[str, int]:
+    """Lex an identifier-ish word (letters, digits, underscore)."""
+    i = start
+    n = len(text)
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    return text[start:i], i

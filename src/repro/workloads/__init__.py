@@ -1,0 +1,2 @@
+"""Workloads used by the evaluation: TPC-H (the paper's benchmark) and the
+customer/orders/invoices session from the paper's §2 walkthrough."""

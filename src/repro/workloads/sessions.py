@@ -1,0 +1,121 @@
+"""Session-trace workload: the availability experiment's raw material.
+
+The paper's introduction frames the problem as *application availability*:
+"if a database server crashes, volatile server state associated with a
+client application's session is lost and applications may require
+operator-assisted restart."  This module generates deterministic
+order-entry-style application sessions (the §2 shape: look up, fetch
+through results, update) and runs them against either driver manager,
+counting how many complete when the server keeps crashing underneath.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro import errors
+
+__all__ = ["SessionStep", "SessionTrace", "generate_traces", "SessionOutcome", "run_trace"]
+
+SETUP_SQL = [
+    "CREATE TABLE accounts (id INT PRIMARY KEY, balance FLOAT)",
+    "CREATE TABLE audit (seq INT PRIMARY KEY, account INT, delta FLOAT)",
+]
+
+
+def setup_workload(execute, accounts: int = 50) -> None:
+    """Create and populate the schema the traces run against."""
+    for sql in SETUP_SQL:
+        execute(sql)
+    values = ", ".join(f"({i}, {100.0 + i})" for i in range(1, accounts + 1))
+    execute(f"INSERT INTO accounts VALUES {values}")
+
+
+@dataclass(frozen=True)
+class SessionStep:
+    """One application request: kind + rendered SQL (or fetch count)."""
+
+    kind: str  # "query" | "dml" | "fetch" | "begin" | "commit"
+    sql: str = ""
+    fetch_rows: int = 0
+
+
+@dataclass
+class SessionTrace:
+    """One application session: an ordered list of steps."""
+
+    trace_id: int
+    steps: list[SessionStep] = field(default_factory=list)
+
+
+def generate_traces(
+    count: int = 20, *, seed: int = 7, accounts: int = 50, audit_base: int = 0
+) -> list[SessionTrace]:
+    """Deterministic order-entry-ish sessions.
+
+    Each session: a scan query, block fetches through it, a transfer
+    transaction (two updates + an audit insert), and a verification query.
+    """
+    rng = random.Random(seed)
+    traces: list[SessionTrace] = []
+    audit_seq = audit_base
+    for trace_id in range(1, count + 1):
+        source = rng.randrange(1, accounts + 1)
+        target = rng.randrange(1, accounts + 1)
+        amount = round(rng.uniform(1.0, 20.0), 2)
+        audit_seq += 1
+        steps = [
+            SessionStep("query", sql="SELECT id, balance FROM accounts ORDER BY id"),
+            SessionStep("fetch", fetch_rows=accounts // 2),
+            SessionStep("fetch", fetch_rows=accounts),
+            SessionStep("begin"),
+            SessionStep(
+                "dml",
+                sql=f"UPDATE accounts SET balance = balance - {amount} WHERE id = {source}",
+            ),
+            SessionStep(
+                "dml",
+                sql=f"UPDATE accounts SET balance = balance + {amount} WHERE id = {target}",
+            ),
+            SessionStep(
+                "dml",
+                sql=f"INSERT INTO audit VALUES ({audit_seq}, {source}, {amount})",
+            ),
+            SessionStep("commit"),
+            SessionStep("query", sql=f"SELECT balance FROM accounts WHERE id = {source}"),
+            SessionStep("fetch", fetch_rows=1),
+        ]
+        traces.append(SessionTrace(trace_id, steps))
+    return traces
+
+
+@dataclass
+class SessionOutcome:
+    """How one session fared."""
+
+    trace_id: int
+    completed: bool
+    steps_done: int
+    error: str = ""
+
+
+def run_trace(connection, trace: SessionTrace) -> SessionOutcome:
+    """Run one session on an open connection; a surfaced error aborts it —
+    exactly what happens to a real application without failure handling."""
+    cursor = connection.cursor()
+    steps_done = 0
+    try:
+        for step in trace.steps:
+            if step.kind == "query" or step.kind == "dml":
+                cursor.execute(step.sql)
+            elif step.kind == "fetch":
+                cursor.fetchmany(step.fetch_rows)
+            elif step.kind == "begin":
+                connection.begin()
+            elif step.kind == "commit":
+                connection.commit()
+            steps_done += 1
+    except errors.Error as exc:
+        return SessionOutcome(trace.trace_id, False, steps_done, error=type(exc).__name__)
+    return SessionOutcome(trace.trace_id, True, steps_done)

@@ -1,0 +1,28 @@
+"""TPC-H workload: schema, deterministic generator, query suite, refresh
+functions, and the power-test driver.
+
+The paper evaluates Phoenix/ODBC on TPC-H ("a current variant of the now
+obsolete TPC-D benchmark", §4): the power test for overhead (Table 1) and
+query Q11 for recovery (Figure 2).  Scale is parameterized by the TPC scale
+factor ``sf``; the defaults here are micro-scales suited to a pure-Python
+engine (``sf=0.001`` → 1 500 orders / ≈6 000 lineitems), with the row-count
+*ratios* of real TPC-H preserved.
+"""
+
+from repro.workloads.tpch.datagen import TpchData, generate, load, populate
+from repro.workloads.tpch.queries import QUERIES, query_sql
+from repro.workloads.tpch.refresh import rf1_statements, rf2_statements
+from repro.workloads.tpch.schema import TABLES, ddl_statements
+
+__all__ = [
+    "TABLES",
+    "ddl_statements",
+    "TpchData",
+    "generate",
+    "load",
+    "populate",
+    "QUERIES",
+    "query_sql",
+    "rf1_statements",
+    "rf2_statements",
+]

@@ -1,0 +1,313 @@
+"""Deterministic TPC-H data generator at micro scale factors.
+
+``generate(sf, seed)`` builds all rows in memory with a seeded RNG, keeping
+the specification's row-count *ratios* (so the relative query costs keep
+their shape) while the absolute counts stay laptop-friendly for a pure-
+Python engine:
+
+========== =================== ===========================
+table      spec rows (SF=1)    rows here (scale factor sf)
+========== =================== ===========================
+region     5                   5
+nation     25                  25
+supplier   10 000 · SF         max(10, 10000·sf)
+customer   150 000 · SF        max(30, 150000·sf)
+part       200 000 · SF        max(40, 200000·sf)
+partsupp   4 / part            4 / part
+orders     1 500 000 · SF      max(150, 1500000·sf)
+lineitem   1–7 / order         1–7 / order
+========== =================== ===========================
+
+Refresh data (RF1 inserts, RF2 delete keys) follows §4 of the paper: RF1
+adds ``0.1% · orders`` new orders with their lineitems (pre-generated into
+staging tables); RF2 deletes the same *count* of old orders.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+
+from repro.workloads.tpch.schema import ddl_statements
+
+__all__ = ["TpchData", "generate", "load", "populate"]
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR"]
+_TYPE_SYL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan",
+    "green", "forest", "ghost", "goldenrod", "honeydew",
+]
+
+_START = datetime.date(1992, 1, 1)
+_END = datetime.date(1998, 8, 2)
+_DAYS = (_END - _START).days
+
+
+@dataclass
+class TpchData:
+    """All generated rows, by table, plus the RF2 delete key list."""
+
+    sf: float
+    seed: int
+    rows: dict[str, list[tuple]] = field(default_factory=dict)
+    #: o_orderkeys RF2 deletes (their lineitems go with them)
+    rf2_order_keys: list[int] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        return {name: len(rows) for name, rows in self.rows.items()}
+
+
+def _scaled(base: int, sf: float, floor: int) -> int:
+    return max(floor, int(base * sf))
+
+
+def generate(sf: float = 0.001, seed: int = 42) -> TpchData:
+    """Generate a deterministic micro TPC-H database."""
+    rng = random.Random(seed)
+    data = TpchData(sf=sf, seed=seed)
+    rows = data.rows
+
+    rows["region"] = [
+        (i, name, f"region {name.lower()}") for i, name in enumerate(_REGIONS)
+    ]
+    rows["nation"] = [
+        (i, name, region, f"nation {name.lower()}")
+        for i, (name, region) in enumerate(_NATIONS)
+    ]
+
+    n_supplier = _scaled(10_000, sf, 10)
+    rows["supplier"] = [
+        (
+            i,
+            f"Supplier#{i:09d}",
+            _address(rng),
+            (i - 1) % 25,  # round-robin: every nation covered when possible
+            _phone(rng, i % 25),
+            round(rng.uniform(-999.99, 9999.99), 2),
+            _comment(rng, "supplier", special=(
+                "Customer Complaints" if rng.random() < 0.05 else None
+            )),
+        )
+        for i in range(1, n_supplier + 1)
+    ]
+
+    n_customer = _scaled(150_000, sf, 30)
+    rows["customer"] = [
+        (
+            i,
+            f"Customer#{i:09d}",
+            _address(rng),
+            rng.randrange(25),
+            _phone(rng, i % 25),
+            round(rng.uniform(-999.99, 9999.99), 2),
+            rng.choice(_SEGMENTS),
+            _comment(rng, "customer"),
+        )
+        for i in range(1, n_customer + 1)
+    ]
+
+    n_part = _scaled(200_000, sf, 40)
+    rows["part"] = [
+        (
+            i,
+            " ".join(rng.sample(_NAME_WORDS, 5)),
+            f"Manufacturer#{1 + i % 5}",
+            f"Brand#{1 + i % 5}{1 + (i // 5) % 5}",
+            f"{rng.choice(_TYPE_SYL1)} {rng.choice(_TYPE_SYL2)} {rng.choice(_TYPE_SYL3)}",
+            1 + (i - 1) % 50,  # deterministic size coverage
+            rng.choice(_CONTAINERS),
+            round(900 + (i % 1000) * 0.1 + (i % 100), 2),
+            _comment(rng, "part")[:23],
+        )
+        for i in range(1, n_part + 1)
+    ]
+
+    rows["partsupp"] = [
+        (
+            part_key,
+            1 + (part_key + offset * (n_supplier // 4 + 1)) % n_supplier,
+            rng.randrange(1, 10_000),
+            round(rng.uniform(1.0, 1000.0), 2),
+            _comment(rng, "partsupp"),
+        )
+        for part_key in range(1, n_part + 1)
+        for offset in range(4)
+    ]
+
+    n_orders = _scaled(1_500_000, sf, 150)
+    order_rows, lineitem_rows = _orders_and_lineitems(
+        rng, first_key=1, count=n_orders, n_customer=n_customer,
+        n_part=n_part, n_supplier=n_supplier,
+    )
+    rows["orders"] = order_rows
+    rows["lineitem"] = lineitem_rows
+
+    # refresh data: RF1 inserts 0.1% new orders; RF2 deletes 0.1% old ones
+    rf_count = max(2, n_orders // 1000)
+    new_orders, new_lineitems = _orders_and_lineitems(
+        rng, first_key=n_orders + 1, count=rf_count, n_customer=n_customer,
+        n_part=n_part, n_supplier=n_supplier,
+    )
+    rows["new_orders"] = new_orders
+    rows["new_lineitem"] = new_lineitems
+    data.rf2_order_keys = sorted(rng.sample(range(1, n_orders + 1), rf_count))
+    return data
+
+
+def _orders_and_lineitems(
+    rng: random.Random,
+    *,
+    first_key: int,
+    count: int,
+    n_customer: int,
+    n_part: int,
+    n_supplier: int,
+) -> tuple[list[tuple], list[tuple]]:
+    orders: list[tuple] = []
+    lineitems: list[tuple] = []
+    for key in range(first_key, first_key + count):
+        order_date = _START + datetime.timedelta(days=rng.randrange(_DAYS - 151))
+        total = 0.0
+        n_lines = rng.randrange(1, 8)
+        lines: list[tuple] = []
+        for line_number in range(1, n_lines + 1):
+            quantity = float(rng.randrange(1, 51))
+            part_key = rng.randrange(1, n_part + 1)
+            extended = round(quantity * (900 + (part_key % 1000) * 0.1 + part_key % 100), 2)
+            discount = round(rng.randrange(0, 11) / 100, 2)
+            tax = round(rng.randrange(0, 9) / 100, 2)
+            ship_date = order_date + datetime.timedelta(days=rng.randrange(1, 122))
+            commit_date = order_date + datetime.timedelta(days=rng.randrange(30, 91))
+            receipt_date = ship_date + datetime.timedelta(days=rng.randrange(1, 31))
+            return_flag = (
+                rng.choice("RA") if receipt_date <= _END - datetime.timedelta(days=80)
+                and rng.random() < 0.5 else "N"
+            )
+            line_status = "F" if ship_date <= datetime.date(1995, 6, 17) else "O"
+            lines.append(
+                (
+                    key,
+                    part_key,
+                    1 + (part_key + line_number * (n_supplier // 4 + 1)) % n_supplier,
+                    line_number,
+                    quantity,
+                    extended,
+                    discount,
+                    tax,
+                    return_flag,
+                    line_status,
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    rng.choice(_INSTRUCTS),
+                    rng.choice(_SHIPMODES),
+                    _comment(rng, "lineitem")[:44],
+                )
+            )
+            total += extended * (1 + tax) * (1 - discount)
+        status_counts = {"F": 0, "O": 0}
+        for line in lines:
+            status_counts[line[9]] += 1
+        if status_counts["F"] == len(lines):
+            order_status = "F"
+        elif status_counts["O"] == len(lines):
+            order_status = "O"
+        else:
+            order_status = "P"
+        # spec: only 2/3 of customers ever place orders (drives Q13/Q22)
+        orders.append(
+            (
+                key,
+                rng.randrange(1, max(2, (n_customer * 2) // 3 + 1)),
+                order_status,
+                round(total, 2),
+                order_date,
+                rng.choice(_PRIORITIES),
+                f"Clerk#{rng.randrange(1, 1001):09d}",
+                0,
+                _comment(rng, "orders")[:79],
+            )
+        )
+        lineitems.extend(lines)
+    return orders, lineitems
+
+
+def _address(rng: random.Random) -> str:
+    return f"{rng.randrange(1, 999)} {rng.choice(_NAME_WORDS)} st"
+
+
+def _phone(rng: random.Random, nation: int) -> str:
+    return f"{10 + nation}-{rng.randrange(100, 1000)}-{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}"
+
+
+def _comment(rng: random.Random, kind: str, special: str | None = None) -> str:
+    words = " ".join(rng.sample(_NAME_WORDS, 3))
+    if special:
+        return f"{words} {special} {kind}"
+    return f"{words} {kind}"
+
+
+# ---------------------------------------------------------------------- loading
+
+
+def _render_value(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, datetime.date):
+        return f"'{value.isoformat()}'"
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def load(execute, data: TpchData, *, batch: int = 500) -> None:
+    """Create the schema and insert all rows through ``execute(sql)``.
+
+    ``execute`` is any callable taking one SQL string — a cursor's
+    ``execute``, a server-side shortcut, whatever the caller wants to pay
+    for.  Inserts are batched multi-row VALUES statements.
+    """
+    for ddl in ddl_statements():
+        execute(ddl)
+    for table, rows in data.rows.items():
+        for start in range(0, len(rows), batch):
+            chunk = rows[start : start + batch]
+            values = ", ".join(
+                "(" + ", ".join(_render_value(v) for v in row) + ")" for row in chunk
+            )
+            execute(f"INSERT INTO {table} VALUES {values}")
+
+
+def populate(system, sf: float = 0.001, seed: int = 42, *, checkpoint: bool = True) -> TpchData:
+    """Generate + load into a :class:`repro.System` via a direct server
+    session (fast path for benchmark setup), then checkpoint."""
+    data = generate(sf, seed)
+    session_id = system.server.connect(user="loader")
+    try:
+        load(lambda sql: system.server.execute(session_id, sql), data)
+        if checkpoint:
+            system.server.checkpoint()
+    finally:
+        system.server.disconnect(session_id)
+    return data

@@ -1,0 +1,135 @@
+"""TPC-H schema: the eight base tables plus the refresh staging tables.
+
+Column lists follow the TPC-H specification (v2) with DECIMAL carried as
+FLOAT (see DESIGN.md substitutions).  The two staging tables hold the
+pre-generated refresh data the paper describes: "The tuples corresponding
+to new orders and new lineitems were already loaded into the database, as
+were the keys corresponding to orders and lineitems to be deleted" (§4).
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLES", "STAGING_TABLES", "INDEX_DDL", "ddl_statements", "ALL_DDL"]
+
+TABLES: dict[str, str] = {
+    "region": """
+        CREATE TABLE region (
+            r_regionkey INT PRIMARY KEY,
+            r_name      VARCHAR(25) NOT NULL,
+            r_comment   VARCHAR(152)
+        )""",
+    "nation": """
+        CREATE TABLE nation (
+            n_nationkey INT PRIMARY KEY,
+            n_name      VARCHAR(25) NOT NULL,
+            n_regionkey INT NOT NULL,
+            n_comment   VARCHAR(152)
+        )""",
+    "supplier": """
+        CREATE TABLE supplier (
+            s_suppkey   INT PRIMARY KEY,
+            s_name      VARCHAR(25) NOT NULL,
+            s_address   VARCHAR(40) NOT NULL,
+            s_nationkey INT NOT NULL,
+            s_phone     VARCHAR(15) NOT NULL,
+            s_acctbal   FLOAT NOT NULL,
+            s_comment   VARCHAR(101)
+        )""",
+    "customer": """
+        CREATE TABLE customer (
+            c_custkey    INT PRIMARY KEY,
+            c_name       VARCHAR(25) NOT NULL,
+            c_address    VARCHAR(40) NOT NULL,
+            c_nationkey  INT NOT NULL,
+            c_phone      VARCHAR(15) NOT NULL,
+            c_acctbal    FLOAT NOT NULL,
+            c_mktsegment VARCHAR(10) NOT NULL,
+            c_comment    VARCHAR(117)
+        )""",
+    "part": """
+        CREATE TABLE part (
+            p_partkey     INT PRIMARY KEY,
+            p_name        VARCHAR(55) NOT NULL,
+            p_mfgr        VARCHAR(25) NOT NULL,
+            p_brand       VARCHAR(10) NOT NULL,
+            p_type        VARCHAR(25) NOT NULL,
+            p_size        INT NOT NULL,
+            p_container   VARCHAR(10) NOT NULL,
+            p_retailprice FLOAT NOT NULL,
+            p_comment     VARCHAR(23)
+        )""",
+    "partsupp": """
+        CREATE TABLE partsupp (
+            ps_partkey    INT NOT NULL,
+            ps_suppkey    INT NOT NULL,
+            ps_availqty   INT NOT NULL,
+            ps_supplycost FLOAT NOT NULL,
+            ps_comment    VARCHAR(199),
+            PRIMARY KEY (ps_partkey, ps_suppkey)
+        )""",
+    "orders": """
+        CREATE TABLE orders (
+            o_orderkey      INT PRIMARY KEY,
+            o_custkey       INT NOT NULL,
+            o_orderstatus   VARCHAR(1) NOT NULL,
+            o_totalprice    FLOAT NOT NULL,
+            o_orderdate     DATE NOT NULL,
+            o_orderpriority VARCHAR(15) NOT NULL,
+            o_clerk         VARCHAR(15) NOT NULL,
+            o_shippriority  INT NOT NULL,
+            o_comment       VARCHAR(79)
+        )""",
+    "lineitem": """
+        CREATE TABLE lineitem (
+            l_orderkey      INT NOT NULL,
+            l_partkey       INT NOT NULL,
+            l_suppkey       INT NOT NULL,
+            l_linenumber    INT NOT NULL,
+            l_quantity      FLOAT NOT NULL,
+            l_extendedprice FLOAT NOT NULL,
+            l_discount      FLOAT NOT NULL,
+            l_tax           FLOAT NOT NULL,
+            l_returnflag    VARCHAR(1) NOT NULL,
+            l_linestatus    VARCHAR(1) NOT NULL,
+            l_shipdate      DATE NOT NULL,
+            l_commitdate    DATE NOT NULL,
+            l_receiptdate   DATE NOT NULL,
+            l_shipinstruct  VARCHAR(25) NOT NULL,
+            l_shipmode      VARCHAR(10) NOT NULL,
+            l_comment       VARCHAR(44),
+            PRIMARY KEY (l_orderkey, l_linenumber)
+        )""",
+}
+
+#: foreign-key indexes real TPC-H kits create — they turn the correlated
+#: subqueries of Q4/Q17/Q20/Q21 from table scans into index probes.
+INDEX_DDL: list[str] = [
+    "CREATE INDEX idx_lineitem_orderkey ON lineitem (l_orderkey)",
+    "CREATE INDEX idx_lineitem_partkey ON lineitem (l_partkey)",
+    "CREATE INDEX idx_orders_custkey ON orders (o_custkey)",
+    "CREATE INDEX idx_partsupp_suppkey ON partsupp (ps_suppkey)",
+]
+
+#: staging for RF1 (rows to insert) and RF2 (keys already known) — same
+#: shapes as their base tables.
+STAGING_TABLES: dict[str, str] = {
+    "new_orders": TABLES["orders"].replace("orders", "new_orders", 1).replace(
+        "CREATE TABLE orders", "CREATE TABLE new_orders"
+    ),
+    "new_lineitem": TABLES["lineitem"].replace(
+        "CREATE TABLE lineitem", "CREATE TABLE new_lineitem"
+    ),
+}
+
+
+def ddl_statements(*, staging: bool = True, indexes: bool = True) -> list[str]:
+    """Every CREATE TABLE (and index) needed, in dependency order."""
+    out = [sql.strip() for sql in TABLES.values()]
+    if staging:
+        out.extend(sql.strip() for sql in STAGING_TABLES.values())
+    if indexes:
+        out.extend(INDEX_DDL)
+    return out
+
+
+ALL_DDL = ddl_statements()

@@ -1,0 +1,124 @@
+"""AST rendering: ``node.sql()`` must re-parse to an equivalent tree.
+
+Phoenix's whole rewriting strategy is parse → transform → render, so
+round-tripping is a load-bearing property, not cosmetics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import ast, parse, parse_script
+from repro.sql.ast import quote_ident, quote_literal
+
+ROUND_TRIP_STATEMENTS = [
+    "SELECT 1",
+    "SELECT DISTINCT a, b AS x FROM t",
+    "SELECT * FROM t WHERE (a > 1)",
+    "SELECT t.* FROM t",
+    "SELECT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1",
+    "SELECT a, count(*) FROM t GROUP BY a HAVING (count(*) > 2)",
+    "SELECT * FROM a INNER JOIN b ON (a.x = b.y)",
+    "SELECT * FROM a LEFT JOIN b ON (a.x = b.y)",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT * FROM (SELECT a FROM t) sub",
+    "SELECT CASE WHEN (a > 1) THEN 'x' ELSE 'y' END FROM t",
+    "SELECT CAST(a AS VARCHAR(5)) FROM t",
+    "SELECT EXTRACT(YEAR FROM d) FROM t",
+    "SELECT SUBSTRING(p FROM 1 FOR 2) FROM t",
+    "SELECT a FROM t WHERE (b IN (1, 2))",
+    "SELECT a FROM t WHERE (b NOT IN (SELECT c FROM s))",
+    "SELECT a FROM t WHERE (b BETWEEN 1 AND 2)",
+    "SELECT a FROM t WHERE (b LIKE 'x%')",
+    "SELECT a FROM t WHERE (b IS NOT NULL)",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s)",
+    "SELECT a INTO x FROM t",
+    "INSERT INTO t VALUES (1, 'a'), (2, 'b')",
+    "INSERT INTO t (a, b) SELECT x, y FROM s",
+    "UPDATE t SET a = (a + 1) WHERE (k = 3)",
+    "DELETE FROM t WHERE (k = 3)",
+    "CREATE TABLE t (a INT NOT NULL, b VARCHAR(10))",
+    "CREATE TABLE t (a INT NOT NULL PRIMARY KEY, b FLOAT)",
+    "DROP TABLE IF EXISTS t",
+    "CREATE PROCEDURE p (@a INT) AS INSERT INTO t VALUES (@a)",
+    "DROP PROCEDURE p",
+    "EXEC p 1, 'x'",
+    "BEGIN TRANSACTION",
+    "COMMIT",
+    "ROLLBACK",
+    "SET timeout 30",
+    "CHECKPOINT",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+def test_render_is_stable_fixpoint(sql):
+    """parse(s).sql() re-parses and re-renders to the identical string."""
+    once = parse(sql).sql()
+    twice = parse(once).sql()
+    assert once == twice
+
+
+def test_select_renders_all_clauses_in_order():
+    sql = (
+        "SELECT DISTINCT a FROM t WHERE (a > 0) GROUP BY a "
+        "HAVING (count(*) > 1) ORDER BY a LIMIT 5 OFFSET 2"
+    )
+    rendered = parse(sql).sql()
+    positions = [rendered.index(word) for word in
+                 ["SELECT", "FROM", "WHERE", "GROUP BY", "HAVING", "ORDER BY", "LIMIT", "OFFSET"]]
+    assert positions == sorted(positions)
+
+
+def test_quote_literal_escapes_quotes():
+    assert quote_literal("it's") == "'it''s'"
+    assert quote_literal(None) == "NULL"
+    assert quote_literal(True) == "TRUE"
+    assert quote_literal(3) == "3"
+
+
+def test_quote_ident_keywords_and_odd_names():
+    assert quote_ident("count") == '"count"'
+    assert quote_ident("my col") == '"my col"'
+    assert quote_ident("plain_name") == "plain_name"
+    assert quote_ident("#temp1") == "#temp1"
+
+
+def test_create_table_with_keyword_column_round_trips():
+    sql = 'CREATE TABLE t ("count" INT, "sum" FLOAT)'
+    stmt = parse(sql)
+    again = parse(stmt.sql())
+    assert [c.name for c in again.columns] == ["count", "sum"]
+
+
+def test_interval_renders():
+    stmt = parse("SELECT a FROM t WHERE (d < (DATE '1998-12-01' - INTERVAL '90' DAY))")
+    assert "INTERVAL '90' DAY" in stmt.sql()
+
+
+def test_nested_subquery_renders():
+    sql = "SELECT a FROM t WHERE (b = (SELECT max(c) FROM s WHERE (s.k = t.k)))"
+    assert parse(parse(sql).sql()).sql() == parse(sql).sql()
+
+
+def test_str_dunder_equals_sql():
+    stmt = parse("SELECT 1")
+    assert str(stmt) == stmt.sql()
+
+
+def test_temp_table_create_keeps_hash_name():
+    stmt = parse("CREATE TABLE #w (a INT)")
+    assert stmt.sql().startswith("CREATE TABLE #w")
+
+
+def test_table_level_pk_renders_when_composite():
+    stmt = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+    assert "PRIMARY KEY (a, b)" in stmt.sql()
+
+
+def test_script_round_trip():
+    script = "BEGIN; INSERT INTO t VALUES (1); COMMIT"
+    rendered = "; ".join(s.sql() for s in parse_script(script))
+    assert [type(s).__name__ for s in parse_script(rendered)] == [
+        "BeginTransaction", "Insert", "Commit",
+    ]

@@ -1,0 +1,79 @@
+"""Tests for the benchmark harness and reporting (fast, tiny parameters)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro.bench.harness import (
+    Fig2Point,
+    Table1Row,
+    run_fig2_recovery_sweep,
+    run_table1_power_comparison,
+)
+from repro.bench.reporting import render_fig2, render_table1
+from repro.workloads.tpch.datagen import populate
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    system = repro.make_system()
+    data = populate(system, sf=0.0005, seed=3)
+    return system, data
+
+
+def test_table1_row_derived_columns():
+    row = Table1Row("Q1", 10, native_seconds=2.0, phoenix_seconds=2.2)
+    assert abs(row.difference - 0.2) < 1e-12
+    assert abs(row.ratio - 1.1) < 1e-12
+
+
+def test_table1_ratio_handles_zero_native():
+    row = Table1Row("Q0", 0, native_seconds=0.0, phoenix_seconds=0.1)
+    assert math.isnan(row.ratio)
+
+
+def test_table1_comparison_has_totals(tiny):
+    system, data = tiny
+    rows = run_table1_power_comparison(
+        system=system, data=data, repetitions=1, queries=["Q1", "Q6"]
+    )
+    names = [r.name for r in rows]
+    assert "Total Query" in names and "Total Updates" in names
+    total = next(r for r in rows if r.name == "Total Query")
+    parts = [r for r in rows if r.name in ("Q1", "Q6")]
+    assert abs(total.native_seconds - sum(p.native_seconds for p in parts)) < 1e-9
+
+
+def test_fig2_point_totals():
+    point = Fig2Point(100, 0.1, 0.2, 0.05, recompute_seconds=1.0)
+    assert abs(point.recovery_seconds - 0.35) < 1e-12
+    assert abs(point.recovery_vs_recompute - 0.35) < 1e-12
+
+
+def test_fig2_sweep_produces_points():
+    series = run_fig2_recovery_sweep(result_sizes=[50, 100], table_rows=500)
+    assert [p.result_size for p in series.points] == [50, 100]
+    for point in series.points:
+        assert point.virtual_session_seconds > 0
+        assert point.recompute_seconds > 0
+
+
+def test_render_table1_layout():
+    rows = [Table1Row("Q1", 5, 1.0, 1.1), Table1Row("Total Query", 5, 1.0, 1.1)]
+    text = render_table1(rows)
+    assert "Table 1" in text
+    assert "Q1" in text and "Total Query" in text
+    assert "1.100" in text  # the ratio column
+
+
+def test_render_fig2_layout():
+    from repro.bench.harness import Fig2Series
+
+    series = Fig2Series(points=[Fig2Point(100, 0.001, 0.002, 0.0, 0.05)])
+    text = render_fig2(series)
+    assert "Figure 2" in text
+    assert "100" in text
+    assert "V = virtual session" in text

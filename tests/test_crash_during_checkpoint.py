@@ -1,0 +1,134 @@
+"""Storage-level fault injection: crash in the middle of a checkpoint.
+
+DESIGN.md §5 and recovery.py claim each checkpoint step is crash-safe: a
+failure after some table files are written but before the checkpoint
+pointer moves leaves snapshots "newer" than the checkpoint, and redo must
+skip their already-reflected records via per-table ``last_lsn``.  These
+tests make that crash actually happen by wrapping stable storage with a
+write-counting bomb.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import DatabaseServer
+from repro.engine.storage import InMemoryStableStorage
+from tests.conftest import execute
+
+
+class _CheckpointBomb(Exception):
+    """Stands in for the process dying mid-checkpoint."""
+
+
+class BombStorage(InMemoryStableStorage):
+    """In-memory stable storage that detonates after N table-file writes.
+
+    Writes that complete before the bomb are durable (they hit the real
+    backing dicts); the detonation models the process dying between two
+    file writes.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.fail_after_table_writes: int | None = None
+        self._writes_seen = 0
+
+    def arm(self, fail_after: int) -> None:
+        self.fail_after_table_writes = fail_after
+        self._writes_seen = 0
+
+    def disarm(self) -> None:
+        self.fail_after_table_writes = None
+
+    def write_table_file(self, name, data):
+        if self.fail_after_table_writes is not None:
+            if self._writes_seen >= self.fail_after_table_writes:
+                raise _CheckpointBomb(f"crash before writing {name}")
+            self._writes_seen += 1
+        super().write_table_file(name, data)
+
+
+def build(n_tables: int = 3, rows_each: int = 5):
+    storage = BombStorage()
+    server = DatabaseServer(storage)
+    sid = server.connect()
+    for t in range(n_tables):
+        execute(server, sid, f"CREATE TABLE t{t} (k INT PRIMARY KEY, v INT)")
+        values = ", ".join(f"({i}, {i * 10})" for i in range(1, rows_each + 1))
+        execute(server, sid, f"INSERT INTO t{t} VALUES {values}")
+    return storage, server, sid
+
+
+def expected_state(server, n_tables=3):
+    sid = server.connect()
+    return {
+        f"t{t}": execute(server, sid, f"SELECT k, v FROM t{t} ORDER BY k")
+        for t in range(n_tables)
+    }
+
+
+@pytest.mark.parametrize("fail_after", [0, 1, 2])
+def test_crash_mid_checkpoint_preserves_committed_state(fail_after):
+    storage, server, sid = build()
+    before = expected_state(server)
+    storage.arm(fail_after)
+    with pytest.raises(_CheckpointBomb):
+        server.checkpoint()
+    storage.disarm()
+    # the "process" is gone; rebuild purely from stable storage
+    server.crash()
+    server.restart()
+    assert expected_state(server) == before
+
+
+@pytest.mark.parametrize("fail_after", [0, 1, 2])
+def test_work_after_failed_checkpoint_still_recovers(fail_after):
+    storage, server, sid = build()
+    storage.arm(fail_after)
+    with pytest.raises(_CheckpointBomb):
+        server.checkpoint()
+    storage.disarm()
+    # the server survives the I/O error (checkpoint failed, nothing else);
+    # keep working, then crash for real
+    execute(server, sid, "INSERT INTO t0 VALUES (100, 1000)")
+    execute(server, sid, "UPDATE t1 SET v = 0 WHERE k = 1")
+    execute(server, sid, "DELETE FROM t2 WHERE k = 2")
+    after = expected_state(server)
+    server.crash()
+    server.restart()
+    assert expected_state(server) == after
+
+
+def test_crash_between_checkpoints_mixed_snapshot_ages():
+    """Two interleaved checkpoints with a bomb in the second: some tables
+    carry the new snapshot, others the old — redo must reconcile both."""
+    storage, server, sid = build()
+    server.checkpoint()  # clean baseline
+    execute(server, sid, "INSERT INTO t0 VALUES (50, 500)")
+    execute(server, sid, "INSERT INTO t2 VALUES (50, 500)")
+    storage.arm(1)  # one table gets the fresh snapshot, then boom
+    with pytest.raises(_CheckpointBomb):
+        server.checkpoint()
+    storage.disarm()
+    before = expected_state(server)
+    server.crash()
+    server.restart()
+    assert expected_state(server) == before
+
+
+def test_repeated_bombed_checkpoints_then_success():
+    storage, server, sid = build()
+    for fail_after in (0, 1, 2):
+        storage.arm(fail_after)
+        with pytest.raises(_CheckpointBomb):
+            server.checkpoint()
+        storage.disarm()
+        execute(server, sid, f"INSERT INTO t0 VALUES ({200 + fail_after}, 0)")
+    server.checkpoint()  # finally a clean one
+    before = expected_state(server)
+    server.crash()
+    report = server.restart()
+    assert expected_state(server) == before
+    # the clean checkpoint truncated the log: little to scan
+    assert report.checkpoint_lsn > 0

@@ -1,0 +1,95 @@
+"""Exhaustive crash-position sweeps: for *every* point in a delivery, a
+crash there must not lose, duplicate, or reorder rows.
+
+These complement the randomized property test with full coverage of the
+small state space around block boundaries (buffer edges, block edges, first
+row, last row, after the end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odbc.constants import CursorType, StatementAttr
+
+N_ROWS = 12
+BLOCK = 5  # deliberately not dividing N_ROWS
+
+
+@pytest.fixture()
+def loaded(system, phoenix_conn):
+    cur = phoenix_conn.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(8))")
+    cur.execute(
+        "INSERT INTO t VALUES " + ", ".join(f"({i}, 'v{i}')" for i in range(1, N_ROWS + 1))
+    )
+    return system, phoenix_conn
+
+
+@pytest.mark.parametrize("position", list(range(0, N_ROWS + 1)))
+def test_default_result_crash_at_every_position(loaded, position):
+    system, conn = loaded
+    cur = conn.cursor()
+    cur.execute("SELECT k FROM t ORDER BY k")
+    got = cur.fetchmany(position)
+    system.server.crash()
+    system.endpoint.restart_server()
+    conn.cursor().execute("SELECT 1")  # trigger recovery
+    got += cur.fetchall()
+    assert [r[0] for r in got] == list(range(1, N_ROWS + 1))
+
+
+@pytest.mark.parametrize("position", list(range(0, N_ROWS + 1, 2)))
+def test_keyset_cursor_crash_at_every_position(loaded, position):
+    system, conn = loaded
+    cur = conn.cursor()
+    cur.set_attr(StatementAttr.CURSOR_TYPE, CursorType.KEYSET)
+    cur.set_attr(StatementAttr.FETCH_BLOCK_SIZE, BLOCK)
+    cur.execute("SELECT k FROM t")
+    got = cur.fetchmany(position)
+    system.server.crash()
+    system.endpoint.restart_server()
+    got += cur.fetchall()
+    assert [r[0] for r in got] == list(range(1, N_ROWS + 1))
+
+
+@pytest.mark.parametrize("position", list(range(0, N_ROWS + 1, 3)))
+def test_dynamic_cursor_crash_at_every_position(loaded, position):
+    system, conn = loaded
+    cur = conn.cursor()
+    cur.set_attr(StatementAttr.CURSOR_TYPE, CursorType.DYNAMIC)
+    cur.set_attr(StatementAttr.FETCH_BLOCK_SIZE, BLOCK)
+    cur.execute("SELECT k FROM t")
+    got = cur.fetchmany(position)
+    system.server.crash()
+    system.endpoint.restart_server()
+    got += cur.fetchall()
+    assert [r[0] for r in got] == list(range(1, N_ROWS + 1))
+
+
+def test_double_crash_same_position(loaded):
+    system, conn = loaded
+    cur = conn.cursor()
+    cur.execute("SELECT k FROM t ORDER BY k")
+    got = cur.fetchmany(6)
+    for _ in range(2):
+        system.server.crash()
+        system.endpoint.restart_server()
+        conn.cursor().execute("SELECT 1")
+    got += cur.fetchall()
+    assert [r[0] for r in got] == list(range(1, N_ROWS + 1))
+
+
+def test_adversarial_string_values_through_phoenix(system, phoenix_conn):
+    """Quote-laden values must survive Phoenix's literal inlining and
+    materialization (the rewrite pipeline re-renders SQL)."""
+    nasty = ["o'brien", "two''quotes", "%like_", "-- comment", "a;b", "'"]
+    cur = phoenix_conn.cursor()
+    cur.execute("CREATE TABLE s (k INT PRIMARY KEY, v VARCHAR(20))")
+    for i, value in enumerate(nasty):
+        cur.execute("INSERT INTO s VALUES (?, ?)", [i, value])
+    system.server.crash()
+    system.endpoint.restart_server()
+    cur.execute("SELECT v FROM s ORDER BY k")
+    assert [r[0] for r in cur.fetchall()] == nasty
+    cur.execute("SELECT k FROM s WHERE v = ?", ["o'brien"])
+    assert cur.fetchone() == (0,)

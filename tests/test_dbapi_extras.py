@@ -1,0 +1,98 @@
+"""Tests for DB-API extras and EXEC result-set transparency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.net import FaultKind
+
+
+@pytest.fixture()
+def both(system):
+    plain = system.plain.connect(system.DSN)
+    phoenix = system.phoenix.connect(system.DSN)
+    phoenix.config.sleep = lambda _s: (
+        system.endpoint.restart_server() if not system.server.up else None
+    )
+    cur = plain.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(10))")
+    yield system, plain, phoenix
+    for connection in (plain, phoenix):
+        if not connection.closed:
+            connection.close()
+
+
+# ---------------------------------------------------------------- executemany
+
+def test_executemany_native(both):
+    _system, plain, _phoenix = both
+    cur = plain.cursor()
+    cur.executemany("INSERT INTO t VALUES (?, ?)", [[1, "a"], [2, "b"], [3, "c"]])
+    assert cur.rowcount == 3
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (3,)
+
+
+def test_executemany_phoenix(both):
+    _system, _plain, phoenix = both
+    cur = phoenix.cursor()
+    cur.executemany("INSERT INTO t VALUES (?, ?)", [[10, "x"], [11, "y"]])
+    assert cur.rowcount == 2
+
+
+def test_executemany_phoenix_survives_crash(both):
+    system, _plain, phoenix = both
+    cur = phoenix.cursor()
+    system.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "21")
+    cur.executemany("INSERT INTO t VALUES (?, ?)", [[20, "x"], [21, "y"], [22, "z"]])
+    assert cur.rowcount == 3
+    cur.execute("SELECT count(*) FROM t WHERE k >= 20")
+    assert cur.fetchone() == (3,)
+
+
+def test_executemany_stops_on_error(both):
+    _system, plain, _phoenix = both
+    cur = plain.cursor()
+    cur.execute("INSERT INTO t VALUES (1, 'a')")
+    with pytest.raises(IntegrityError):
+        cur.executemany("INSERT INTO t VALUES (?, ?)", [[5, "x"], [1, "dup"], [6, "y"]])
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (2,)  # 1 and 5; 6 never ran
+
+
+# ---------------------------------------------------------------- EXEC rows
+
+def test_exec_result_set_transparent(both):
+    _system, plain, phoenix = both
+    setup = plain.cursor()
+    setup.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    setup.execute("CREATE PROCEDURE listing AS SELECT k, v FROM t ORDER BY k")
+    native_rows = plain.cursor().execute("EXEC listing").fetchall()
+    phoenix_rows = phoenix.cursor().execute("EXEC listing").fetchall()
+    assert native_rows == phoenix_rows == [(1, "a"), (2, "b")]
+
+
+def test_exec_rows_lost_reply_returns_outcome_only(both):
+    """The documented narrowing: when the EXEC's reply dies with the
+    server, only the logged outcome (rowcount) survives."""
+    system, plain, phoenix = both
+    setup = plain.cursor()
+    setup.execute("INSERT INTO t VALUES (1, 'a')")
+    setup.execute("CREATE PROCEDURE listing AS SELECT k FROM t")
+    system.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "EXEC listing")
+    cur = phoenix.cursor()
+    cur.execute("EXEC listing")
+    assert cur.fetchall() == []  # rows were in the lost reply
+    assert phoenix.stats.probe_hits == 1  # but the outcome is certain
+
+
+def test_exec_dml_proc_exactly_once(both):
+    system, plain, phoenix = both
+    setup = plain.cursor()
+    setup.execute("CREATE PROCEDURE add_row (@k INT) AS INSERT INTO t VALUES (@k, 'p')")
+    system.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "EXEC add_row")
+    cur = phoenix.cursor()
+    cur.execute("EXEC add_row 42")
+    cur.execute("SELECT count(*) FROM t WHERE k = 42")
+    assert cur.fetchone() == (1,)

@@ -1,0 +1,61 @@
+"""The exception hierarchy: relationships client code relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        if name == "Warning":
+            continue
+        assert issubclass(cls, errors.Error), name
+
+
+def test_dbapi_layering():
+    assert issubclass(errors.OperationalError, errors.DatabaseError)
+    assert issubclass(errors.IntegrityError, errors.DatabaseError)
+    assert issubclass(errors.ProgrammingError, errors.DatabaseError)
+    assert issubclass(errors.DataError, errors.DatabaseError)
+    assert issubclass(errors.InterfaceError, errors.Error)
+    assert not issubclass(errors.InterfaceError, errors.DatabaseError)
+
+
+def test_communication_family():
+    """Phoenix catches CommunicationError to mean 'the wire failed'; every
+    transport-level failure must be inside that umbrella."""
+    assert issubclass(errors.TimeoutError, errors.CommunicationError)
+    assert issubclass(errors.ServerCrashedError, errors.CommunicationError)
+    assert issubclass(errors.CommunicationError, errors.OperationalError)
+
+
+def test_session_lost_is_operational_but_not_communication():
+    # the server answered — the wire is fine, the session is gone
+    assert issubclass(errors.SessionLostError, errors.OperationalError)
+    assert not issubclass(errors.SessionLostError, errors.CommunicationError)
+
+
+def test_catalog_and_syntax_are_programming_errors():
+    assert issubclass(errors.CatalogError, errors.ProgrammingError)
+    assert issubclass(errors.SQLSyntaxError, errors.ProgrammingError)
+
+
+def test_syntax_error_carries_position():
+    exc = errors.SQLSyntaxError("boom", position=7, line=2)
+    assert exc.position == 7 and exc.line == 2
+
+
+def test_recoverable_errors_tuple_matches_design():
+    from repro.core.recovery import RECOVERABLE_ERRORS
+
+    assert errors.CommunicationError in RECOVERABLE_ERRORS
+    assert errors.SessionLostError in RECOVERABLE_ERRORS
+
+
+def test_timeout_shadows_builtin_deliberately():
+    assert errors.TimeoutError is not TimeoutError
+    with pytest.raises(errors.CommunicationError):
+        raise errors.TimeoutError("slow")

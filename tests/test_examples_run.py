@@ -1,0 +1,56 @@
+"""Integration: the example scripts must run to completion.
+
+The examples double as end-to-end acceptance tests: each exercises the full
+stack (engine, wire, ODBC, Phoenix) through the public API exactly the way
+a user would.  Slow benchmark-style examples run with reduced parameters.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "resumed row: (2, 'world')" in out
+    assert "rows now: 4" in out
+    assert "recoveries performed behind the scenes: 1" in out
+
+
+def test_customer_orders():
+    out = run_example("customer_orders.py")
+    assert "SERVER CRASH" in out
+    assert "fetched 10 orders" in out
+    assert "invoice total matches the database: OK" in out
+
+
+def test_fault_tolerance_demo():
+    out = run_example("fault_tolerance_demo.py")
+    assert "balance now 90.0 (applied exactly once)" in out
+    assert "NOT 80: no double-execution" in out
+    assert "spurious timeouts detected: 1" in out
+    assert "transactions replayed: 1" in out
+
+
+@pytest.mark.slow
+def test_tpch_power_small():
+    out = run_example("tpch_power.py", "0.0005", "1")
+    assert "Total Query" in out
+    assert "total query ratio" in out

@@ -1,0 +1,179 @@
+"""Gnarly SQL: stress cases for the planner and evaluator that the
+straightforward suites don't reach."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import execute
+
+
+@pytest.fixture()
+def db(session):
+    server, sid = session
+    execute(server, sid, "CREATE TABLE emp (id INT PRIMARY KEY, dept INT, boss INT, pay FLOAT)")
+    execute(server, sid, """INSERT INTO emp VALUES
+        (1, 10, NULL, 100.0), (2, 10, 1, 80.0), (3, 10, 1, 60.0),
+        (4, 20, NULL, 90.0), (5, 20, 4, 70.0), (6, 30, NULL, 50.0)""")
+    return server, sid
+
+
+def q(db, sql):
+    server, sid = db
+    return execute(server, sid, sql)
+
+
+def test_self_join_hierarchy(db):
+    rows = q(db, """
+        SELECT e.id, b.id FROM emp e JOIN emp b ON e.boss = b.id ORDER BY e.id""")
+    assert rows == [(2, 1), (3, 1), (5, 4)]
+
+
+def test_left_self_join_roots_padded(db):
+    rows = q(db, """
+        SELECT e.id, b.pay FROM emp e LEFT JOIN emp b ON e.boss = b.id
+        WHERE b.pay IS NULL ORDER BY e.id""")
+    assert [r[0] for r in rows] == [1, 4, 6]
+
+
+def test_nested_derived_tables(db):
+    rows = q(db, """
+        SELECT dept, mx FROM (
+            SELECT dept, max(pay) AS mx FROM (
+                SELECT dept, pay FROM emp WHERE pay > 55
+            ) inner_t GROUP BY dept
+        ) outer_t ORDER BY dept""")
+    assert rows == [(10, 100.0), (20, 90.0)]
+
+
+def test_two_level_correlation(db):
+    # employees earning more than their department's average
+    rows = q(db, """
+        SELECT id FROM emp e
+        WHERE pay > (SELECT avg(pay) FROM emp d WHERE d.dept = e.dept)
+        ORDER BY id""")
+    assert rows == [(1,), (4,)]
+
+
+def test_correlated_subquery_inside_in_subquery(db):
+    # departments where someone out-earns the boss... shaped nesting
+    rows = q(db, """
+        SELECT DISTINCT dept FROM emp e
+        WHERE id IN (
+            SELECT id FROM emp x
+            WHERE x.pay >= (SELECT max(pay) FROM emp y WHERE y.dept = x.dept))
+        ORDER BY dept""")
+    assert rows == [(10,), (20,), (30,)]
+
+
+def test_exists_and_not_exists_combined(db):
+    rows = q(db, """
+        SELECT id FROM emp e
+        WHERE EXISTS (SELECT * FROM emp s WHERE s.boss = e.id)
+          AND NOT EXISTS (SELECT * FROM emp s WHERE s.boss = e.id AND s.pay > 75)
+        ORDER BY id""")
+    assert rows == [(4,)]  # 4's only report earns 70; 1 has a report at 80
+
+
+def test_aggregate_of_case_over_join(db):
+    rows = q(db, """
+        SELECT b.id, sum(CASE WHEN e.pay > 65 THEN 1 ELSE 0 END) AS rich_reports
+        FROM emp b JOIN emp e ON e.boss = b.id
+        GROUP BY b.id ORDER BY b.id""")
+    assert rows == [(1, 1), (4, 1)]
+
+
+def test_having_on_avg_with_order_by_alias(db):
+    rows = q(db, """
+        SELECT dept, avg(pay) AS mean FROM emp GROUP BY dept
+        HAVING avg(pay) > 55 ORDER BY mean DESC""")
+    assert [r[0] for r in rows] == [10, 20]
+
+
+def test_scalar_subquery_in_select_list_per_row(db):
+    rows = q(db, """
+        SELECT id, (SELECT count(*) FROM emp s WHERE s.boss = e.id) AS reports
+        FROM emp e ORDER BY id""")
+    assert [r[1] for r in rows] == [2, 0, 0, 1, 0, 0]
+
+
+def test_between_on_expression(db):
+    rows = q(db, "SELECT id FROM emp WHERE pay * 2 BETWEEN 120 AND 165 ORDER BY id")
+    assert rows == [(2,), (3,), (5,)]
+
+
+def test_deeply_nested_boolean_logic(db):
+    rows = q(db, """
+        SELECT id FROM emp
+        WHERE NOT (dept = 10 AND (pay < 70 OR boss IS NULL)) AND NOT dept = 30
+        ORDER BY id""")
+    assert rows == [(2,), (4,), (5,)]
+
+
+def test_union_of_aggregates_in_derived_table(db):
+    rows = q(db, """
+        SELECT max(n) FROM (
+            SELECT count(*) AS n FROM emp WHERE dept = 10
+            UNION ALL
+            SELECT count(*) AS n FROM emp WHERE dept = 20
+        ) counts""")
+    assert rows == [(3,)]
+
+
+def test_view_over_join_with_index(db):
+    server, sid = db
+    execute(server, sid, "CREATE INDEX idx_boss ON emp (boss)")
+    execute(server, sid, """
+        CREATE VIEW spans (boss_id, n) AS
+        SELECT b.id, count(*) FROM emp b JOIN emp e ON e.boss = b.id GROUP BY b.id""")
+    rows = q(db, "SELECT n FROM spans WHERE boss_id = 1")
+    assert rows == [(2,)]
+
+
+def test_group_by_two_expressions(db):
+    rows = q(db, """
+        SELECT dept % 20, pay > 60, count(*) FROM emp
+        GROUP BY dept % 20, pay > 60 ORDER BY 1, 2""")
+    # dept%20 folds 10 and 30 together: (0,T,2), (10,F,2), (10,T,2)
+    assert rows == [(0, True, 2), (10, False, 2), (10, True, 2)]
+    assert sum(r[2] for r in rows) == 6
+
+
+def test_order_by_mixes_alias_and_expression(db):
+    rows = q(db, "SELECT id, pay AS salary FROM emp ORDER BY dept DESC, salary ASC")
+    assert [r[0] for r in rows] == [6, 5, 4, 3, 2, 1]
+
+
+def test_distinct_over_computed_tuple(db):
+    rows = q(db, "SELECT DISTINCT dept, boss IS NULL FROM emp ORDER BY dept")
+    # (10,T) (10,F) (20,T) (20,F) (30,T)
+    assert len(rows) == 5
+
+
+def test_update_via_correlated_subquery(db):
+    server, sid = db
+    execute(server, sid, """
+        UPDATE emp SET pay = pay + (SELECT count(*) FROM emp s WHERE s.boss = emp.id)
+        WHERE boss IS NULL""")
+    rows = q(db, "SELECT id, pay FROM emp WHERE boss IS NULL ORDER BY id")
+    assert rows == [(1, 102.0), (4, 91.0), (6, 50.0)]
+
+
+def test_delete_with_in_subquery(db):
+    server, sid = db
+    count = execute(
+        server, sid,
+        "DELETE FROM emp WHERE dept IN (SELECT dept FROM emp GROUP BY dept HAVING count(*) = 1)",
+    )
+    assert count == 1
+    assert q(db, "SELECT count(*) FROM emp") == [(5,)]
+
+
+def test_empty_table_joins_and_aggregates(session):
+    server, sid = session
+    execute(server, sid, "CREATE TABLE void (x INT PRIMARY KEY)")
+    assert execute(server, sid, "SELECT count(*), sum(x) FROM void") == [(0, None)]
+    assert execute(server, sid, "SELECT * FROM void a JOIN void b ON a.x = b.x") == []
+    assert execute(
+        server, sid, "SELECT x FROM void WHERE x IN (SELECT x FROM void)"
+    ) == []

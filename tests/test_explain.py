@@ -1,0 +1,109 @@
+"""Tests for EXPLAIN plan introspection."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import execute
+
+
+@pytest.fixture()
+def db(session):
+    server, sid = session
+    execute(server, sid, "CREATE TABLE c (ck INT PRIMARY KEY, name VARCHAR(10))")
+    execute(server, sid, "CREATE TABLE o (ok INT PRIMARY KEY, ck INT, amt FLOAT)")
+    return server, sid
+
+
+def plan(db, sql):
+    server, sid = db
+    return [row[0] for row in execute(server, sid, f"EXPLAIN {sql}")]
+
+
+def test_explain_simple_scan(db):
+    lines = plan(db, "SELECT * FROM c")
+    assert lines[0] == "Scan c"
+    assert lines[-1].startswith("Project")
+
+
+def test_explain_hash_join_from_where_equality(db):
+    lines = plan(db, "SELECT name FROM c, o WHERE c.ck = o.ck")
+    assert any(line.startswith("HashJoin") and "c.ck = o.ck" in line for line in lines)
+
+
+def test_explain_hash_join_from_on_clause(db):
+    lines = plan(db, "SELECT name FROM c JOIN o ON c.ck = o.ck")
+    assert any("HashJoin(INNER)" in line for line in lines)
+
+
+def test_explain_left_join(db):
+    lines = plan(db, "SELECT name FROM c LEFT JOIN o ON c.ck = o.ck")
+    assert any("HashJoin(LEFT)" in line for line in lines)
+
+
+def test_explain_cross_join_without_keys_is_nested_loop(db):
+    lines = plan(db, "SELECT name FROM c, o")
+    assert any("NestedLoop(CROSS)" in line for line in lines)
+
+
+def test_explain_pushed_filter_noted(db):
+    lines = plan(db, "SELECT name FROM c WHERE name LIKE 'a%'")
+    assert "residual filter" in lines[0]
+
+
+def test_explain_constant_filter(db):
+    lines = plan(db, "SELECT name FROM c WHERE 0 = 1")
+    assert any("ConstantFilter" in line for line in lines)
+
+
+def test_explain_subquery_filter_stays_final(db):
+    lines = plan(db, "SELECT name FROM c WHERE ck IN (SELECT ck FROM o)")
+    assert any("final WHERE" in line for line in lines)
+
+
+def test_explain_aggregate_sort_limit(db):
+    lines = plan(
+        db,
+        "SELECT name, count(*) FROM c GROUP BY name HAVING count(*) > 1 "
+        "ORDER BY name LIMIT 5 OFFSET 2",
+    )
+    joined = "\n".join(lines)
+    assert "Aggregate by [name]" in joined
+    assert "Having" in joined
+    assert "Sort name" in joined
+    assert "Limit 5 Offset 2" in joined
+
+
+def test_explain_distinct(db):
+    assert any("Distinct" in line for line in plan(db, "SELECT DISTINCT name FROM c"))
+
+
+def test_explain_constant_row(db):
+    assert plan(db, "SELECT 1")[0] == "Result: constant row"
+
+
+def test_explain_does_not_execute(db):
+    server, sid = db
+    execute(server, sid, "INSERT INTO c VALUES (1, 'x')")
+    before = server.stats.rows_returned
+    execute(server, sid, "EXPLAIN SELECT * FROM c")
+    # only the plan rows were returned, not table data
+    lines = execute(server, sid, "EXPLAIN SELECT * FROM c")
+    assert all(isinstance(line[0], str) for line in lines)
+
+
+def test_explain_round_trips_through_parser(db):
+    from repro.sql import parse
+
+    stmt = parse("EXPLAIN SELECT * FROM c")
+    assert parse(stmt.sql()).sql() == stmt.sql()
+
+
+def test_explain_through_phoenix(system):
+    conn = system.phoenix.connect(system.DSN)
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY)")
+    cur.execute("EXPLAIN SELECT * FROM t")
+    lines = cur.fetchall()
+    assert lines and lines[0] == ("Scan t",)
+    conn.close()

@@ -1,0 +1,186 @@
+"""Unit tests for scalar functions, aggregates, and expression evaluation
+details not covered by the SELECT-level tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataError, ProgrammingError
+from repro.engine.functions import SCALAR_FUNCTIONS, make_accumulator
+from tests.conftest import execute
+
+
+# ---------------------------------------------------------------- scalar fns
+
+@pytest.mark.parametrize("name,args,expected", [
+    ("upper", ("abc",), "ABC"),
+    ("lower", ("ABC",), "abc"),
+    ("length", ("abcd",), 4),
+    ("abs", (-3,), 3),
+    ("round", (3.456, 2), 3.46),
+    ("floor", (3.9,), 3),
+    ("ceil", (3.1,), 4),
+    ("trim", ("  x  ",), "x"),
+    ("ltrim", ("  x",), "x"),
+    ("rtrim", ("x  ",), "x"),
+    ("substr", ("hello", 2, 3), "ell"),
+    ("substr", ("hello", 2), "ello"),
+    ("concat", ("a", 1, "b"), "a1b"),
+    ("replace", ("banana", "na", "NA"), "baNANA"),
+    ("mod", (7, 3), 1),
+])
+def test_scalar_function_values(name, args, expected):
+    assert SCALAR_FUNCTIONS[name](*args) == expected
+
+
+@pytest.mark.parametrize("name", ["upper", "length", "abs", "substr", "concat"])
+def test_scalar_functions_null_propagate(name):
+    fn = SCALAR_FUNCTIONS[name]
+    arity = {"substr": 2, "concat": 2}.get(name, 1)
+    assert fn(*([None] * arity)) is None
+
+
+def test_coalesce_returns_first_non_null():
+    assert SCALAR_FUNCTIONS["coalesce"](None, None, 3, 4) == 3
+    assert SCALAR_FUNCTIONS["coalesce"](None, None) is None
+
+
+def test_nullif():
+    assert SCALAR_FUNCTIONS["nullif"](1, 1) is None
+    assert SCALAR_FUNCTIONS["nullif"](1, 2) == 1
+
+
+def test_substring_negative_length_rejected():
+    with pytest.raises(DataError):
+        SCALAR_FUNCTIONS["substring"]("abc", 1, -1)
+
+
+def test_date_function_parses():
+    import datetime
+
+    assert SCALAR_FUNCTIONS["date"]("1998-01-02") == datetime.date(1998, 1, 2)
+
+
+# ---------------------------------------------------------------- accumulators
+
+def feed(acc, values):
+    for v in values:
+        acc.add(v)
+    return acc.result()
+
+
+def test_count_skips_nulls():
+    assert feed(make_accumulator("count"), [1, None, 2]) == 2
+
+
+def test_count_star_counts_nulls():
+    assert feed(make_accumulator("count", star=True), [1, None, 2]) == 3
+
+
+def test_sum_empty_is_null():
+    assert feed(make_accumulator("sum"), []) is None
+    assert feed(make_accumulator("sum"), [None]) is None
+
+
+def test_avg_skips_nulls():
+    assert feed(make_accumulator("avg"), [2, None, 4]) == 3
+
+
+def test_min_max_with_strings():
+    assert feed(make_accumulator("min"), ["b", "a", "c"]) == "a"
+    assert feed(make_accumulator("max"), ["b", "a", "c"]) == "c"
+
+
+def test_distinct_wrapper():
+    assert feed(make_accumulator("sum", distinct=True), [1, 1, 2, 2, 3]) == 6
+    assert feed(make_accumulator("count", distinct=True), [1, 1, None, 2]) == 2
+
+
+def test_star_only_valid_for_count():
+    with pytest.raises(ProgrammingError):
+        make_accumulator("sum", star=True)
+
+
+def test_unknown_aggregate_rejected():
+    with pytest.raises(ProgrammingError):
+        make_accumulator("median")
+
+
+# ---------------------------------------------------------------- via SQL
+
+@pytest.fixture()
+def db(session):
+    server, sid = session
+    execute(server, sid, "CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(10), n FLOAT)")
+    execute(server, sid, "INSERT INTO t VALUES (1, 'Ab', -2.5), (2, NULL, 7.0)")
+    return server, sid
+
+
+def test_functions_compose_in_sql(db):
+    server, sid = db
+    rows = execute(server, sid, "SELECT upper(coalesce(v, 'none')), abs(n) FROM t ORDER BY k")
+    assert rows == [("AB", 2.5), ("NONE", 7.0)]
+
+
+def test_cast_in_sql(db):
+    server, sid = db
+    rows = execute(server, sid, "SELECT CAST(n AS INT), CAST(k AS VARCHAR(5)) FROM t ORDER BY k")
+    assert rows == [(-2, "1"), (7, "2")]
+
+
+def test_case_with_operand_in_sql(db):
+    server, sid = db
+    rows = execute(
+        server, sid,
+        "SELECT CASE k WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END FROM t ORDER BY k",
+    )
+    assert rows == [("one",), ("two",)]
+
+
+def test_case_without_else_yields_null(db):
+    server, sid = db
+    rows = execute(server, sid, "SELECT CASE WHEN k > 5 THEN 'big' END FROM t")
+    assert rows == [(None,), (None,)]
+
+
+def test_unknown_function_rejected(db):
+    server, sid = db
+    with pytest.raises(ProgrammingError):
+        execute(server, sid, "SELECT frobnicate(k) FROM t")
+
+
+def test_string_comparison_case_sensitive(db):
+    server, sid = db
+    assert execute(server, sid, "SELECT count(*) FROM t WHERE v = 'ab'") == [(0,)]
+    assert execute(server, sid, "SELECT count(*) FROM t WHERE upper(v) = 'AB'") == [(1,)]
+
+
+def test_arithmetic_null_propagation(db):
+    server, sid = db
+    rows = execute(server, sid, "SELECT n + 1, v || 'x' FROM t WHERE k = 2")
+    assert rows == [(8.0, None)]
+
+
+def test_nested_function_calls(db):
+    server, sid = db
+    rows = execute(server, sid, "SELECT length(concat(v, v)) FROM t WHERE k = 1")
+    assert rows == [(4,)]
+
+
+def test_modulo_operator(db):
+    server, sid = db
+    assert execute(server, sid, "SELECT 7 % 3") == [(1,)]
+
+
+def test_date_minus_date_gives_days(session):
+    server, sid = session
+    rows = execute(server, sid, "SELECT DATE '1998-03-01' - DATE '1998-02-27'")
+    assert rows == [(2,)]
+
+
+def test_date_plus_days_integer(session):
+    import datetime
+
+    server, sid = session
+    rows = execute(server, sid, "SELECT DATE '1998-02-27' + 2")
+    assert rows == [(datetime.date(1998, 3, 1),)]

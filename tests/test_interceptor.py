@@ -1,0 +1,221 @@
+"""Phoenix interceptor tests: classification, rewriting, batch builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interceptor import (
+    StatementClass,
+    build_dml_batch,
+    build_fill_batch,
+    classify,
+    inline_placeholders,
+    redirect_names,
+    referenced_tables,
+    with_false_where,
+)
+from repro.core.naming import NameAllocator, PROXY_TABLE
+from repro.sql import ast, parse, parse_script
+
+
+# ---------------------------------------------------------------- classify
+
+@pytest.mark.parametrize("sql,expected", [
+    ("SELECT 1", StatementClass.QUERY),
+    ("SELECT a INTO t FROM s", StatementClass.DML),
+    ("INSERT INTO t VALUES (1)", StatementClass.DML),
+    ("UPDATE t SET a = 1", StatementClass.DML),
+    ("DELETE FROM t", StatementClass.DML),
+    ("BEGIN", StatementClass.TXN_BEGIN),
+    ("COMMIT", StatementClass.TXN_COMMIT),
+    ("ROLLBACK", StatementClass.TXN_ROLLBACK),
+    ("SET x 1", StatementClass.SET_OPTION),
+    ("CREATE TABLE #w (a INT)", StatementClass.CREATE_TEMP_TABLE),
+    ("CREATE TEMPORARY TABLE w (a INT)", StatementClass.CREATE_TEMP_TABLE),
+    ("CREATE TABLE w (a INT)", StatementClass.DDL),
+    ("DROP TABLE #w", StatementClass.DROP_TEMP_TABLE),
+    ("DROP TABLE w", StatementClass.DDL),
+    ("CREATE PROCEDURE #p AS SELECT 1", StatementClass.CREATE_TEMP_PROC),
+    ("CREATE PROCEDURE p AS SELECT 1", StatementClass.DDL),
+    ("DROP PROCEDURE #p", StatementClass.DROP_TEMP_PROC),
+    ("DROP PROCEDURE p", StatementClass.DDL),
+    ("EXEC p", StatementClass.EXEC),
+    ("CHECKPOINT", StatementClass.OTHER),
+])
+def test_classify(sql, expected):
+    assert classify(parse(sql)) is expected
+
+
+# ---------------------------------------------------------------- false where
+
+def test_false_where_without_existing_where():
+    probe = with_false_where(parse("SELECT a FROM t"))
+    assert "(0 = 1)" in probe.sql()
+
+
+def test_false_where_conjoins_existing_where():
+    probe = with_false_where(parse("SELECT a FROM t WHERE a > 1"))
+    assert "AND (0 = 1)" in probe.sql()
+    assert "(a > 1)" in probe.sql()
+
+
+def test_false_where_drops_order_by():
+    probe = with_false_where(parse("SELECT a FROM t ORDER BY a"))
+    assert "ORDER BY" not in probe.sql()
+
+
+def test_false_where_preserves_grouping():
+    probe = with_false_where(parse("SELECT a, count(*) FROM t GROUP BY a"))
+    assert "GROUP BY" in probe.sql()
+
+
+# ---------------------------------------------------------------- redirect
+
+def redirect(sql: str, mapping: dict, procs: dict | None = None) -> str:
+    return redirect_names(parse(sql), mapping, procs).sql()
+
+
+def test_redirect_table_in_from():
+    assert "phx_w" in redirect("SELECT * FROM #w", {"#w": "phx_w"})
+
+
+def test_redirect_is_case_insensitive():
+    assert "phx_w" in redirect("SELECT * FROM #W", {"#w": "phx_w"})
+
+
+def test_redirect_in_join_and_subqueries():
+    sql = (
+        "SELECT * FROM #a JOIN base_t ON #a.x = base_t.x "
+        "WHERE y IN (SELECT y FROM #b) AND EXISTS (SELECT 1 FROM #c)"
+    )
+    rewritten = redirect(sql, {"#a": "pa", "#b": "pb", "#c": "pc"})
+    for name in ("pa", "pb", "pc"):
+        assert name in rewritten
+    assert "#a" not in rewritten and "base_t" in rewritten
+
+
+def test_redirect_dml_targets():
+    assert "pw" in redirect("INSERT INTO #w VALUES (1)", {"#w": "pw"})
+    assert "pw" in redirect("UPDATE #w SET a = 1", {"#w": "pw"})
+    assert "pw" in redirect("DELETE FROM #w", {"#w": "pw"})
+
+
+def test_redirect_select_into_target():
+    assert "pw" in redirect("SELECT a INTO #w FROM t", {"#w": "pw"})
+
+
+def test_redirect_derived_table():
+    rewritten = redirect("SELECT * FROM (SELECT a FROM #w) d", {"#w": "pw"})
+    assert "pw" in rewritten
+
+
+def test_redirect_procedure_names():
+    rewritten = redirect("EXEC #p 1", {}, {"#p": "pp"})
+    assert rewritten == "EXEC pp 1"
+
+
+def test_redirect_procedure_body():
+    rewritten = redirect(
+        "CREATE PROCEDURE q AS INSERT INTO #w VALUES (1)", {"#w": "pw"}
+    )
+    assert "pw" in rewritten
+
+
+def test_redirect_untouched_names_stay():
+    assert redirect("SELECT * FROM normal", {"#w": "pw"}) == "SELECT * FROM normal"
+
+
+def test_referenced_tables_walks_everything():
+    names = referenced_tables(parse(
+        "SELECT * FROM a JOIN b ON a.x = b.x WHERE y IN (SELECT y FROM c)"
+    ))
+    assert {"a", "b", "c"} <= names
+
+
+# ---------------------------------------------------------------- placeholders
+
+def test_inline_placeholders_in_where():
+    stmt = parse("SELECT a FROM t WHERE k = ? AND v = ?")
+    inline_placeholders(stmt, [5, "x"])
+    assert "(k = 5)" in stmt.sql() and "(v = 'x')" in stmt.sql()
+
+
+def test_inline_placeholders_in_insert_values():
+    stmt = parse("INSERT INTO t VALUES (?, ?)")
+    inline_placeholders(stmt, [1, "a"])
+    assert stmt.sql() == "INSERT INTO t VALUES (1, 'a')"
+
+
+def test_inline_placeholders_in_update_assignments():
+    stmt = parse("UPDATE t SET v = ? WHERE k = ?")
+    inline_placeholders(stmt, ["new", 3])
+    assert "v = 'new'" in stmt.sql() and "(k = 3)" in stmt.sql()
+
+
+def test_inline_placeholders_escapes_strings():
+    stmt = parse("SELECT a FROM t WHERE v = ?")
+    inline_placeholders(stmt, ["o'brien"])
+    assert "'o''brien'" in stmt.sql()
+
+
+def test_inline_placeholders_missing_value_raises():
+    stmt = parse("SELECT a FROM t WHERE k = ?")
+    with pytest.raises(ValueError):
+        inline_placeholders(stmt, [])
+
+
+def test_inline_placeholders_in_subquery():
+    stmt = parse("SELECT a FROM t WHERE k IN (SELECT k FROM s WHERE v = ?)")
+    inline_placeholders(stmt, [9])
+    assert "(v = 9)" in stmt.sql()
+
+
+# ---------------------------------------------------------------- batch builders
+
+def test_dml_batch_structure():
+    batch = build_dml_batch("UPDATE t SET a = 1", "phx_status", 7)
+    statements = parse_script(batch)
+    kinds = [type(s).__name__ for s in statements]
+    assert kinds == ["BeginTransaction", "Update", "Insert", "Commit"]
+    insert = statements[2]
+    assert insert.table == "phx_status"
+    assert "rowcount()" in insert.sql()
+
+
+def test_fill_batch_via_procedure_is_idempotent_script():
+    batch = build_fill_batch("phx_fill", "phx_res", "SELECT a FROM t", via_procedure=True)
+    statements = parse_script(batch)
+    kinds = [type(s).__name__ for s in statements]
+    assert kinds == ["DropProcedure", "CreateProcedure", "ExecProcedure"]
+    assert statements[0].if_exists
+
+
+def test_fill_batch_plain_insert():
+    batch = build_fill_batch("p", "phx_res", "SELECT a FROM t", via_procedure=False)
+    assert batch == "INSERT INTO phx_res SELECT a FROM t"
+
+
+# ---------------------------------------------------------------- naming
+
+def test_name_allocator_unique_per_connection():
+    a, b = NameAllocator(), NameAllocator()
+    assert a.client_id != b.client_id
+    assert a.status_table != b.status_table
+
+
+def test_name_allocator_sequences():
+    names = NameAllocator()
+    assert names.next_seq() == 1
+    assert names.next_seq() == 2
+    assert names.result_table(3) != names.keys_table(3)
+
+
+def test_redirected_names_strip_hash():
+    names = NameAllocator()
+    assert "#" not in names.redirected_table("#Work")
+    assert names.redirected_table("#Work").endswith("_tmp_work")
+    assert "#" not in names.redirected_procedure("#p")
+
+
+def test_proxy_table_is_a_real_temp_name():
+    assert PROXY_TABLE.startswith("#")

@@ -1,0 +1,166 @@
+"""Unit tests for the SQL lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(sql: str) -> list[tuple[TokenType, str]]:
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_keywords_are_case_insensitive_and_uppercased():
+    assert kinds("select SeLeCt SELECT") == [(TokenType.KEYWORD, "SELECT")] * 3
+
+
+def test_identifiers_keep_their_spelling():
+    assert kinds("FooBar") == [(TokenType.IDENT, "FooBar")]
+
+
+def test_integer_and_float_literals():
+    assert kinds("42 3.14 .5 1e3 2.5E-2") == [
+        (TokenType.NUMBER, "42"),
+        (TokenType.NUMBER, "3.14"),
+        (TokenType.NUMBER, ".5"),
+        (TokenType.NUMBER, "1e3"),
+        (TokenType.NUMBER, "2.5E-2"),
+    ]
+
+
+def test_number_followed_by_dot_does_not_eat_ident():
+    # "1.x" lexes as number 1. then ident x — parser rejects; lexer is greedy
+    tokens = kinds("1.5x")
+    assert tokens[0] == (TokenType.NUMBER, "1.5")
+    assert tokens[1] == (TokenType.IDENT, "x")
+
+
+def test_string_literal_basic():
+    assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+
+def test_string_literal_doubled_quote_escape():
+    assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+
+def test_string_literal_empty():
+    assert kinds("''") == [(TokenType.STRING, "")]
+
+
+def test_string_literal_with_newline():
+    assert kinds("'a\nb'") == [(TokenType.STRING, "a\nb")]
+
+
+def test_unterminated_string_raises_with_position():
+    with pytest.raises(SQLSyntaxError) as excinfo:
+        tokenize("SELECT 'oops")
+    assert excinfo.value.position == 7
+
+
+def test_line_comment_is_skipped():
+    assert kinds("SELECT -- comment here\n 1") == [
+        (TokenType.KEYWORD, "SELECT"),
+        (TokenType.NUMBER, "1"),
+    ]
+
+
+def test_block_comment_is_skipped():
+    assert kinds("SELECT /* multi\nline */ 1") == [
+        (TokenType.KEYWORD, "SELECT"),
+        (TokenType.NUMBER, "1"),
+    ]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT /* never closed")
+
+
+def test_temp_table_name_lexes_as_single_ident():
+    assert kinds("#work") == [(TokenType.IDENT, "#work")]
+
+
+def test_bare_hash_raises():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT # FROM t")
+
+
+def test_named_parameter():
+    assert kinds("@limit") == [(TokenType.PARAM, "limit")]
+
+
+def test_bare_at_raises():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT @ FROM t")
+
+
+def test_positional_placeholder():
+    assert kinds("?") == [(TokenType.PLACEHOLDER, "?")]
+
+
+def test_quoted_identifier_double_quotes():
+    assert kinds('"count"') == [(TokenType.IDENT, "count")]
+
+
+def test_quoted_identifier_brackets():
+    assert kinds("[order]") == [(TokenType.IDENT, "order")]
+
+
+def test_unterminated_quoted_identifier_raises():
+    with pytest.raises(SQLSyntaxError):
+        tokenize('"never closed')
+
+
+@pytest.mark.parametrize("op", ["<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||"])
+def test_operators(op):
+    assert kinds(f"a {op} b")[1] == (TokenType.OPERATOR, op)
+
+
+def test_two_char_operators_win_over_one_char():
+    assert kinds("a<=b")[1] == (TokenType.OPERATOR, "<=")
+
+
+@pytest.mark.parametrize("punct", list("(),.;"))
+def test_punctuation(punct):
+    assert (TokenType.PUNCT, punct) in kinds(f"a {punct} b")
+
+
+def test_unknown_character_raises_with_line():
+    with pytest.raises(SQLSyntaxError) as excinfo:
+        tokenize("SELECT 1\nFROM t WHERE x ~ 2")
+    assert excinfo.value.line == 2
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("SELECT\n1")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+
+
+def test_token_matches_helper():
+    token = tokenize("SELECT")[0]
+    assert token.matches(TokenType.KEYWORD, "SELECT")
+    assert not token.matches(TokenType.KEYWORD, "FROM")
+    assert token.matches(TokenType.KEYWORD)
+
+
+def test_full_statement_token_stream():
+    sql = "SELECT a.b, count(*) FROM t a WHERE x >= 1.5 AND y LIKE 'z%'"
+    types = [t.type for t in tokenize(sql)[:-1]]
+    assert TokenType.EOF not in types
+    assert types[0] is TokenType.KEYWORD
+
+
+def test_underscore_identifiers():
+    assert kinds("_private my_col2") == [
+        (TokenType.IDENT, "_private"),
+        (TokenType.IDENT, "my_col2"),
+    ]

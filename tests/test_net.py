@@ -1,0 +1,248 @@
+"""Network substrate tests: protocol, transport, faults, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.engine import DatabaseServer
+from repro.net import FaultInjector, FaultKind, NetworkMetrics, ServerEndpoint
+from repro.net.protocol import (
+    ConnectRequest,
+    ConnectResponse,
+    ErrorResponse,
+    ExecuteRequest,
+    FetchRequest,
+    PingRequest,
+    PongResponse,
+    ResultResponse,
+    TableSchemaRequest,
+    decode_message,
+    encode_message,
+)
+from repro.net.transport import ClientChannel
+
+
+@pytest.fixture()
+def endpoint():
+    return ServerEndpoint(DatabaseServer())
+
+
+def channel(endpoint) -> ClientChannel:
+    return ClientChannel(endpoint)
+
+
+def connect(endpoint) -> tuple[ClientChannel, int]:
+    ch = channel(endpoint)
+    response = ch.send(ConnectRequest(user="tester"))
+    return ch, response.session_id
+
+
+# ---------------------------------------------------------------- protocol
+
+def test_message_serialization_round_trip():
+    message = ExecuteRequest(session_id=3, sql="SELECT 1", cursor_type="keyset")
+    again = decode_message(encode_message(message))
+    assert again == message
+
+
+def test_serialization_produces_real_bytes():
+    raw = encode_message(PingRequest())
+    assert isinstance(raw, bytes) and len(raw) > 0
+
+
+# ---------------------------------------------------------------- dispatch
+
+def test_connect_and_execute(endpoint):
+    ch, sid = connect(endpoint)
+    response = ch.send(ExecuteRequest(session_id=sid, sql="SELECT 1 + 1"))
+    assert isinstance(response, ResultResponse)
+    assert response.rows == [(2,)]
+    assert [c.name for c in response.columns]
+
+
+def test_rowcount_response(endpoint):
+    ch, sid = connect(endpoint)
+    ch.send(ExecuteRequest(session_id=sid, sql="CREATE TABLE t (k INT)"))
+    response = ch.send(ExecuteRequest(session_id=sid, sql="INSERT INTO t VALUES (1), (2)"))
+    assert response.kind == "rowcount" and response.rowcount == 2
+
+
+def test_cursor_flow_over_wire(endpoint):
+    ch, sid = connect(endpoint)
+    ch.send(ExecuteRequest(session_id=sid, sql="CREATE TABLE t (k INT PRIMARY KEY)"))
+    ch.send(ExecuteRequest(session_id=sid, sql="INSERT INTO t VALUES (1), (2), (3)"))
+    opened = ch.send(ExecuteRequest(session_id=sid, sql="SELECT k FROM t", cursor_type="keyset"))
+    assert opened.cursor_id is not None and opened.rows == []
+    fetched = ch.send(FetchRequest(session_id=sid, cursor_id=opened.cursor_id, n=2))
+    assert fetched.rows == [(1,), (2,)] and not fetched.done
+
+
+def test_table_schema_request(endpoint):
+    ch, sid = connect(endpoint)
+    ch.send(ExecuteRequest(session_id=sid, sql="CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(5))"))
+    response = ch.send(TableSchemaRequest(session_id=sid, table="t"))
+    assert response.primary_key == ("k",)
+    assert [c.name for c in response.columns] == ["k", "v"]
+
+
+def test_sql_errors_travel_in_band_and_rebuild(endpoint):
+    ch, sid = connect(endpoint)
+    with pytest.raises(errors.CatalogError):
+        ch.send(ExecuteRequest(session_id=sid, sql="SELECT * FROM missing"))
+    # channel still usable after an in-band error
+    assert ch.send(PingRequest()).server_epoch == 0
+
+
+def test_unknown_error_type_falls_back_to_database_error():
+    from repro.net.transport import _rebuild_error
+
+    rebuilt = _rebuild_error(ErrorResponse(error_type="NoSuchError", message="x"))
+    assert isinstance(rebuilt, errors.DatabaseError)
+
+
+def test_ping_reports_epoch_and_sessions(endpoint):
+    ch, sid = connect(endpoint)
+    pong = ch.send(PingRequest())
+    assert isinstance(pong, PongResponse)
+    assert pong.up_sessions == 1
+    endpoint.server.crash()
+    endpoint.restart_server()
+    ch2 = channel(endpoint)
+    assert ch2.send(PingRequest()).server_epoch == 1
+
+
+# ---------------------------------------------------------------- faults
+
+def test_crash_before_execute_loses_work(endpoint):
+    ch, sid = connect(endpoint)
+    ch.send(ExecuteRequest(session_id=sid, sql="CREATE TABLE t (k INT)"))
+    endpoint.faults.schedule(FaultKind.CRASH_BEFORE_EXECUTE)
+    with pytest.raises(errors.CommunicationError):
+        ch.send(ExecuteRequest(session_id=sid, sql="INSERT INTO t VALUES (1)"))
+    endpoint.restart_server()
+    ch2, sid2 = connect(endpoint)
+    response = ch2.send(ExecuteRequest(session_id=sid2, sql="SELECT count(*) FROM t"))
+    assert response.rows == [(0,)]  # nothing executed
+
+
+def test_crash_after_execute_commits_then_loses_reply(endpoint):
+    ch, sid = connect(endpoint)
+    ch.send(ExecuteRequest(session_id=sid, sql="CREATE TABLE t (k INT)"))
+    endpoint.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "INSERT")
+    with pytest.raises(errors.CommunicationError):
+        ch.send(ExecuteRequest(session_id=sid, sql="INSERT INTO t VALUES (1)"))
+    endpoint.restart_server()
+    ch2, sid2 = connect(endpoint)
+    response = ch2.send(ExecuteRequest(session_id=sid2, sql="SELECT count(*) FROM t"))
+    assert response.rows == [(1,)]  # the work happened; only the reply died
+
+
+def test_hang_raises_timeout_and_leaves_server_up(endpoint):
+    ch, sid = connect(endpoint)
+    endpoint.faults.schedule(FaultKind.HANG)
+    with pytest.raises(errors.TimeoutError):
+        ch.send(ExecuteRequest(session_id=sid, sql="SELECT 1"))
+    assert endpoint.server.up
+
+
+def test_drop_connection_leaves_server_up(endpoint):
+    ch, sid = connect(endpoint)
+    endpoint.faults.schedule(FaultKind.DROP_CONNECTION)
+    with pytest.raises(errors.CommunicationError):
+        ch.send(ExecuteRequest(session_id=sid, sql="SELECT 1"))
+    assert endpoint.server.up
+
+
+def test_broken_channel_stays_broken(endpoint):
+    ch, sid = connect(endpoint)
+    endpoint.faults.schedule(FaultKind.DROP_CONNECTION)
+    with pytest.raises(errors.CommunicationError):
+        ch.send(PingRequest())
+    with pytest.raises(errors.CommunicationError):
+        ch.send(PingRequest())  # no retry sneaks through a dead socket
+
+
+def test_requests_to_down_server_refused(endpoint):
+    ch, sid = connect(endpoint)
+    endpoint.server.crash()
+    ch2 = channel(endpoint)
+    with pytest.raises(errors.ServerCrashedError):
+        ch2.send(PingRequest())
+
+
+def test_session_lost_error_after_fast_restart(endpoint):
+    ch, sid = connect(endpoint)
+    endpoint.server.crash()
+    endpoint.restart_server()
+    # the channel object survived, the session did not
+    with pytest.raises(errors.SessionLostError):
+        ch.send(ExecuteRequest(session_id=sid, sql="SELECT 1"))
+
+
+def test_fault_matcher_and_after(endpoint):
+    ch, sid = connect(endpoint)
+    fault = endpoint.faults.schedule(
+        FaultKind.HANG,
+        matcher=lambda r: getattr(r, "sql", "").startswith("SELECT"),
+        after=1,
+    )
+    ch.send(ExecuteRequest(session_id=sid, sql="SELECT 1"))  # first match skipped
+    with pytest.raises(errors.TimeoutError):
+        ch.send(ExecuteRequest(session_id=sid, sql="SELECT 2"))
+    assert endpoint.faults.fired == [FaultKind.HANG]
+
+
+def test_repeating_fault(endpoint):
+    endpoint.faults.schedule(FaultKind.HANG, repeat=True)
+    for _ in range(3):
+        ch = channel(endpoint)
+        with pytest.raises(errors.TimeoutError):
+            ch.send(PingRequest())
+    assert endpoint.faults.pending == 1
+
+
+def test_cancel_all(endpoint):
+    endpoint.faults.schedule(FaultKind.HANG)
+    endpoint.faults.cancel_all()
+    assert channel(endpoint).send(PingRequest())
+
+
+# ---------------------------------------------------------------- metrics
+
+def test_metrics_count_round_trips_and_bytes(endpoint):
+    metrics = NetworkMetrics()
+    ch = ClientChannel(endpoint, metrics=metrics)
+    ch.send(ConnectRequest())
+    assert metrics.round_trips == 1
+    assert metrics.bytes_sent > 0 and metrics.bytes_received > 0
+    assert metrics.by_request_type["ConnectRequest"] == 1
+
+
+def test_metrics_record_errors(endpoint):
+    metrics = NetworkMetrics()
+    ch = ClientChannel(endpoint, metrics=metrics)
+    endpoint.faults.schedule(FaultKind.DROP_CONNECTION)
+    with pytest.raises(errors.CommunicationError):
+        ch.send(PingRequest())
+    assert metrics.errors == 1
+    assert metrics.round_trips == 1
+
+
+def test_metrics_simulated_latency(endpoint):
+    metrics = NetworkMetrics(latency_seconds=0.001)
+    ch = ClientChannel(endpoint, metrics=metrics)
+    ch.send(PingRequest())
+    ch.send(PingRequest())
+    assert abs(metrics.simulated_seconds - 0.002) < 1e-9
+
+
+def test_metrics_merge_and_reset():
+    a = NetworkMetrics()
+    a.record("X", 10, 20)
+    b = NetworkMetrics()
+    b.record("Y", 1, 2)
+    a.merge(b)
+    assert a.round_trips == 2 and a.bytes_sent == 11
+    a.reset()
+    assert a.round_trips == 0 and not a.by_request_type

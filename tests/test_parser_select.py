@@ -1,0 +1,290 @@
+"""Parser tests: SELECT in all its shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast, parse, parse_expression
+
+
+def test_minimal_select_no_from():
+    stmt = parse("SELECT 1")
+    assert isinstance(stmt, ast.Select)
+    assert stmt.from_ is None
+    assert isinstance(stmt.items[0].expr, ast.Literal)
+
+
+def test_select_star():
+    stmt = parse("SELECT * FROM t")
+    assert isinstance(stmt.items[0].expr, ast.Star)
+    assert stmt.items[0].expr.table is None
+
+
+def test_select_qualified_star():
+    stmt = parse("SELECT t.* FROM t")
+    assert stmt.items[0].expr.table == "t"
+
+
+def test_select_item_aliases():
+    stmt = parse("SELECT a AS x, b y, c FROM t")
+    assert [item.alias for item in stmt.items] == ["x", "y", None]
+
+
+def test_distinct_flag():
+    assert parse("SELECT DISTINCT a FROM t").distinct
+    assert not parse("SELECT ALL a FROM t").distinct
+
+
+def test_top_n_sets_limit():
+    stmt = parse("SELECT TOP 5 a FROM t")
+    assert stmt.limit == 5
+
+
+def test_limit_offset():
+    stmt = parse("SELECT a FROM t LIMIT 10 OFFSET 20")
+    assert stmt.limit == 10
+    assert stmt.offset == 20
+
+
+def test_select_into():
+    stmt = parse("SELECT a INTO target FROM src")
+    assert stmt.into == "target"
+
+
+def test_table_alias_with_and_without_as():
+    stmt = parse("SELECT * FROM orders AS o")
+    assert stmt.from_.alias == "o"
+    stmt = parse("SELECT * FROM orders o")
+    assert stmt.from_.alias == "o"
+
+
+def test_comma_join_builds_cross_joins():
+    stmt = parse("SELECT * FROM a, b, c")
+    outer = stmt.from_
+    assert isinstance(outer, ast.Join) and outer.kind == "CROSS"
+    assert isinstance(outer.left, ast.Join) and outer.left.kind == "CROSS"
+
+
+def test_inner_join_with_on():
+    stmt = parse("SELECT * FROM a JOIN b ON a.x = b.y")
+    join = stmt.from_
+    assert join.kind == "INNER"
+    assert isinstance(join.on, ast.Binary)
+
+
+def test_explicit_inner_keyword():
+    assert parse("SELECT * FROM a INNER JOIN b ON a.x = b.x").from_.kind == "INNER"
+
+
+def test_left_outer_join():
+    assert parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x").from_.kind == "LEFT"
+    assert parse("SELECT * FROM a LEFT JOIN b ON a.x = b.x").from_.kind == "LEFT"
+
+
+def test_cross_join_keyword():
+    join = parse("SELECT * FROM a CROSS JOIN b").from_
+    assert join.kind == "CROSS" and join.on is None
+
+
+def test_chained_joins_are_left_deep():
+    stmt = parse("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+    outer = stmt.from_
+    assert isinstance(outer.left, ast.Join)
+    assert isinstance(outer.right, ast.TableName) and outer.right.name == "c"
+
+
+def test_derived_table():
+    stmt = parse("SELECT * FROM (SELECT a FROM t) sub")
+    assert isinstance(stmt.from_, ast.SubquerySource)
+    assert stmt.from_.alias == "sub"
+
+
+def test_derived_table_requires_alias():
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT * FROM (SELECT a FROM t)")
+
+
+def test_where_clause():
+    stmt = parse("SELECT a FROM t WHERE a > 1 AND b < 2")
+    assert isinstance(stmt.where, ast.Binary) and stmt.where.op == "AND"
+
+
+def test_group_by_multiple_keys():
+    stmt = parse("SELECT a, b, count(*) FROM t GROUP BY a, b")
+    assert len(stmt.group_by) == 2
+
+
+def test_having():
+    stmt = parse("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2")
+    assert stmt.having is not None
+
+
+def test_order_by_asc_desc():
+    stmt = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a + b")
+    assert [o.desc for o in stmt.order_by] == [True, False, False]
+
+
+def test_aggregates_parse_as_funccall():
+    stmt = parse("SELECT count(*), sum(x), avg(y), min(z), max(w) FROM t")
+    names = [item.expr.name for item in stmt.items]
+    assert names == ["count", "sum", "avg", "min", "max"]
+    assert stmt.items[0].expr.star
+
+
+def test_count_distinct():
+    expr = parse("SELECT count(DISTINCT x) FROM t").items[0].expr
+    assert expr.distinct and not expr.star
+
+
+def test_scalar_function_call():
+    expr = parse_expression("upper(name)")
+    assert isinstance(expr, ast.FuncCall) and expr.name == "upper"
+
+
+def test_nullary_function_call():
+    expr = parse_expression("rowcount()")
+    assert isinstance(expr, ast.FuncCall) and expr.args == []
+
+
+def test_in_list_predicate():
+    expr = parse_expression("x IN (1, 2, 3)")
+    assert isinstance(expr, ast.InList) and len(expr.items) == 3
+
+
+def test_not_in_subquery():
+    expr = parse_expression("x NOT IN (SELECT y FROM t)")
+    assert isinstance(expr, ast.InSelect) and expr.negated
+
+
+def test_between_and_not_between():
+    assert not parse_expression("x BETWEEN 1 AND 2").negated
+    assert parse_expression("x NOT BETWEEN 1 AND 2").negated
+
+
+def test_like_with_escape():
+    expr = parse_expression("x LIKE 'a!%%' ESCAPE '!'")
+    assert isinstance(expr, ast.Like) and expr.escape is not None
+
+
+def test_is_null_and_is_not_null():
+    assert not parse_expression("x IS NULL").negated
+    assert parse_expression("x IS NOT NULL").negated
+
+
+def test_exists_subquery():
+    expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+    assert isinstance(expr, ast.Exists)
+
+
+def test_scalar_subquery_expression():
+    expr = parse_expression("(SELECT max(x) FROM t)")
+    assert isinstance(expr, ast.ScalarSelect)
+
+
+def test_case_searched():
+    expr = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+    assert isinstance(expr, ast.CaseExpr) and expr.operand is None
+
+
+def test_case_with_operand():
+    expr = parse_expression("CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END")
+    assert expr.operand is not None and len(expr.whens) == 2
+
+
+def test_case_requires_when():
+    with pytest.raises(SQLSyntaxError):
+        parse_expression("CASE ELSE 1 END")
+
+
+def test_cast():
+    expr = parse_expression("CAST(x AS VARCHAR(10))")
+    assert isinstance(expr, ast.Cast) and expr.type.length == 10
+
+
+def test_date_literal():
+    expr = parse_expression("DATE '1998-12-01'")
+    assert isinstance(expr, ast.Literal) and expr.is_date
+
+
+def test_interval_arithmetic():
+    expr = parse_expression("DATE '1998-12-01' - INTERVAL '90' DAY")
+    assert isinstance(expr, ast.Binary) and isinstance(expr.right, ast.IntervalLiteral)
+    assert expr.right.amount == 90 and expr.right.unit == "DAY"
+
+
+def test_extract_year():
+    expr = parse_expression("EXTRACT(YEAR FROM d)")
+    assert isinstance(expr, ast.ExtractExpr) and expr.part == "YEAR"
+
+
+def test_year_convenience_form():
+    expr = parse_expression("YEAR(d)")
+    assert isinstance(expr, ast.ExtractExpr)
+
+
+def test_substring_from_for():
+    expr = parse_expression("SUBSTRING(phone FROM 1 FOR 2)")
+    assert isinstance(expr, ast.SubstringExpr) and expr.length is not None
+
+
+def test_substring_comma_form():
+    expr = parse_expression("SUBSTRING(phone, 1, 2)")
+    assert isinstance(expr, ast.SubstringExpr)
+
+
+def test_operator_precedence_arithmetic_over_comparison():
+    expr = parse_expression("a + b * c > d")
+    assert expr.op == ">"
+    assert expr.left.op == "+"
+    assert expr.left.right.op == "*"
+
+
+def test_operator_precedence_and_over_or():
+    expr = parse_expression("a OR b AND c")
+    assert expr.op == "OR"
+    assert expr.right.op == "AND"
+
+
+def test_not_binds_tighter_than_and():
+    expr = parse_expression("NOT a AND b")
+    assert expr.op == "AND"
+    assert isinstance(expr.left, ast.Unary)
+
+
+def test_unary_minus_folds_into_literal():
+    expr = parse_expression("-5")
+    assert isinstance(expr, ast.Literal) and expr.value == -5
+
+
+def test_placeholders_numbered_left_to_right():
+    stmt = parse("SELECT a FROM t WHERE x = ? AND y = ?")
+    conj = stmt.where
+    assert conj.left.right.index == 0
+    assert conj.right.right.index == 1
+
+
+def test_named_parameter_expression():
+    expr = parse_expression("@cutoff")
+    assert isinstance(expr, ast.Param) and expr.name == "cutoff"
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT 1 FROM t extra nonsense ,")
+
+
+def test_select_star_without_from_parses_but_is_semantic_error():
+    # the grammar allows it; the executor rejects '*' with no sources
+    stmt = parse("SELECT *")
+    assert isinstance(stmt.items[0].expr, ast.Star)
+
+
+def test_incomplete_join_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT * FROM a JOIN b")  # missing ON
+
+
+def test_dangling_comma_in_select_list_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT a, FROM t")

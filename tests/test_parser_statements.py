@@ -1,0 +1,255 @@
+"""Parser tests: DML, DDL, procedures, transactions, SET, batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast, parse, parse_script
+
+
+# ---------------------------------------------------------------- INSERT
+
+def test_insert_values_single_row():
+    stmt = parse("INSERT INTO t VALUES (1, 'a')")
+    assert isinstance(stmt, ast.Insert)
+    assert stmt.columns is None
+    assert len(stmt.rows) == 1 and len(stmt.rows[0]) == 2
+
+
+def test_insert_values_multi_row():
+    stmt = parse("INSERT INTO t VALUES (1), (2), (3)")
+    assert len(stmt.rows) == 3
+
+
+def test_insert_with_column_list():
+    stmt = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+    assert stmt.columns == ["a", "b"]
+
+
+def test_insert_select():
+    stmt = parse("INSERT INTO t SELECT a, b FROM s WHERE a > 1")
+    assert stmt.select is not None and stmt.rows is None
+
+
+def test_insert_parenthesized_select():
+    stmt = parse("INSERT INTO t (SELECT a FROM s)")
+    assert stmt.select is not None
+
+
+def test_insert_requires_values_or_select():
+    with pytest.raises(SQLSyntaxError):
+        parse("INSERT INTO t")
+
+
+# ---------------------------------------------------------------- UPDATE / DELETE
+
+def test_update_multiple_assignments():
+    stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+    assert isinstance(stmt, ast.Update)
+    assert [col for col, _ in stmt.assignments] == ["a", "b"]
+    assert stmt.where is not None
+
+
+def test_update_without_where():
+    assert parse("UPDATE t SET a = 0").where is None
+
+
+def test_update_requires_equals():
+    with pytest.raises(SQLSyntaxError):
+        parse("UPDATE t SET a 1")
+
+
+def test_delete_with_where():
+    stmt = parse("DELETE FROM t WHERE k IN (1, 2)")
+    assert isinstance(stmt, ast.Delete) and stmt.where is not None
+
+
+def test_delete_without_where():
+    assert parse("DELETE FROM t").where is None
+
+
+# ---------------------------------------------------------------- CREATE TABLE
+
+def test_create_table_columns_and_types():
+    stmt = parse(
+        "CREATE TABLE t (a INT, b VARCHAR(10), c DECIMAL(12, 2), d DATE, e BOOLEAN, f FLOAT)"
+    )
+    assert isinstance(stmt, ast.CreateTable)
+    types = [c.type.name for c in stmt.columns]
+    assert types == ["INT", "VARCHAR", "DECIMAL", "DATE", "BOOLEAN", "FLOAT"]
+    assert stmt.columns[1].type.length == 10
+    assert stmt.columns[2].type.precision == 12 and stmt.columns[2].type.scale == 2
+
+
+def test_create_table_column_primary_key_implies_not_null():
+    stmt = parse("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+    assert stmt.primary_key == ["k"]
+    assert stmt.columns[0].not_null
+
+
+def test_create_table_table_level_primary_key():
+    stmt = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+    assert stmt.primary_key == ["a", "b"]
+
+
+def test_create_table_not_null():
+    stmt = parse("CREATE TABLE t (a INT NOT NULL, b INT NULL)")
+    assert stmt.columns[0].not_null and not stmt.columns[1].not_null
+
+
+def test_create_temporary_table_keyword():
+    assert parse("CREATE TEMPORARY TABLE t (a INT)").temporary
+    assert parse("CREATE TEMP TABLE t (a INT)").temporary
+
+
+def test_create_table_hash_name_is_temporary():
+    stmt = parse("CREATE TABLE #work (a INT)")
+    assert stmt.temporary and stmt.name == "#work"
+
+
+def test_create_table_if_not_exists():
+    assert parse("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+
+def test_create_table_default_clause_parses():
+    stmt = parse("CREATE TABLE t (a INT DEFAULT 0)")
+    assert stmt.columns[0].default is not None
+
+
+def test_int_type_aliases():
+    stmt = parse("CREATE TABLE t (a INTEGER, b BIGINT, c SMALLINT)")
+    assert all(c.type.name == "INT" for c in stmt.columns)
+
+
+def test_float_type_aliases():
+    stmt = parse("CREATE TABLE t (a REAL, b DOUBLE PRECISION, c FLOAT)")
+    assert all(c.type.name == "FLOAT" for c in stmt.columns)
+
+
+# ---------------------------------------------------------------- DROP
+
+def test_drop_table():
+    stmt = parse("DROP TABLE t")
+    assert isinstance(stmt, ast.DropTable) and not stmt.if_exists
+
+
+def test_drop_table_if_exists():
+    assert parse("DROP TABLE IF EXISTS t").if_exists
+
+
+def test_drop_procedure():
+    stmt = parse("DROP PROCEDURE IF EXISTS p")
+    assert isinstance(stmt, ast.DropProcedure) and stmt.if_exists
+
+
+# ---------------------------------------------------------------- procedures
+
+def test_create_procedure_with_params():
+    stmt = parse("CREATE PROCEDURE p (@a INT, @b VARCHAR(20)) AS INSERT INTO t VALUES (@a, @b)")
+    assert isinstance(stmt, ast.CreateProcedure)
+    assert [name for name, _ in stmt.params] == ["a", "b"]
+    assert len(stmt.body) == 1
+
+
+def test_create_procedure_no_params():
+    stmt = parse("CREATE PROCEDURE p AS DELETE FROM t")
+    assert stmt.params == []
+
+
+def test_create_procedure_multi_statement_body():
+    stmt = parse("CREATE PROCEDURE p AS INSERT INTO t VALUES (1); DELETE FROM s")
+    assert len(stmt.body) == 2
+
+
+def test_create_procedure_begin_end_body():
+    stmt = parse("CREATE PROCEDURE p AS BEGIN INSERT INTO t VALUES (1); DELETE FROM s END")
+    assert len(stmt.body) == 2
+
+
+def test_create_procedure_begin_requires_end():
+    with pytest.raises(SQLSyntaxError):
+        parse("CREATE PROCEDURE p AS BEGIN INSERT INTO t VALUES (1)")
+
+
+def test_create_procedure_empty_body_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse("CREATE PROCEDURE p AS")
+
+
+def test_temp_procedure_flag():
+    assert parse("CREATE PROCEDURE #p AS DELETE FROM t").temporary
+
+
+def test_exec_with_args():
+    stmt = parse("EXEC p 1, 'two', @three")
+    assert isinstance(stmt, ast.ExecProcedure)
+    assert len(stmt.args) == 3
+
+
+def test_execute_keyword():
+    assert isinstance(parse("EXECUTE p"), ast.ExecProcedure)
+
+
+def test_exec_named_arg_style_accepted():
+    stmt = parse("EXEC p @x = 5")
+    assert len(stmt.args) == 1
+
+
+# ---------------------------------------------------------------- transactions / SET
+
+def test_begin_commit_rollback():
+    assert isinstance(parse("BEGIN"), ast.BeginTransaction)
+    assert isinstance(parse("BEGIN TRANSACTION"), ast.BeginTransaction)
+    assert isinstance(parse("COMMIT"), ast.Commit)
+    assert isinstance(parse("COMMIT WORK"), ast.Commit)
+    assert isinstance(parse("ROLLBACK TRANSACTION"), ast.Rollback)
+
+
+def test_set_option_forms():
+    assert parse("SET timeout 30").value == 30
+    assert parse("SET timeout = 30").value == 30
+    assert parse("SET mode 'strict'").value == "strict"
+    assert parse("SET flag ON").value is True
+    assert parse("SET flag off").value is False
+
+
+def test_set_option_name_lowercased():
+    assert parse("SET TimeOut 5").name == "timeout"
+
+
+def test_checkpoint_statement():
+    assert isinstance(parse("CHECKPOINT"), ast.Checkpoint)
+
+
+# ---------------------------------------------------------------- batches
+
+def test_parse_script_multiple_statements():
+    statements = parse_script("BEGIN; INSERT INTO t VALUES (1); COMMIT")
+    assert [type(s).__name__ for s in statements] == [
+        "BeginTransaction", "Insert", "Commit",
+    ]
+
+
+def test_parse_script_tolerates_extra_semicolons():
+    assert len(parse_script(";;SELECT 1;; SELECT 2;;")) == 2
+
+
+def test_parse_script_empty():
+    assert parse_script("   ") == []
+
+
+def test_parse_single_rejects_multiple():
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT 1; SELECT 2")
+
+
+def test_procedure_inside_batch_with_begin_end():
+    statements = parse_script(
+        "DROP PROCEDURE IF EXISTS p; "
+        "CREATE PROCEDURE p AS BEGIN INSERT INTO t VALUES (1) END; "
+        "EXEC p"
+    )
+    assert [type(s).__name__ for s in statements] == [
+        "DropProcedure", "CreateProcedure", "ExecProcedure",
+    ]

@@ -1,0 +1,98 @@
+"""Multiple simultaneous Phoenix connections: isolation and independence.
+
+The naming scheme gives each connection its own phx_* namespace, so
+concurrent persistent sessions must never observe each other's helper
+objects, temp redirections, or recoveries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def pair(system):
+    def autorestart(conn):
+        conn.config.sleep = lambda _s: (
+            system.endpoint.restart_server() if not system.server.up else None
+        )
+        return conn
+
+    a = autorestart(system.phoenix.connect(system.DSN, user="alice"))
+    b = autorestart(system.phoenix.connect(system.DSN, user="bob"))
+    cur = a.cursor()
+    cur.execute("CREATE TABLE shared (k INT PRIMARY KEY, who VARCHAR(10))")
+    yield system, a, b
+    for conn in (a, b):
+        if not conn.closed:
+            conn.close()
+
+
+def test_distinct_namespaces(pair):
+    _system, a, b = pair
+    assert a.names.client_id != b.names.client_id
+    assert a.names.status_table != b.names.status_table
+
+
+def test_temp_tables_do_not_collide(pair):
+    _system, a, b = pair
+    a.cursor().execute("CREATE TABLE #w (x INT)")
+    b.cursor().execute("CREATE TABLE #w (x INT)")  # same app-visible name!
+    a.cursor().execute("INSERT INTO #w VALUES (1)")
+    b.cursor().execute("INSERT INTO #w VALUES (2), (3)")
+    ca, cb = a.cursor(), b.cursor()
+    ca.execute("SELECT count(*) FROM #w")
+    cb.execute("SELECT count(*) FROM #w")
+    assert ca.fetchone() == (1,)
+    assert cb.fetchone() == (2,)
+
+
+def test_both_sessions_survive_one_crash(pair):
+    system, a, b = pair
+    ca, cb = a.cursor(), b.cursor()
+    ca.execute("INSERT INTO shared VALUES (1, 'alice')")
+    cb.execute("INSERT INTO shared VALUES (2, 'bob')")
+    ca.execute("SELECT k FROM shared ORDER BY k")
+    got_a = ca.fetchmany(1)
+    system.server.crash()
+    system.endpoint.restart_server()
+    # both connections recover independently on their next request
+    cb.execute("SELECT count(*) FROM shared")
+    assert cb.fetchone() == (2,)
+    got_a += ca.fetchall()
+    assert [r[0] for r in got_a] == [1, 2]
+    # b contacted the server and recovered; a's remaining rows were already
+    # buffered client-side, so it recovers lazily on its next server request
+    assert b.stats.recoveries == 1
+    assert a.stats.recoveries == 0
+    ca.execute("SELECT count(*) FROM shared")
+    assert ca.fetchone() == (2,)
+    assert a.stats.recoveries == 1
+
+
+def test_interleaved_transactions_conflict_cleanly(pair):
+    """Two writers on the same table: the second hits the lock, not chaos."""
+    from repro.errors import LockError
+
+    _system, a, b = pair
+    a.begin()
+    a.cursor().execute("INSERT INTO shared VALUES (10, 'alice')")
+    with pytest.raises(LockError):
+        b.cursor().execute("INSERT INTO shared VALUES (11, 'bob')")
+    a.commit()
+    b.cursor().execute("INSERT INTO shared VALUES (11, 'bob')")
+    check = a.cursor()
+    check.execute("SELECT count(*) FROM shared")
+    assert check.fetchone() == (2,)
+
+
+def test_close_of_one_leaves_other_working(pair):
+    system, a, b = pair
+    a.cursor().execute("INSERT INTO shared VALUES (1, 'alice')")
+    a.close()
+    cb = b.cursor()
+    cb.execute("SELECT count(*) FROM shared")
+    assert cb.fetchone() == (1,)
+    # a's phx objects are gone, b's remain
+    names = system.server.table_names()
+    assert not any(n.startswith(f"phx_c{a.names.client_id}_") for n in names)

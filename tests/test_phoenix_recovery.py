@@ -1,0 +1,365 @@
+"""Phoenix/ODBC under failures: the paper's core claims.
+
+Every test crashes the server at a specific point and asserts the
+application observes nothing but latency — results complete and exact,
+DML applied exactly once, session context reinstalled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommunicationError, RecoveryError
+from repro.net import FaultKind
+from repro.odbc.constants import CursorType, StatementAttr
+
+
+@pytest.fixture()
+def ready(system, phoenix_conn):
+    cur = phoenix_conn.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(10))")
+    cur.execute(
+        "INSERT INTO t VALUES " + ", ".join(f"({i}, 'v{i}')" for i in range(1, 51))
+    )
+    return system, phoenix_conn, cur
+
+
+def crash_restart(system):
+    system.server.crash()
+    system.endpoint.restart_server()
+
+
+# ------------------------------------------------------------------ queries
+
+def test_crash_between_statements_is_invisible(ready):
+    system, conn, cur = ready
+    crash_restart(system)
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (50,)
+    assert conn.stats.recoveries == 1
+
+
+def test_crash_during_metadata_probe(ready):
+    system, conn, cur = ready
+    system.faults.schedule_on_sql(FaultKind.CRASH_BEFORE_EXECUTE, "(0 = 1)")
+    cur.execute("SELECT k, v FROM t ORDER BY k")
+    assert len(cur.fetchall()) == 50
+    assert conn.stats.recoveries == 1
+
+
+def test_crash_during_materialization_fill(ready):
+    system, conn, cur = ready
+    system.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "EXEC phx_")
+    cur.execute("SELECT k FROM t ORDER BY k")
+    rows = cur.fetchall()
+    assert [r[0] for r in rows] == list(range(1, 51))  # no duplicates from refill
+
+
+def test_crash_during_delivery_open(ready):
+    system, conn, cur = ready
+    system.faults.schedule(
+        FaultKind.CRASH_AFTER_EXECUTE,
+        matcher=lambda r: getattr(r, "sql", "").startswith("SELECT * FROM phx_"),
+    )
+    cur.execute("SELECT k FROM t ORDER BY k")
+    rows = cur.fetchall()
+    assert len(rows) == len(set(rows)) == 50
+
+
+def test_mid_fetch_crash_resumes_at_exact_position(ready):
+    system, conn, cur = ready
+    cur.execute("SELECT k FROM t ORDER BY k")
+    first = cur.fetchmany(20)
+    crash_restart(system)
+    # any server interaction triggers recovery; then the open result is
+    # repositioned at delivered=20
+    conn.cursor().execute("SELECT 1")
+    rest = cur.fetchall()
+    assert [r[0] for r in first + rest] == list(range(1, 51))
+
+
+def test_double_crash_during_one_result(ready):
+    system, conn, cur = ready
+    cur.execute("SELECT k FROM t ORDER BY k")
+    got = cur.fetchmany(10)
+    crash_restart(system)
+    conn.cursor().execute("SELECT 1")
+    got += cur.fetchmany(10)
+    crash_restart(system)
+    conn.cursor().execute("SELECT 1")
+    got += cur.fetchall()
+    assert [r[0] for r in got] == list(range(1, 51))
+    assert conn.stats.recoveries == 2
+
+
+def test_crash_while_recovering_is_survived(ready):
+    system, conn, cur = ready
+    cur.execute("SELECT k FROM t ORDER BY k")
+    cur.fetchmany(5)
+    crash_restart(system)
+    # arm a second crash that fires during recovery's verification phase
+    system.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "count(*) FROM phx_")
+    conn.cursor().execute("SELECT 1")
+    assert len(cur.fetchall()) == 45
+    assert conn.stats.recoveries >= 1
+
+
+def test_recovery_verifies_materialized_state(ready):
+    system, conn, cur = ready
+    cur.execute("SELECT k FROM t ORDER BY k")
+    state = cur._state
+    # sabotage: drop the materialized table behind Phoenix's back, then crash
+    vandal = system.server.connect()
+    system.server.execute(vandal, f"DROP TABLE {state.table}")
+    crash_restart(system)
+    with pytest.raises(RecoveryError):
+        conn.recovery.recover(CommunicationError("test"))
+
+
+# ------------------------------------------------------------------ session context
+
+def test_options_replayed_in_order(ready):
+    system, conn, cur = ready
+    conn.set_option("a", 1)
+    cur.execute("SET b 2")
+    crash_restart(system)
+    cur.execute("SELECT 1")  # trigger recovery
+    app_session = system.server.sessions[conn.app.session_id]
+    assert app_session.options["a"] == 1
+    assert app_session.options["b"] == 2
+
+
+def test_proxy_recreated_after_recovery(ready):
+    system, conn, cur = ready
+    crash_restart(system)
+    cur.execute("SELECT 1")
+    app_session = system.server.sessions[conn.app.session_id]
+    assert "#phx_proxy" in app_session.temp_tables
+
+
+def test_temp_table_survives_crash(ready):
+    system, conn, cur = ready
+    cur.execute("CREATE TABLE #w (x INT)")
+    cur.execute("INSERT INTO #w VALUES (7)")
+    crash_restart(system)
+    cur.execute("SELECT x FROM #w")
+    assert cur.fetchone() == (7,)
+
+
+def test_temp_procedure_survives_crash(ready):
+    system, conn, cur = ready
+    cur.execute("CREATE TABLE #w (x INT)")
+    cur.execute("CREATE PROCEDURE #p AS INSERT INTO #w VALUES (9)")
+    crash_restart(system)
+    cur.execute("EXEC #p")
+    cur.execute("SELECT x FROM #w")
+    assert cur.fetchone() == (9,)
+
+
+# ------------------------------------------------------------------ failure detection
+
+def test_spurious_timeout_retries_without_recovery(ready):
+    system, conn, cur = ready
+    system.faults.schedule_on_sql(FaultKind.HANG, "count(*)")
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (50,)
+    assert conn.stats.spurious_timeouts == 1
+    assert conn.stats.recoveries == 0
+
+
+def test_dropped_connection_without_crash_rebuilds_session(ready):
+    system, conn, cur = ready
+    system.faults.schedule_on_sql(FaultKind.DROP_CONNECTION, "count(*)")
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (50,)
+    # server never died, but the session had to be rebuilt
+    assert system.server.stats.crashes == 0
+    assert conn.stats.recoveries == 1
+
+
+def test_fast_restart_between_requests_detected_via_session_loss(ready):
+    system, conn, cur = ready
+    crash_restart(system)  # client saw nothing; session ids now invalid
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (50,)
+    assert conn.stats.recoveries == 1
+
+
+def test_ping_exhaustion_surfaces_original_error(system):
+    conn = system.phoenix.connect(system.DSN)
+    conn.config.sleep = lambda _s: None  # never restart the server
+    conn.config.max_ping_attempts = 3
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (k INT)")
+    system.server.crash()
+    with pytest.raises(CommunicationError):
+        cur.execute("SELECT count(*) FROM t")
+
+
+def test_epoch_bumps_per_recovery(ready):
+    system, conn, cur = ready
+    assert conn.session_epoch == 0
+    crash_restart(system)
+    cur.execute("SELECT 1")
+    assert conn.session_epoch == 1
+
+
+# ------------------------------------------------------------------ transactions
+
+def test_open_transaction_replayed(ready):
+    system, conn, cur = ready
+    conn.begin()
+    cur.execute("INSERT INTO t VALUES (100, 'tx1')")
+    crash_restart(system)
+    cur.execute("INSERT INTO t VALUES (101, 'tx2')")  # triggers recovery+replay
+    conn.commit()
+    cur.execute("SELECT count(*) FROM t WHERE k >= 100")
+    assert cur.fetchone() == (2,)
+    assert conn.stats.replayed_txns == 1
+
+
+def test_commit_reply_lost_is_not_replayed(ready):
+    system, conn, cur = ready
+    conn.begin()
+    cur.execute("INSERT INTO t VALUES (100, 'tx')")
+    system.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "COMMIT")
+    conn.commit()  # reply lost, but the commit landed
+    cur.execute("SELECT count(*) FROM t WHERE k = 100")
+    assert cur.fetchone() == (1,)
+    assert conn.stats.probe_hits == 1
+    assert conn.stats.replayed_txns == 0
+
+
+def test_commit_lost_before_execute_is_replayed(ready):
+    system, conn, cur = ready
+    conn.begin()
+    cur.execute("INSERT INTO t VALUES (100, 'tx')")
+    system.faults.schedule_on_sql(FaultKind.CRASH_BEFORE_EXECUTE, "COMMIT")
+    conn.commit()  # txn lost entirely → replay + commit again
+    cur.execute("SELECT count(*) FROM t WHERE k = 100")
+    assert cur.fetchone() == (1,)
+    assert conn.stats.replayed_txns == 1
+
+
+def test_rollback_during_crash_equals_rollback(ready):
+    system, conn, cur = ready
+    conn.begin()
+    cur.execute("INSERT INTO t VALUES (100, 'tx')")
+    system.faults.schedule_on_sql(FaultKind.CRASH_BEFORE_EXECUTE, "ROLLBACK")
+    conn.rollback()
+    cur.execute("SELECT count(*) FROM t WHERE k = 100")
+    assert cur.fetchone() == (0,)
+    assert not conn.in_transaction
+
+
+def test_queries_inside_replayed_transaction(ready):
+    system, conn, cur = ready
+    conn.begin()
+    cur.execute("INSERT INTO t VALUES (100, 'tx')")
+    cur.execute("SELECT count(*) FROM t WHERE k = 100")
+    assert cur.fetchone() == (1,)
+    crash_restart(system)
+    cur.execute("SELECT count(*) FROM t WHERE k = 100")  # recovery + replay
+    assert cur.fetchone() == (1,)
+    conn.commit()
+
+
+# ------------------------------------------------------------------ cursors
+
+def test_keyset_cursor_survives_crash(ready):
+    system, conn, cur = ready
+    ks = conn.cursor()
+    ks.set_attr(StatementAttr.CURSOR_TYPE, CursorType.KEYSET)
+    ks.set_attr(StatementAttr.FETCH_BLOCK_SIZE, 10)
+    ks.execute("SELECT k, v FROM t WHERE k <= 30")
+    first = ks.fetchmany(10)
+    crash_restart(system)
+    rest = ks.fetchall()
+    assert [r[0] for r in first + rest] == list(range(1, 31))
+
+
+def test_keyset_cursor_sees_post_crash_updates(ready):
+    system, conn, cur = ready
+    ks = conn.cursor()
+    ks.set_attr(StatementAttr.CURSOR_TYPE, CursorType.KEYSET)
+    ks.set_attr(StatementAttr.FETCH_BLOCK_SIZE, 5)
+    ks.execute("SELECT k, v FROM t WHERE k <= 10")
+    ks.fetchmany(5)
+    cur.execute("UPDATE t SET v = 'CHANGED' WHERE k = 8")
+    crash_restart(system)
+    rest = ks.fetchall()
+    assert (8, "CHANGED") in rest
+
+
+def test_dynamic_cursor_survives_crash_and_sees_inserts(ready):
+    system, conn, cur = ready
+    dyn = conn.cursor()
+    dyn.set_attr(StatementAttr.CURSOR_TYPE, CursorType.DYNAMIC)
+    dyn.set_attr(StatementAttr.FETCH_BLOCK_SIZE, 5)
+    dyn.execute("SELECT k FROM t WHERE k BETWEEN 20 AND 40")
+    first = dyn.fetchmany(5)
+    cur.execute("INSERT INTO t VALUES (33, 'late')") if False else None
+    crash_restart(system)
+    cur.execute("INSERT INTO t VALUES (90, 'outside')")  # outside range
+    rest = dyn.fetchall()
+    keys = [r[0] for r in first + rest]
+    assert keys == sorted(keys)
+    assert set(keys) == set(range(20, 41))
+
+
+def test_recovery_timings_recorded(ready):
+    system, conn, cur = ready
+    cur.execute("SELECT k FROM t ORDER BY k")
+    cur.fetchmany(10)
+    crash_restart(system)
+    conn.recovery.recover(CommunicationError("test"))
+    assert conn.stats.last_virtual_session_seconds > 0
+    assert conn.stats.last_sql_state_seconds > 0
+
+
+def test_many_crashes_across_workload(ready):
+    """Soak: a small workload with a crash between every step."""
+    system, conn, cur = ready
+    for i in range(5):
+        crash_restart(system)
+        cur.execute(f"INSERT INTO t VALUES ({200 + i}, 'x{i}')")
+        crash_restart(system)
+        cur.execute(f"SELECT count(*) FROM t WHERE k >= 200")
+        assert cur.fetchone() == (i + 1,)
+    assert conn.stats.recoveries == 10
+
+
+def test_second_crash_inside_post_recovery_fetch(ready):
+    """Regression (found by the fault-schedule property soak): a crash
+    during delivery-open flips the result to server-cursor mode; a *second*
+    crash during the very first post-recovery FETCH triggers recovery
+    inside the guarded fetch call.  The rows that fetch finally returns are
+    post-recovery fresh — the cursor must adopt the new epoch instead of
+    discarding them (the re-opened server cursor has already moved past
+    them, so discarding loses rows for good)."""
+    system, conn, cur = ready
+    system.faults.schedule(
+        FaultKind.CRASH_AFTER_EXECUTE,
+        matcher=lambda r: getattr(r, "sql", "").startswith("SELECT * FROM phx_"),
+    )
+    from repro.net.protocol import FetchRequest
+
+    system.faults.schedule(
+        FaultKind.CRASH_BEFORE_EXECUTE,
+        matcher=lambda r: isinstance(r, FetchRequest),
+    )
+    cur.execute("SELECT k FROM t ORDER BY k")
+    rows = cur.fetchall()
+    assert [r[0] for r in rows] == list(range(1, 51))
+    assert conn.stats.recoveries == 2
+
+
+def test_repeated_crashes_on_retried_request(ready):
+    """Each retry of an idempotent request may meet a fresh crash; the
+    bounded retry loop must ride out several in a row."""
+    system, conn, cur = ready
+    for i in range(4):
+        system.faults.schedule_on_sql(FaultKind.CRASH_BEFORE_EXECUTE, "count(*) FROM t", after=i)
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (50,)
+    assert conn.stats.recoveries >= 2

@@ -1,0 +1,151 @@
+"""Property-based tests for the engine: model checking against Python.
+
+The central invariants:
+
+* a random DML workload applied through SQL equals the same workload
+  applied to a dict model (including across crash+recovery);
+* group-by aggregation equals Python's;
+* ORDER BY equals Python's sort;
+* WAL decode of any prefix of a valid log is a prefix of the records.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import DatabaseServer
+from repro.engine.wal import LogRecord, RecordType, decode_log, encode_record
+
+from tests.conftest import execute
+
+# operations: ("insert", k, v) / ("delete", k) / ("update", k, v) / ("crash",)
+keys = st.integers(min_value=0, max_value=9)
+values = st.integers(min_value=-100, max_value=100)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, values),
+        st.tuples(st.just("delete"), keys),
+        st.tuples(st.just("update"), keys, values),
+        st.tuples(st.just("crash")),
+        st.tuples(st.just("checkpoint")),
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_dml_workload_matches_dict_model_across_crashes(ops):
+    server = DatabaseServer()
+    sid = server.connect()
+    execute(server, sid, "CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+    model: dict[int, int] = {}
+    for op in ops:
+        if op[0] == "crash":
+            server.crash()
+            server.restart()
+            sid = server.connect()
+            continue
+        if op[0] == "checkpoint":
+            server.checkpoint()
+            continue
+        if op[0] == "insert":
+            _, k, v = op
+            if k in model:
+                continue  # would violate PK; model skips like the app would
+            execute(server, sid, f"INSERT INTO t VALUES ({k}, {v})")
+            model[k] = v
+        elif op[0] == "delete":
+            _, k = op
+            execute(server, sid, f"DELETE FROM t WHERE k = {k}")
+            model.pop(k, None)
+        elif op[0] == "update":
+            _, k, v = op
+            execute(server, sid, f"UPDATE t SET v = {v} WHERE k = {k}")
+            if k in model:
+                model[k] = v
+    rows = execute(server, sid, "SELECT k, v FROM t ORDER BY k")
+    assert rows == sorted(model.items())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(st.tuples(st.integers(0, 5), st.integers(-50, 50)), max_size=30),
+)
+def test_group_by_sums_match_python(rows):
+    server = DatabaseServer()
+    sid = server.connect()
+    execute(server, sid, "CREATE TABLE t (g INT, v INT)")
+    if rows:
+        values = ", ".join(f"({g}, {v})" for g, v in rows)
+        execute(server, sid, f"INSERT INTO t VALUES {values}")
+    got = execute(server, sid, "SELECT g, sum(v), count(*) FROM t GROUP BY g ORDER BY g")
+    model: dict[int, list[int]] = {}
+    for g, v in rows:
+        model.setdefault(g, []).append(v)
+    expected = [(g, sum(vs), len(vs)) for g, vs in sorted(model.items())]
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.one_of(st.integers(-100, 100), st.none()), max_size=25))
+def test_order_by_matches_python_sort_with_nulls_first(values):
+    server = DatabaseServer()
+    sid = server.connect()
+    execute(server, sid, "CREATE TABLE t (v INT)")
+    if values:
+        rendered = ", ".join(f"({'NULL' if v is None else v})" for v in values)
+        execute(server, sid, f"INSERT INTO t VALUES {rendered}")
+    got = [r[0] for r in execute(server, sid, "SELECT v FROM t ORDER BY v")]
+    expected = sorted(values, key=lambda v: (v is not None, v if v is not None else 0))
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.integers(-20, 20), max_size=20))
+def test_distinct_matches_set_semantics(values):
+    server = DatabaseServer()
+    sid = server.connect()
+    execute(server, sid, "CREATE TABLE t (v INT)")
+    if values:
+        execute(server, sid, "INSERT INTO t VALUES " + ", ".join(f"({v})" for v in values))
+    got = [r[0] for r in execute(server, sid, "SELECT DISTINCT v FROM t ORDER BY v")]
+    assert got == sorted(set(values))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_records=st.integers(min_value=0, max_value=8),
+    cut=st.integers(min_value=0, max_value=400),
+)
+def test_wal_decode_of_any_prefix_is_a_record_prefix(n_records, cut):
+    records = [
+        LogRecord(RecordType.INSERT, txn_id=i, table="t", rowid=i, after=(i,))
+        for i in range(n_records)
+    ]
+    raw = b"".join(encode_record(r) for r in records)
+    decoded = decode_log(raw[: min(cut, len(raw))])
+    assert [r.rowid for r in decoded] == [r.rowid for r in records[: len(decoded)]]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    committed=st.lists(st.integers(0, 99), unique=True, max_size=10),
+    uncommitted=st.lists(st.integers(100, 199), unique=True, max_size=5),
+)
+def test_recovery_keeps_exactly_the_committed_rows(committed, uncommitted):
+    server = DatabaseServer()
+    sid = server.connect()
+    execute(server, sid, "CREATE TABLE t (k INT PRIMARY KEY)")
+    for k in committed:
+        execute(server, sid, f"INSERT INTO t VALUES ({k})")
+    if uncommitted:
+        execute(server, sid, "BEGIN")
+        for k in uncommitted:
+            execute(server, sid, f"INSERT INTO t VALUES ({k})")
+        server.database.wal.force()  # make the loser's records durable
+    server.crash()
+    server.restart()
+    sid = server.connect()
+    rows = [r[0] for r in execute(server, sid, "SELECT k FROM t ORDER BY k")]
+    assert rows == sorted(committed)

@@ -1,0 +1,86 @@
+"""Property-based end-to-end test of Phoenix transparency under crashes.
+
+The headline theorem of the paper, as a property: *for any workload and any
+placement of server crashes between requests, an application on Phoenix
+observes exactly what it would have observed with no crashes at all.*
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+import repro
+
+# a workload step: (kind, key, value)
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 14), st.integers(-99, 99)),
+        st.tuples(st.just("update"), st.integers(0, 14), st.integers(-99, 99)),
+        st.tuples(st.just("delete"), st.integers(0, 14)),
+        st.tuples(st.just("query")),
+        st.tuples(st.just("temp_insert"), st.integers(0, 99)),
+    ),
+    min_size=1,
+    max_size=10,
+)
+# crash before step i for each i in this set
+crash_points = st.sets(st.integers(0, 9), max_size=4)
+
+
+def run_workload(connection, workload, crash_before=frozenset(), system=None):
+    """Run the steps; returns the list of observable outcomes."""
+    observations = []
+    cursor = connection.cursor()
+    cursor.execute("CREATE TABLE w (k INT PRIMARY KEY, v INT)")
+    cursor.execute("CREATE TABLE #scratch (x INT)")
+    for index, step in enumerate(workload):
+        if index in crash_before and system is not None:
+            system.server.crash()
+            system.endpoint.restart_server()
+        kind = step[0]
+        if kind == "insert":
+            _, k, v = step
+            try:
+                cursor.execute(f"INSERT INTO w VALUES ({k}, {v})")
+                observations.append(("rc", cursor.rowcount))
+            except repro.errors.IntegrityError:
+                observations.append(("dup", k))
+        elif kind == "update":
+            _, k, v = step
+            cursor.execute(f"UPDATE w SET v = {v} WHERE k = {k}")
+            observations.append(("rc", cursor.rowcount))
+        elif kind == "delete":
+            _, k = step
+            cursor.execute(f"DELETE FROM w WHERE k = {k}")
+            observations.append(("rc", cursor.rowcount))
+        elif kind == "query":
+            cursor.execute("SELECT k, v FROM w ORDER BY k")
+            observations.append(("rows", tuple(cursor.fetchall())))
+        elif kind == "temp_insert":
+            _, x = step
+            cursor.execute(f"INSERT INTO #scratch VALUES ({x})")
+            cursor.execute("SELECT count(*) FROM #scratch")
+            observations.append(("scratch", cursor.fetchone()))
+    cursor.execute("SELECT k, v FROM w ORDER BY k")
+    observations.append(("final", tuple(cursor.fetchall())))
+    return observations
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=steps, crashes=crash_points)
+def test_phoenix_with_crashes_equals_plain_without(workload, crashes):
+    # reference: plain ODBC, no failures
+    reference_system = repro.make_system()
+    reference = run_workload(
+        reference_system.plain.connect(reference_system.DSN), workload
+    )
+
+    # subject: Phoenix, with crashes injected between steps
+    system = repro.make_system()
+    connection = system.phoenix.connect(system.DSN)
+    connection.config.sleep = lambda _s: (
+        system.endpoint.restart_server() if not system.server.up else None
+    )
+    subject = run_workload(connection, workload, crashes, system)
+
+    assert subject == reference

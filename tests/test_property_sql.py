@@ -1,0 +1,131 @@
+"""Property-based tests for the SQL front end (hypothesis)."""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.expressions import like_to_regex
+from repro.sql import ast, parse, parse_expression, tokenize
+from repro.sql.ast import quote_literal
+
+# ---------------------------------------------------------------- strategies
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper() not in __import__("repro.sql.lexer", fromlist=["KEYWORDS"]).KEYWORDS
+)
+
+literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000).map(ast.Literal),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False).map(ast.Literal),
+    st.text(alphabet="abc'x ", max_size=8).map(ast.Literal),
+    st.booleans().map(ast.Literal),
+    st.just(ast.Literal(None)),
+)
+
+
+def expressions(depth: int = 2) -> st.SearchStrategy[ast.Expr]:
+    base = st.one_of(literals, identifiers.map(ast.ColumnRef))
+    if depth == 0:
+        return base
+    sub = expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*", "=", "<", ">=", "AND", "OR"]), sub, sub).map(
+            lambda t: ast.Binary(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: ast.Unary("NOT", e)),
+        st.tuples(sub, st.booleans()).map(lambda t: ast.IsNull(t[0], negated=t[1])),
+        st.tuples(sub, sub, sub).map(lambda t: ast.Between(t[0], t[1], t[2])),
+        st.tuples(sub, st.lists(literals, min_size=1, max_size=3)).map(
+            lambda t: ast.InList(t[0], t[1])
+        ),
+    )
+
+
+# ---------------------------------------------------------------- properties
+
+@settings(max_examples=200, deadline=None)
+@given(expressions())
+def test_rendered_expressions_reparse_to_same_text(expr):
+    """render → parse → render is a fixpoint for generated expressions."""
+    text = expr.sql()
+    reparsed = parse_expression(text)
+    assert reparsed.sql() == text
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet="abc'%_\\ \n;--", max_size=30))
+def test_quote_literal_round_trips_through_lexer(s):
+    tokens = tokenize(f"SELECT {quote_literal(s)}")
+    assert tokens[1].value == s
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=20))
+def test_string_literals_lex_back_exactly(s):
+    rendered = "'" + s.replace("'", "''") + "'"
+    tokens = tokenize(rendered)
+    assert tokens[0].value == s
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    pattern=st.text(alphabet="ab%_c", max_size=10),
+    text=st.text(alphabet="abc", max_size=12),
+)
+def test_like_matches_reference_implementation(pattern, text):
+    """like_to_regex agrees with a naive backtracking LIKE matcher."""
+
+    def naive_like(p: str, t: str) -> bool:
+        if not p:
+            return not t
+        head, rest = p[0], p[1:]
+        if head == "%":
+            return any(naive_like(rest, t[i:]) for i in range(len(t) + 1))
+        if head == "_":
+            return bool(t) and naive_like(rest, t[1:])
+        return bool(t) and t[0] == head and naive_like(rest, t[1:])
+
+    regex = like_to_regex(pattern)
+    assert (regex.match(text) is not None) == naive_like(pattern, text)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pattern=st.text(alphabet="ab%_!", max_size=8),
+    text=st.text(alphabet="ab%_", max_size=10),
+)
+def test_like_escape_makes_wildcards_literal(pattern, text):
+    """With ESCAPE '!', '!%' and '!_' match only the literal characters."""
+    regex = like_to_regex(pattern, escape="!")
+    # reference: translate escaped chars to a sentinel then naive-match
+    out = []
+    i = 0
+    while i < len(pattern):
+        if pattern[i] == "!" and i + 1 < len(pattern):
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+        elif pattern[i] == "%":
+            out.append(".*")
+            i += 1
+        elif pattern[i] == "_":
+            out.append(".")
+            i += 1
+        else:
+            out.append(re.escape(pattern[i]))
+            i += 1
+    reference = re.compile("".join(out) + r"\Z", re.DOTALL)
+    assert (regex.match(text) is None) == (reference.match(text) is None)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(
+    ["SELECT 1", "BEGIN", "COMMIT", "INSERT INTO t VALUES (1)", "DELETE FROM t"]
+), min_size=0, max_size=6))
+def test_parse_script_statement_count(statements):
+    from repro.sql import parse_script
+
+    script = "; ".join(statements)
+    assert len(parse_script(script)) == len(statements)

@@ -1,0 +1,60 @@
+"""Tests for the reporting CLI (fast: runners are stubbed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import harness, reporting
+from repro.bench.harness import Fig2Point, Fig2Series, Table1Row
+
+
+@pytest.fixture()
+def stubbed(monkeypatch):
+    rows = [
+        Table1Row("Q1", 6, 0.05, 0.052),
+        Table1Row("Total Query", 6, 0.05, 0.052),
+    ]
+    series = Fig2Series(points=[Fig2Point(100, 0.0004, 0.001, 0.0001, 0.05)])
+    monkeypatch.setattr(reporting, "run_table1_power_comparison", lambda **kw: rows)
+    monkeypatch.setattr(reporting, "run_fig2_recovery_sweep", lambda **kw: series)
+    return rows, series
+
+
+def test_cli_table1(stubbed, capsys):
+    assert reporting.main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Q1" in out
+
+
+def test_cli_fig2(stubbed, capsys):
+    assert reporting.main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out and "virtual session" in out
+
+
+def test_cli_all(stubbed, capsys):
+    assert reporting.main(["all"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Figure 2" in out
+
+
+def test_cli_rejects_unknown_artifact(stubbed):
+    with pytest.raises(SystemExit):
+        reporting.main(["table7"])
+
+
+def test_render_table1_handles_nan_ratio():
+    text = reporting.render_table1([Table1Row("Q0", 0, 0.0, 0.1)])
+    assert "nan" in text
+
+
+def test_render_fig2_bar_scale_never_divides_by_zero():
+    series = Fig2Series(points=[Fig2Point(1, 0.0, 0.0, 0.0, 0.0)])
+    text = reporting.render_fig2(series)
+    assert "Figure 2" in text
+
+
+def test_round_trip_row_projection():
+    row = harness.RoundTripRow("Q1", native_trips=1, phoenix_trips=4,
+                               native_bytes=100, phoenix_bytes=300)
+    assert row.projected_overhead_seconds(0.03) == pytest.approx(0.09)

@@ -1,0 +1,193 @@
+"""Unit tests for table schemas and the in-memory table primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CatalogError, IntegrityError, InternalError
+from repro.engine.schema import Column, TableSchema, schema_from_ast
+from repro.engine.storage import TableData
+from repro.engine.table import Table
+from repro.engine.values import SqlType
+from repro.sql import parse
+
+
+def make_schema(**kwargs) -> TableSchema:
+    defaults = dict(
+        name="t",
+        columns=(
+            Column("k", SqlType.INT, not_null=True),
+            Column("v", SqlType.VARCHAR, length=10),
+        ),
+        primary_key=("k",),
+    )
+    defaults.update(kwargs)
+    return TableSchema(**defaults)
+
+
+# ---------------------------------------------------------------- schema
+
+def test_schema_column_lookup():
+    schema = make_schema()
+    assert schema.column_index("v") == 1
+    assert schema.column("k").type is SqlType.INT
+    assert schema.has_column("k") and not schema.has_column("zz")
+
+
+def test_schema_unknown_column_raises():
+    with pytest.raises(CatalogError):
+        make_schema().column_index("nope")
+
+
+def test_schema_duplicate_columns_rejected():
+    with pytest.raises(CatalogError):
+        TableSchema("t", (Column("a", SqlType.INT), Column("a", SqlType.INT)))
+
+
+def test_schema_pk_must_reference_columns():
+    with pytest.raises(CatalogError):
+        TableSchema("t", (Column("a", SqlType.INT),), primary_key=("zz",))
+
+
+def test_coerce_row_validates_arity():
+    with pytest.raises(IntegrityError):
+        make_schema().coerce_row([1])
+
+
+def test_coerce_row_enforces_not_null():
+    with pytest.raises(IntegrityError):
+        make_schema().coerce_row([None, "x"])
+
+
+def test_coerce_row_applies_types():
+    row = make_schema().coerce_row(["7", 123])
+    assert row == (7, "123")
+
+
+def test_key_of_extracts_pk_tuple():
+    schema = make_schema()
+    assert schema.key_of((5, "x")) == (5,)
+
+
+def test_renamed_copy():
+    schema = make_schema().renamed("other", temporary=True)
+    assert schema.name == "other" and schema.temporary
+    assert schema.column_index("v") == 1  # index rebuilt
+
+
+def test_create_table_sql_round_trips_through_parser():
+    schema = make_schema()
+    stmt = parse(schema.create_table_sql())
+    rebuilt = schema_from_ast(stmt)
+    assert rebuilt.column_names == schema.column_names
+    assert rebuilt.primary_key == schema.primary_key
+
+
+def test_schema_from_ast_lowercases_names():
+    schema = schema_from_ast(parse("CREATE TABLE MyTable (Aa INT PRIMARY KEY)"))
+    assert schema.name == "mytable"
+    assert schema.column_names == ["aa"]
+    assert schema.primary_key == ("aa",)
+
+
+def test_schema_from_ast_temp_marker():
+    assert schema_from_ast(parse("CREATE TABLE #w (a INT)")).temporary
+
+
+# ---------------------------------------------------------------- table
+
+def test_insert_assigns_growing_rowids():
+    table = Table.create(make_schema())
+    r1 = table.insert((1, "a"))
+    r2 = table.insert((2, "b"))
+    assert r2 == r1 + 1
+    assert table.row_count() == 2
+
+
+def test_insert_duplicate_pk_rejected():
+    table = Table.create(make_schema())
+    table.insert((1, "a"))
+    with pytest.raises(IntegrityError):
+        table.insert((1, "b"))
+
+
+def test_check_insert_does_not_mutate():
+    table = Table.create(make_schema())
+    table.insert((1, "a"))
+    with pytest.raises(IntegrityError):
+        table.check_insert((1, "b"))
+    assert table.row_count() == 1
+
+
+def test_delete_returns_before_image_and_clears_index():
+    table = Table.create(make_schema())
+    rowid = table.insert((1, "a"))
+    assert table.delete(rowid) == (1, "a")
+    assert table.lookup_key((1,)) is None
+    assert table.insert((1, "again"))  # key free again
+
+
+def test_delete_unknown_rowid_raises():
+    with pytest.raises(InternalError):
+        Table.create(make_schema()).delete(99)
+
+
+def test_update_moves_pk_index():
+    table = Table.create(make_schema())
+    rowid = table.insert((1, "a"))
+    table.update(rowid, (2, "a"))
+    assert table.lookup_key((1,)) is None
+    assert table.lookup_key((2,)) == rowid
+
+
+def test_update_pk_collision_rejected():
+    table = Table.create(make_schema())
+    table.insert((1, "a"))
+    r2 = table.insert((2, "b"))
+    with pytest.raises(IntegrityError):
+        table.update(r2, (1, "b"))
+
+
+def test_check_update_same_row_key_allowed():
+    table = Table.create(make_schema())
+    rowid = table.insert((1, "a"))
+    table.check_update(rowid, (1, "changed"))  # no raise
+
+
+def test_scan_yields_rowid_order():
+    table = Table.create(make_schema())
+    ids = [table.insert((i, str(i))) for i in (3, 1, 2)]
+    assert [rowid for rowid, _ in table.scan()] == sorted(ids)
+
+
+def test_explicit_rowid_bumps_next_rowid():
+    table = Table.create(make_schema())
+    table.insert((1, "a"), rowid=10)
+    assert table.insert((2, "b")) == 11
+
+
+def test_duplicate_rowid_rejected():
+    table = Table.create(make_schema())
+    table.insert((1, "a"), rowid=5)
+    with pytest.raises(InternalError):
+        table.insert((2, "b"), rowid=5)
+
+
+def test_index_rebuilt_from_table_data():
+    data = TableData(schema=make_schema(), rows={1: (1, "a"), 2: (2, "b")}, next_rowid=3)
+    table = Table(data)
+    assert table.lookup_key((2,)) == 2
+
+
+def test_corrupt_duplicate_keys_detected_at_load():
+    data = TableData(schema=make_schema(), rows={1: (1, "a"), 2: (1, "b")}, next_rowid=3)
+    with pytest.raises(InternalError):
+        Table(data)
+
+
+def test_no_pk_table_skips_index():
+    schema = TableSchema("t", (Column("a", SqlType.INT),))
+    table = Table.create(schema)
+    table.insert((1,))
+    table.insert((1,))  # duplicates fine without a PK
+    assert table.row_count() == 2
