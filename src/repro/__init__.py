@@ -85,13 +85,15 @@ def make_system(
     *,
     dsn: str = "main",
     config: PhoenixConfig | None = None,
+    plan_cache: bool = True,
 ) -> System:
     """Build server + wire + driver + both driver managers, ready to use.
 
     ``storage`` defaults to in-memory stable storage (instant crashes); pass
-    a :class:`FileStableStorage` for on-disk durability.
+    a :class:`FileStableStorage` for on-disk durability.  ``plan_cache``
+    toggles the server's parse/plan caches (the bench ablation's knob).
     """
-    server = DatabaseServer(storage)
+    server = DatabaseServer(storage, plan_cache=plan_cache)
     endpoint = ServerEndpoint(server)
     native = NativeDriver(endpoint)
     plain = DriverManager()

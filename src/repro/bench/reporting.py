@@ -4,28 +4,43 @@ Usage::
 
     python -m repro.bench.reporting table1 [--sf 0.001] [--reps 3]
     python -m repro.bench.reporting fig2
+    python -m repro.bench.reporting plancache --json BENCH_plan_cache.json
     python -m repro.bench.reporting all
 
 Output mirrors the paper's layout: Table 1's columns are query id, result
 rows, native seconds, Phoenix seconds, difference, ratio; Figure 2 prints
 the two stacked components per result size (the figure's bars) plus the
-recompute comparison discussed in §4.
+recompute comparison discussed in §4.  ``plancache`` runs the engine-cache
+ablation (cache on vs off) and reports the EngineMetrics hit rates.
+
+``--json PATH`` additionally writes every artifact produced by the run as
+one machine-readable JSON document (``BENCH_*.json`` convention), so perf
+results accumulate as comparable artifacts across revisions.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
 from repro.bench.harness import (
     AvailabilityResult,
     Fig2Series,
+    PlanCacheRun,
     Table1Row,
     run_availability_experiment,
     run_fig2_recovery_sweep,
+    run_plan_cache_ablation,
     run_table1_power_comparison,
 )
 
-__all__ = ["render_table1", "render_fig2", "render_availability", "main"]
+__all__ = [
+    "render_table1",
+    "render_fig2",
+    "render_availability",
+    "render_plan_cache",
+    "main",
+]
 
 
 def render_table1(rows: list[Table1Row]) -> str:
@@ -83,24 +98,126 @@ def render_availability(results: dict[str, AvailabilityResult]) -> str:
     return "\n".join(lines)
 
 
+def render_plan_cache(runs: list[PlanCacheRun]) -> str:
+    """The engine-cache ablation: cache on vs off, with hit rates."""
+    lines = [
+        "Ablation. Statement/plan cache on vs off",
+        f"{'Workload':15} {'Cache':>5} {'Seconds':>9} {'Stmts':>6} {'Stmt/s':>9} "
+        f"{'Parse hit%':>11} {'Plan hit%':>10} {'Invalid.':>9}",
+    ]
+    for run in runs:
+        lines.append(
+            f"{run.workload:15} {run.cache:>5} {run.seconds:>9.4f} {run.statements:>6} "
+            f"{run.statements_per_second:>9.1f} "
+            f"{run.metrics['parse_hit_rate']:>10.0%} {run.metrics['plan_hit_rate']:>9.0%} "
+            f"{run.metrics['plan_invalidations']:>9.0f}"
+        )
+    by_cell = {(r.workload, r.cache): r for r in runs}
+    for workload in dict.fromkeys(r.workload for r in runs):
+        on, off = by_cell.get((workload, "on")), by_cell.get((workload, "off"))
+        if on is None or off is None:
+            continue
+        speedup = off.seconds / on.seconds if on.seconds > 0 else float("inf")
+        match = "identical" if on.fingerprint == off.fingerprint else "MISMATCH"
+        lines.append(f"{workload}: speedup {speedup:.2f}x, results {match}")
+    return "\n".join(lines)
+
+
+def _plan_cache_json(runs: list[PlanCacheRun]) -> list[dict]:
+    return [
+        {
+            "workload": run.workload,
+            "cache": run.cache,
+            "seconds": run.seconds,
+            "statements": run.statements,
+            "statements_per_second": run.statements_per_second,
+            "fingerprint": run.fingerprint,
+            "metrics": run.metrics,
+        }
+        for run in runs
+    ]
+
+
+def _table1_json(rows: list[Table1Row]) -> list[dict]:
+    return [
+        {
+            "name": row.name,
+            "result_rows": row.result_rows,
+            "native_seconds": row.native_seconds,
+            "phoenix_seconds": row.phoenix_seconds,
+            "difference": row.difference,
+            "ratio": row.ratio,
+        }
+        for row in rows
+    ]
+
+
+def _fig2_json(series: Fig2Series) -> list[dict]:
+    return [
+        {
+            "result_size": point.result_size,
+            "virtual_session_seconds": point.virtual_session_seconds,
+            "sql_state_seconds": point.sql_state_seconds,
+            "outstanding_fetch_seconds": point.outstanding_fetch_seconds,
+            "recovery_seconds": point.recovery_seconds,
+            "recompute_seconds": point.recompute_seconds,
+        }
+        for point in series.points
+    ]
+
+
+def _availability_json(results: dict[str, AvailabilityResult]) -> list[dict]:
+    return [
+        {
+            "driver": result.driver,
+            "sessions_total": result.sessions_total,
+            "sessions_completed": result.sessions_completed,
+            "availability": result.availability,
+            "crashes": result.crashes,
+        }
+        for result in results.values()
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("artifact", choices=["table1", "fig2", "availability", "all"])
+    parser.add_argument(
+        "artifact", choices=["table1", "fig2", "availability", "plancache", "all"]
+    )
     parser.add_argument("--sf", type=float, default=0.001, help="TPC-H scale factor")
     parser.add_argument("--reps", type=int, default=3, help="power test repetitions")
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="also write the run's results as a machine-readable JSON artifact",
+    )
     args = parser.parse_args(argv)
 
+    payload: dict[str, object] = {}
     if args.artifact in ("table1", "all"):
         rows = run_table1_power_comparison(sf=args.sf, repetitions=args.reps)
         print(render_table1(rows))
         print()
+        payload["table1"] = _table1_json(rows)
     if args.artifact in ("fig2", "all"):
         series = run_fig2_recovery_sweep()
         print(render_fig2(series))
         print()
+        payload["fig2"] = _fig2_json(series)
     if args.artifact in ("availability", "all"):
         results = run_availability_experiment()
         print(render_availability(results))
+        payload["availability"] = _availability_json(results)
+    if args.artifact in ("plancache", "all"):
+        runs = run_plan_cache_ablation(sf=args.sf, repetitions=args.reps)
+        print(render_plan_cache(runs))
+        payload["plancache"] = _plan_cache_json(runs)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_path}")
     return 0
 
 

@@ -51,6 +51,17 @@ class Database:
         self.indexes: dict[str, tuple[str, str]] = {}
         self.locks = LockManager()
         self.txns = TransactionManager(seed=txn_seed)
+        #: monotonic catalog version: bumped on every persistent DDL
+        #: (create/drop of tables, views, procedures, indexes), including
+        #: DDL undone by rollback.  Cached plans are validated against it —
+        #: see :mod:`repro.engine.plancache`.  Volatile: a restart builds a
+        #: fresh Database (and fresh caches), so it starts at zero again.
+        self.catalog_version = 0
+
+    def bump_catalog_version(self) -> int:
+        """Invalidate all version-validated plan caches; returns the new version."""
+        self.catalog_version += 1
+        return self.catalog_version
 
     # ------------------------------------------------------------------ catalog
 
@@ -149,6 +160,7 @@ class Database:
             # so the table is empty by now.  The stable file (if any) is
             # reconciled away at the next checkpoint.
             self.tables.pop(record.schema.name, None)
+            self.bump_catalog_version()
             return LogRecord(
                 RecordType.DROP_TABLE, txn_id=txn_id, schema=record.schema,
                 dropped_rows={}, is_clr=True,
@@ -162,6 +174,7 @@ class Database:
                 )
             )
             self.tables[record.schema.name] = restored
+            self.bump_catalog_version()
             return LogRecord(
                 RecordType.CREATE_TABLE, txn_id=txn_id, schema=record.schema,
                 dropped_rows=dict(record.dropped_rows or {}),
@@ -169,12 +182,14 @@ class Database:
             )
         if kind is RecordType.CREATE_VIEW:
             self.views.pop(record.proc_name, None)
+            self.bump_catalog_version()
             return LogRecord(
                 RecordType.DROP_VIEW, txn_id=txn_id,
                 proc_name=record.proc_name, proc_sql=record.proc_sql, is_clr=True,
             )
         if kind is RecordType.DROP_VIEW:
             self.views[record.proc_name] = record.proc_sql
+            self.bump_catalog_version()
             return LogRecord(
                 RecordType.CREATE_VIEW, txn_id=txn_id,
                 proc_name=record.proc_name, proc_sql=record.proc_sql, is_clr=True,
@@ -194,12 +209,14 @@ class Database:
             )
         if kind is RecordType.CREATE_PROC:
             self.procedures.pop(record.proc_name, None)
+            self.bump_catalog_version()
             return LogRecord(
                 RecordType.DROP_PROC, txn_id=txn_id,
                 proc_name=record.proc_name, proc_sql=record.proc_sql, is_clr=True,
             )
         if kind is RecordType.DROP_PROC:
             self.procedures[record.proc_name] = record.proc_sql
+            self.bump_catalog_version()
             return LogRecord(
                 RecordType.CREATE_PROC, txn_id=txn_id,
                 proc_name=record.proc_name, proc_sql=record.proc_sql, is_clr=True,
@@ -291,6 +308,7 @@ class Database:
         table = Table.create(schema)
         table.data.last_lsn = record.lsn
         self.tables[schema.name] = table
+        self.bump_catalog_version()
         self.lock_write(txn, schema.name)
         return table
 
@@ -309,6 +327,7 @@ class Database:
         # NOTE: the stable table file is *not* deleted here — the DROP is not
         # durable until commit.  Checkpoint reconciles stale files away.
         del self.tables[name]
+        self.bump_catalog_version()
 
     def create_procedure(self, txn: Transaction, name: str, sql_text: str) -> None:
         if name in self.procedures:
@@ -318,6 +337,7 @@ class Database:
             LogRecord(RecordType.CREATE_PROC, txn_id=txn.txn_id, proc_name=name, proc_sql=sql_text),
         )
         self.procedures[name] = sql_text
+        self.bump_catalog_version()
 
     def drop_procedure(self, txn: Transaction, name: str) -> None:
         sql_text = self.get_procedure(name)
@@ -326,6 +346,7 @@ class Database:
             LogRecord(RecordType.DROP_PROC, txn_id=txn.txn_id, proc_name=name, proc_sql=sql_text),
         )
         del self.procedures[name]
+        self.bump_catalog_version()
 
     def create_view(self, txn: Transaction, name: str, sql_text: str) -> None:
         if name in self.views:
@@ -335,6 +356,7 @@ class Database:
             LogRecord(RecordType.CREATE_VIEW, txn_id=txn.txn_id, proc_name=name, proc_sql=sql_text),
         )
         self.views[name] = sql_text
+        self.bump_catalog_version()
 
     def drop_view(self, txn: Transaction, name: str) -> None:
         sql_text = self.get_view(name)
@@ -343,16 +365,19 @@ class Database:
             LogRecord(RecordType.DROP_VIEW, txn_id=txn.txn_id, proc_name=name, proc_sql=sql_text),
         )
         del self.views[name]
+        self.bump_catalog_version()
 
     def _attach_index(self, name: str, table: str, column: str) -> None:
         self.indexes[name] = (table, column)
         if table in self.tables:
             self.tables[table].add_secondary_index(column)
+        self.bump_catalog_version()
 
     def _detach_index(self, name: str) -> None:
         entry = self.indexes.pop(name, None)
         if entry is None:
             return
+        self.bump_catalog_version()
         table, column = entry
         # only drop the structure if no other index covers the same column
         if table in self.tables and not any(

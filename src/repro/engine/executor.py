@@ -26,6 +26,7 @@ from repro.errors import (
 from repro.engine import functions
 from repro.engine.database import Database
 from repro.engine.expressions import Env, ExpressionCompiler, Scope
+from repro.engine.plancache import EngineMetrics, PlanCache
 from repro.engine.results import ResultSet, StatementResult
 from repro.engine.schema import Column, schema_from_ast, type_spec_to_sql_type
 from repro.engine.table import Table
@@ -38,10 +39,26 @@ __all__ = ["Executor"]
 class Executor:
     """Executes AST statements for one session against one database."""
 
-    def __init__(self, database: Database, session):
+    def __init__(
+        self,
+        database: Database,
+        session,
+        *,
+        metrics: EngineMetrics | None = None,
+        plan_cache: bool = True,
+    ):
         self.database = database
         self.session = session  # repro.engine.session.Session
         self._proc_cache: dict[str, ast.CreateProcedure] = {}
+        #: shared server-wide counters (a private set when standalone)
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+        #: compiled-plan reuse for repeated top-level SELECTs; None = disabled
+        self._plan_cache: PlanCache | None = PlanCache() if plan_cache else None
+        #: statement epoch, bumped at every top-level SELECT entry; compiled
+        #: closures capture this cell so "once per statement" memos (uncorrelated
+        #: subqueries, derived tables, views) recompute when a cached plan is
+        #: re-run — see expressions._statement_memo.
+        self._epoch_cell: list[int] = [0]
 
     # ------------------------------------------------------------ entry point
 
@@ -202,6 +219,7 @@ class Executor:
             raise CatalogError(f"table {schema.name} already exists")
         if schema.temporary:
             self.session.temp_tables[schema.name] = Table.create(schema)
+            self.session.temp_version += 1
         else:
             self.database.create_table(txn, schema)
         return StatementResult.ok(f"CREATE TABLE {schema.name}")
@@ -210,6 +228,7 @@ class Executor:
         name = stmt.name.lower()
         if name in self.session.temp_tables:
             del self.session.temp_tables[name]
+            self.session.temp_version += 1
             return StatementResult.ok(f"DROP TABLE {name}")
         if not self.database.has_table(name):
             if stmt.if_exists:
@@ -279,6 +298,7 @@ class Executor:
             raise CatalogError(f"procedure {name} already exists")
         if stmt.temporary:
             self.session.temp_procedures[name] = stmt.sql()
+            self.session.temp_version += 1
         else:
             self.database.create_procedure(txn, name, stmt.sql())
         return StatementResult.ok(f"CREATE PROCEDURE {name}")
@@ -287,6 +307,7 @@ class Executor:
         name = stmt.name.lower()
         if name in self.session.temp_procedures:
             del self.session.temp_procedures[name]
+            self.session.temp_version += 1
             return StatementResult.ok(f"DROP PROCEDURE {name}")
         if not self.database.has_procedure(name):
             if stmt.if_exists:
@@ -478,6 +499,7 @@ class Executor:
         if schema.temporary:
             table = Table.create(schema)
             self.session.temp_tables[schema.name] = table
+            self.session.temp_version += 1
             for row in result.rows:
                 table.insert(schema.coerce_row(list(row)))
         else:
@@ -498,11 +520,36 @@ class Executor:
         outer_env: Env | None = None,
     ) -> ResultSet:
         """Run the full SELECT pipeline and return a materialized result."""
+        top_level = outer_scope is None and outer_env is None
+        if top_level:
+            # new statement epoch: per-statement memos inside any reused
+            # compiled plan (uncorrelated subqueries, derived tables, views)
+            # must recompute so intervening DML is visible.
+            self._epoch_cell[0] += 1
+            if not params and not placeholders and self._plan_cache is not None:
+                return self._cached_runner(select).run(None)
         if isinstance(select, ast.UnionSelect):
             runner = _UnionRunner(self, select, params or {}, placeholders or [], outer_scope)
             return runner.run(outer_env)
         plan = _SelectPlan(self, select, params or {}, placeholders or [], outer_scope)
         return plan.run(outer_env)
+
+    def _cached_runner(self, select: "ast.Select | ast.UnionSelect"):
+        """Compiled plan for a cacheable top-level SELECT, reused across
+        executions while the catalog and session temp namespace are
+        unchanged.  Keys are statement object identities — the server-side
+        parse cache returns the *same* AST objects for repeated SQL text,
+        and the entry pins the statement so the id stays unambiguous."""
+        versions = (self.database.catalog_version, self.session.temp_version)
+        assert self._plan_cache is not None
+        runner = self._plan_cache.lookup(select, versions, self.metrics)
+        if runner is None:
+            if isinstance(select, ast.UnionSelect):
+                runner = _UnionRunner(self, select, {}, [], None)
+            else:
+                runner = _SelectPlan(self, select, {}, [], None)
+            self._plan_cache.store(select, versions, runner)
+        return runner
 
     # -- SubqueryRunner protocol ------------------------------------------------
 
@@ -599,11 +646,15 @@ class _SelectPlan:
             self.slot_columns.extend(
                 Column(c.name, c.type, length=c.length) for c in meta.output_columns
             )
-            holder: dict[str, list[tuple]] = {}
+            holder: dict[str, Any] = {}
+            epoch_cell = self.executor._epoch_cell
 
             def derived_rows_cached() -> Iterator[tuple]:
-                if "r" not in holder:
+                # memoized per statement epoch, not per plan object: a cached
+                # plan re-run after DML must re-evaluate the derived table.
+                if holder.get("epoch") != epoch_cell[0]:
                     holder["r"] = meta.run(None).rows
+                    holder["epoch"] = epoch_cell[0]
                 return iter(holder["r"])
 
             self.sources.append(_Source(ref.alias.lower(), derived_rows_cached))
@@ -626,11 +677,13 @@ class _SelectPlan:
             Column(name, c.type, length=c.length)
             for name, c in zip(names, meta.output_columns)
         )
-        holder: dict[str, list[tuple]] = {}
+        holder: dict[str, Any] = {}
+        epoch_cell = self.executor._epoch_cell
 
         def view_rows() -> Iterator[tuple]:
-            if "r" not in holder:
+            if holder.get("epoch") != epoch_cell[0]:
                 holder["r"] = meta.run(None).rows
+                holder["epoch"] = epoch_cell[0]
             return iter(holder["r"])
 
         self.sources.append(_Source(binding, view_rows))
@@ -693,11 +746,29 @@ class _SelectPlan:
         #: ``WHERE 0=1`` effectively compile-only, as the paper assumes.
         constant_conjuncts: list[ast.Expr] = []
 
+        #: set when a literal-only conjunct folded to not-True at compile
+        #: time — the plan is then an empty-result short circuit.
+        self.folded_false = False
+
         for conjunct in _split_conjuncts(self.select.where):
             refs: list[ast.ColumnRef] = []
             if _collect_plain_refs(conjunct, refs) and not any(
                 self._is_local_ref(ref) for ref in refs
             ):
+                if not refs and not _contains_funccall(conjunct):
+                    # constant folding: no column refs at any depth and no
+                    # function calls (rowcount() is session-state-dependent)
+                    # — evaluate now, once per *compile*, not once per run.
+                    try:
+                        value = self.compiler.compile_predicate(conjunct)(_env([], None))
+                    except Exception:
+                        # runtime errors (e.g. division by zero) must keep
+                        # surfacing at run time, not at EXPLAIN/compile time
+                        constant_conjuncts.append(conjunct)
+                    else:
+                        if value is not True:
+                            self.folded_false = True
+                    continue
                 constant_conjuncts.append(conjunct)
                 continue
             target = self._conjunct_target(conjunct)
@@ -971,6 +1042,8 @@ class _SelectPlan:
             if step.post is not None:
                 notes.append("post filter")
             lines.append(head + (f"  [{', '.join(notes)}]" if notes else ""))
+        if self.folded_false:
+            lines.append("ConstantFilter (folded false at compile time: empty result)")
         if self.constant_filter is not None:
             lines.append("ConstantFilter (evaluated once per run)")
         if self.where is not None:
@@ -1003,10 +1076,12 @@ class _SelectPlan:
     # -- execution ---------------------------------------------------------------
 
     def run(self, outer_env: Env | None) -> ResultSet:
-        if self.constant_filter is not None:
+        if self.folded_false:
+            rows: list[list] = []
+        elif self.constant_filter is not None:
             probe_env = _env([None] * self.scope.slot_count, outer_env)
             if self.constant_filter(probe_env) is not True:
-                rows: list[list] = []
+                rows = []
             else:
                 rows = self._source_rows(outer_env)
         else:
@@ -1349,6 +1424,38 @@ def _split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
     if isinstance(expr, ast.Binary) and expr.op.upper() == "AND":
         return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
     return [expr]
+
+
+def _contains_funccall(expr: ast.Expr) -> bool:
+    """Does the expression contain any function call?  Used to exclude
+    conjuncts from constant folding: scalar functions may be session-state
+    dependent (``rowcount()``) and must keep evaluating at run time."""
+    if isinstance(expr, ast.FuncCall):
+        return True
+    if isinstance(expr, ast.Binary):
+        return _contains_funccall(expr.left) or _contains_funccall(expr.right)
+    if isinstance(expr, (ast.Unary, ast.IsNull, ast.Cast, ast.ExtractExpr)):
+        return _contains_funccall(expr.operand)
+    if isinstance(expr, ast.Between):
+        return any(_contains_funccall(e) for e in (expr.operand, expr.low, expr.high))
+    if isinstance(expr, ast.InList):
+        return any(_contains_funccall(e) for e in (expr.operand, *expr.items))
+    if isinstance(expr, ast.Like):
+        children = [expr.operand, expr.pattern]
+        if expr.escape is not None:
+            children.append(expr.escape)
+        return any(_contains_funccall(e) for e in children)
+    if isinstance(expr, ast.CaseExpr):
+        children = [c for c in (expr.operand, expr.else_) if c is not None]
+        for cond, result in expr.whens:
+            children.extend([cond, result])
+        return any(_contains_funccall(e) for e in children)
+    if isinstance(expr, ast.SubstringExpr):
+        children = [expr.operand, expr.start]
+        if expr.length is not None:
+            children.append(expr.length)
+        return any(_contains_funccall(e) for e in children)
+    return False
 
 
 def _collect_plain_refs(expr: ast.Expr, out: list[ast.ColumnRef]) -> bool:

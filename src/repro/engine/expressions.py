@@ -18,6 +18,7 @@ computed lazily once and cached for the statement.
 from __future__ import annotations
 
 import datetime
+import functools
 import re
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
@@ -139,8 +140,14 @@ class SubqueryRunner(Protocol):
         ...
 
 
+@functools.lru_cache(maxsize=512)
 def like_to_regex(pattern: str, escape: str | None = None) -> re.Pattern:
-    """Translate a SQL LIKE pattern to a compiled anchored regex."""
+    """Translate a SQL LIKE pattern to a compiled anchored regex.
+
+    Memoized: non-literal LIKE patterns (``col LIKE other_col``, computed
+    patterns) hit this per *row*, and TPC-H Q13/Q16-style scans repeat the
+    same handful of pattern strings millions of times.
+    """
     out: list[str] = []
     i = 0
     while i < len(pattern):
@@ -157,6 +164,31 @@ def like_to_regex(pattern: str, escape: str | None = None) -> re.Pattern:
             out.append(re.escape(ch))
         i += 1
     return re.compile("".join(out) + r"\Z", re.DOTALL)
+
+
+def _statement_memo(runner: Any, compute: Callable[[Env], Any]) -> Callable[[Env], Any]:
+    """Memoize ``compute`` for the duration of one top-level statement.
+
+    Uncorrelated subquery results are safe to reuse *within* a statement
+    but not across statements: with plan caching, the same compiled closure
+    now serves many executions, and intervening DML (possibly from another
+    session) must be visible.  The executor bumps ``runner._epoch_cell[0]``
+    at every top-level statement entry; we recompute whenever the recorded
+    epoch no longer matches.  Runners without an epoch cell (plain
+    SubqueryRunner implementations in tests) degrade to compute-once, the
+    pre-cache behavior.
+    """
+    epoch_cell = getattr(runner, "_epoch_cell", None) or [0]
+    state: dict[str, Any] = {}
+
+    def memoized(env: Env) -> Any:
+        token = epoch_cell[0]
+        if state.get("epoch") != token or "value" not in state:
+            state["value"] = compute(env)
+            state["epoch"] = token
+        return state["value"]
+
+    return memoized
 
 
 def _kleene_and(left: Any, right: Any) -> Any:
@@ -451,7 +483,7 @@ class ExpressionCompiler:
                     values.add(row[0])
             return values, saw_null
 
-        cache: list[tuple[set, bool]] = []
+        cached_gather = _statement_memo(self.runner, gather)
 
         def _in_select_fixed(env: Env) -> Any:
             value = operand(env)
@@ -460,9 +492,7 @@ class ExpressionCompiler:
             if correlated:
                 values, saw_null = gather(env)
             else:
-                if not cache:
-                    cache.append(gather(env))
-                values, saw_null = cache[0]
+                values, saw_null = cached_gather(env)
             if value in values:
                 return not negated
             if saw_null:
@@ -474,22 +504,19 @@ class ExpressionCompiler:
     def _compile_Exists(self, expr: ast.Exists) -> CompiledExpr:
         rows_fn, correlated = self._subquery_rows(expr.select)
         negated = expr.negated
-        cache: list[bool] = []
+        cached_found = _statement_memo(self.runner, lambda env: bool(rows_fn(env)))
 
         def _exists(env: Env) -> Any:
             if correlated:
                 found = bool(rows_fn(env))
             else:
-                if not cache:
-                    cache.append(bool(rows_fn(env)))
-                found = cache[0]
+                found = cached_found(env)
             return not found if negated else found
 
         return _exists
 
     def _compile_ScalarSelect(self, expr: ast.ScalarSelect) -> CompiledExpr:
         rows_fn, correlated = self._subquery_rows(expr.select)
-        cache: list = []
 
         def scalar(env: Env) -> Any:
             rows = rows_fn(env)
@@ -501,12 +528,12 @@ class ExpressionCompiler:
                 raise ProgrammingError("scalar subquery must return one column")
             return rows[0][0]
 
+        cached_scalar = _statement_memo(self.runner, scalar)
+
         def _scalar_select(env: Env) -> Any:
             if correlated:
                 return scalar(env)
-            if not cache:
-                cache.append(scalar(env))
-            return cache[0]
+            return cached_scalar(env)
 
         return _scalar_select
 

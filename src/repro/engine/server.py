@@ -29,6 +29,7 @@ from repro.errors import (
 from repro.engine.cursors import CursorType, open_cursor
 from repro.engine.database import Database
 from repro.engine.executor import Executor
+from repro.engine.plancache import EngineMetrics, ParseCache
 from repro.engine.recovery import RecoveryReport, recover
 from repro.engine.results import StatementResult
 from repro.engine.session import Session
@@ -56,19 +57,33 @@ class ServerStats:
 class DatabaseServer:
     """A single-node SQL server over a stable-storage device."""
 
-    def __init__(self, storage: StableStorage | None = None, *, name: str = "server"):
+    def __init__(
+        self,
+        storage: StableStorage | None = None,
+        *,
+        name: str = "server",
+        plan_cache: bool = True,
+    ):
         self.name = name
         self.storage = storage if storage is not None else InMemoryStableStorage()
         self.database: Database | None = None
         self.sessions: dict[int, Session] = {}
         self._executors: dict[int, Executor] = {}
         self.stats = ServerStats()
+        #: parse/plan cache counters — cumulative across crashes, like stats
+        self.engine_metrics = EngineMetrics()
+        #: enables both the parse cache and per-session plan caches; the
+        #: bench ablation flips this off for its baseline
+        self.plan_cache_enabled = plan_cache
+        #: SQL text → parsed statements; volatile (rebuilt cold on restart)
+        self._parse_cache: ParseCache | None = None
         self.last_recovery: RecoveryReport | None = None
         self.up = False
         self._boot()
 
     def _boot(self) -> None:
         self.database, self.last_recovery = recover(self.storage)
+        self._parse_cache = ParseCache() if self.plan_cache_enabled else None
         self.up = True
 
     # ----------------------------------------------------------- lifecycle
@@ -79,6 +94,7 @@ class DatabaseServer:
         self.database = None
         self.sessions.clear()
         self._executors.clear()
+        self._parse_cache = None  # caches are volatile: a restart starts cold
         self.stats.crashes += 1
 
     def restart(self) -> RecoveryReport:
@@ -111,7 +127,12 @@ class DatabaseServer:
         if options:
             session.options.update(options)
         self.sessions[session.session_id] = session
-        self._executors[session.session_id] = Executor(self.database, session)
+        self._executors[session.session_id] = Executor(
+            self.database,
+            session,
+            metrics=self.engine_metrics,
+            plan_cache=self.plan_cache_enabled,
+        )
         self.stats.connects += 1
         return session.session_id
 
@@ -168,7 +189,7 @@ class DatabaseServer:
         result = StatementResult.ok()
         last_rows: StatementResult | None = None
         batch_rowcounts: list[int] = []
-        for stmt in parse_script(sql):
+        for stmt in self._parse(sql):
             if (
                 isinstance(stmt, ast.Select)
                 and stmt.into is None
@@ -199,6 +220,25 @@ class DatabaseServer:
             result = last_rows
         result.extra["batch_rowcounts"] = batch_rowcounts
         return result
+
+    def _parse(self, sql: str) -> tuple:
+        """Parse a SQL batch through the server-wide parse cache.
+
+        Repeated statement texts come back as the *same* AST objects —
+        which is what keys the per-session plan caches.  Parse errors are
+        not cached (they raise before the put).
+        """
+        cache = self._parse_cache
+        if cache is None:
+            return tuple(parse_script(sql))
+        statements = cache.get(sql)
+        if statements is not None:
+            self.engine_metrics.parse_hits += 1
+            return statements
+        self.engine_metrics.parse_misses += 1
+        statements = tuple(parse_script(sql))
+        cache.put(sql, statements)
+        return statements
 
     def fetch(self, session_id: int, cursor_id: int, n: int) -> tuple[list[tuple], bool]:
         """Fetch the next block from an open cursor."""

@@ -39,6 +39,10 @@ class Session:
         #: the rowcount() function (our @@ROWCOUNT; Phoenix's status-table
         #: wrapper records it inside the same transaction as the DML).
         self.last_rowcount: int = 0
+        #: monotonic counter bumped on every temp-table / temp-procedure
+        #: create or drop; plan-cache entries record it so a plan compiled
+        #: against (or shadowed by) a temp object is never served stale.
+        self.temp_version: int = 0
         self.closed = False
 
     def register_cursor(self, cursor: ServerCursor) -> int:

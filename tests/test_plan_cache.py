@@ -1,0 +1,378 @@
+"""Statement/plan cache behavior: reuse, invalidation, volatility.
+
+The caches must be invisible except in the counters: every test here pairs
+a reuse assertion (hits accrue) with a correctness assertion (results match
+what an uncached engine would produce).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.engine.expressions import like_to_regex
+from repro.engine.plancache import EngineMetrics, LRUCache, ParseCache, PlanCache
+from repro.engine.schema import TableSchema, Column
+from repro.engine.storage import InMemoryStableStorage, TableData
+from repro.engine.values import SqlType
+from repro.engine.server import DatabaseServer
+
+
+@pytest.fixture()
+def server():
+    server = DatabaseServer()
+    sid = server.connect()
+    server.execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(20))")
+    server.execute(sid, "INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+    return server, sid
+
+
+def rows(result):
+    return result.result_set.rows
+
+
+# ---------------------------------------------------------------- parse cache
+
+
+def test_parse_cache_hits_on_repeated_text(server):
+    server, sid = server
+    metrics = server.engine_metrics
+    base_hits = metrics.parse_hits
+    base_misses = metrics.parse_misses
+    for _ in range(4):
+        server.execute(sid, "SELECT v FROM t WHERE k = 2")
+    assert metrics.parse_misses == base_misses + 1
+    assert metrics.parse_hits == base_hits + 3
+
+
+def test_parse_cache_shared_across_sessions(server):
+    server, sid = server
+    other = server.connect()
+    metrics = server.engine_metrics
+    server.execute(sid, "SELECT k FROM t")
+    base_hits = metrics.parse_hits
+    server.execute(other, "SELECT k FROM t")
+    assert metrics.parse_hits == base_hits + 1
+
+
+def test_parse_errors_are_not_cached(server):
+    server, sid = server
+    size_before = len(server._parse_cache)
+    with pytest.raises(Exception):
+        server.execute(sid, "SELEKT nonsense FROM")
+    assert len(server._parse_cache) == size_before
+
+
+# ----------------------------------------------------------------- plan cache
+
+
+def test_plan_cache_hits_on_repeated_select(server):
+    server, sid = server
+    metrics = server.engine_metrics
+    first = rows(server.execute(sid, "SELECT k, v FROM t ORDER BY k"))
+    base_hits = metrics.plan_hits
+    again = rows(server.execute(sid, "SELECT k, v FROM t ORDER BY k"))
+    assert metrics.plan_hits == base_hits + 1
+    assert again == first
+
+
+def test_cached_plan_sees_intervening_dml(server):
+    server, sid = server
+    sql = "SELECT count(*) AS n FROM t"
+    assert rows(server.execute(sid, sql)) == [(3,)]
+    server.execute(sid, "INSERT INTO t VALUES (4, 'four')")
+    assert rows(server.execute(sid, sql)) == [(4,)]
+    server.execute(sid, "DELETE FROM t WHERE k = 1")
+    assert rows(server.execute(sid, sql)) == [(3,)]
+
+
+def test_cached_plan_sees_dml_from_other_session(server):
+    server, sid = server
+    other = server.connect()
+    sql = "SELECT count(*) AS n FROM t"
+    assert rows(server.execute(sid, sql)) == [(3,)]
+    server.execute(other, "INSERT INTO t VALUES (99, 'intruder')")
+    assert rows(server.execute(sid, sql)) == [(4,)]
+
+
+def test_uncorrelated_subquery_recomputes_across_executions(server):
+    server, sid = server
+    sql = "SELECT k FROM t WHERE k IN (SELECT k FROM t WHERE v LIKE 't%') ORDER BY k"
+    assert rows(server.execute(sid, sql)) == [(2,), (3,)]
+    # make the plan hot so the next run reuses the compiled closures
+    assert rows(server.execute(sid, sql)) == [(2,), (3,)]
+    server.execute(sid, "INSERT INTO t VALUES (5, 'ten')")
+    assert rows(server.execute(sid, sql)) == [(2,), (3,), (5,)]
+
+
+def test_uncorrelated_scalar_subquery_recomputes(server):
+    server, sid = server
+    sql = "SELECT k FROM t WHERE k = (SELECT max(k) FROM t)"
+    assert rows(server.execute(sid, sql)) == [(3,)]
+    server.execute(sid, "INSERT INTO t VALUES (7, 'seven')")
+    assert rows(server.execute(sid, sql)) == [(7,)]
+
+
+def test_view_reference_recomputes_across_executions(server):
+    server, sid = server
+    server.execute(sid, "CREATE VIEW big AS SELECT k, v FROM t WHERE k >= 2")
+    sql = "SELECT count(*) AS n FROM big"
+    assert rows(server.execute(sid, sql)) == [(2,)]
+    assert rows(server.execute(sid, sql)) == [(2,)]
+    server.execute(sid, "INSERT INTO t VALUES (8, 'eight')")
+    assert rows(server.execute(sid, sql)) == [(3,)]
+
+
+def test_placeholder_statements_bypass_plan_cache(server):
+    server, sid = server
+    metrics = server.engine_metrics
+    before = metrics.plan_hits + metrics.plan_misses
+    result = server.execute(sid, "SELECT v FROM t WHERE k = ?", placeholders=[2])
+    assert rows(result) == [("two",)]
+    assert metrics.plan_hits + metrics.plan_misses == before
+
+
+# ------------------------------------------------------------- invalidation
+
+
+def test_ddl_invalidates_cached_plan(server):
+    server, sid = server
+    metrics = server.engine_metrics
+    assert rows(server.execute(sid, "SELECT * FROM t WHERE k = 1")) == [(1, "one")]
+    server.execute(sid, "DROP TABLE t")
+    server.execute(
+        sid, "CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(20), extra INT)"
+    )
+    server.execute(sid, "INSERT INTO t VALUES (1, 'one', 10)")
+    base_invalidations = metrics.plan_invalidations
+    assert rows(server.execute(sid, "SELECT * FROM t WHERE k = 1")) == [(1, "one", 10)]
+    assert metrics.plan_invalidations == base_invalidations + 1
+
+
+def test_phx_table_churn_bumps_catalog_version(server):
+    server, sid = server
+    version = server.database.catalog_version
+    server.execute(sid, "CREATE TABLE phx_result_1 (k INT PRIMARY KEY)")
+    assert server.database.catalog_version > version
+    version = server.database.catalog_version
+    server.execute(sid, "DROP TABLE phx_result_1")
+    assert server.database.catalog_version > version
+
+
+def test_view_and_procedure_churn_bumps_catalog_version(server):
+    server, sid = server
+    version = server.database.catalog_version
+    server.execute(sid, "CREATE VIEW phx_v AS SELECT k FROM t")
+    assert server.database.catalog_version > version
+    version = server.database.catalog_version
+    server.execute(sid, "DROP VIEW phx_v")
+    assert server.database.catalog_version > version
+    version = server.database.catalog_version
+    server.execute(
+        sid, "CREATE PROCEDURE phx_fill () AS BEGIN SELECT k FROM t END"
+    )
+    assert server.database.catalog_version > version
+    version = server.database.catalog_version
+    server.execute(sid, "DROP PROCEDURE phx_fill")
+    assert server.database.catalog_version > version
+
+
+def test_ddl_rollback_bumps_catalog_version(server):
+    server, sid = server
+    server.execute(sid, "BEGIN TRANSACTION")
+    server.execute(sid, "CREATE TABLE rolled (k INT PRIMARY KEY)")
+    version = server.database.catalog_version
+    server.execute(sid, "ROLLBACK")
+    assert server.database.catalog_version > version
+
+
+def test_temp_table_redirection_invalidates(server):
+    server, sid = server
+    session = server.sessions[sid]
+    version = session.temp_version
+    server.execute(sid, "CREATE TABLE #t (k INT PRIMARY KEY, v VARCHAR(20))")
+    assert session.temp_version > version
+    server.execute(sid, "INSERT INTO #t VALUES (1, 'only')")
+    sql = "SELECT count(*) AS n FROM #t"
+    assert rows(server.execute(sid, sql)) == [(1,)]
+    assert rows(server.execute(sid, sql)) == [(1,)]  # plan is hot now
+    metrics = server.engine_metrics
+    base_invalidations = metrics.plan_invalidations
+    version = session.temp_version
+    server.execute(sid, "DROP TABLE #t")
+    assert session.temp_version > version
+    server.execute(sid, "CREATE TABLE #t (k INT PRIMARY KEY, v VARCHAR(20))")
+    # the hot plan was compiled against the *old* #t: it must be evicted
+    assert rows(server.execute(sid, sql)) == [(0,)]
+    assert metrics.plan_invalidations > base_invalidations
+
+
+def test_temp_procedure_churn_bumps_temp_version(server):
+    server, sid = server
+    session = server.sessions[sid]
+    version = session.temp_version
+    server.execute(sid, "CREATE PROCEDURE #p () AS BEGIN SELECT k FROM t END")
+    assert session.temp_version > version
+    version = session.temp_version
+    server.execute(sid, "DROP PROCEDURE #p")
+    assert session.temp_version > version
+
+
+def test_temp_recreate_with_different_schema(server):
+    server, sid = server
+    server.execute(sid, "CREATE TABLE #s (a INT PRIMARY KEY)")
+    server.execute(sid, "INSERT INTO #s VALUES (1)")
+    assert rows(server.execute(sid, "SELECT * FROM #s")) == [(1,)]
+    server.execute(sid, "DROP TABLE #s")
+    server.execute(sid, "CREATE TABLE #s (a INT PRIMARY KEY, b INT)")
+    server.execute(sid, "INSERT INTO #s VALUES (1, 2)")
+    assert rows(server.execute(sid, "SELECT * FROM #s")) == [(1, 2)]
+
+
+# ---------------------------------------------------------------- volatility
+
+
+def test_caches_rebuild_cold_after_crash(server):
+    server, sid = server
+    metrics = server.engine_metrics
+    server.execute(sid, "CHECKPOINT")
+    server.execute(sid, "SELECT v FROM t WHERE k = 1")
+    server.execute(sid, "SELECT v FROM t WHERE k = 1")
+    assert metrics.parse_hits > 0
+    server.crash()
+    assert server._parse_cache is None
+    server.restart()
+    sid = server.connect()
+    base_misses = metrics.parse_misses
+    server.execute(sid, "SELECT v FROM t WHERE k = 1")
+    # same SQL text that used to hit now misses: the cache started cold
+    assert metrics.parse_misses == base_misses + 1
+
+
+def test_plan_cache_can_be_disabled():
+    server = DatabaseServer(plan_cache=False)
+    sid = server.connect()
+    server.execute(sid, "CREATE TABLE d (k INT PRIMARY KEY)")
+    server.execute(sid, "INSERT INTO d VALUES (1)")
+    for _ in range(3):
+        assert rows(server.execute(sid, "SELECT k FROM d")) == [(1,)]
+    snapshot = server.engine_metrics.snapshot()
+    assert snapshot["parse_hits"] == 0
+    assert snapshot["plan_hits"] == 0
+
+
+def test_make_system_passes_plan_cache_flag():
+    system = repro.make_system(plan_cache=False)
+    assert system.server.plan_cache_enabled is False
+    assert system.server._parse_cache is None
+    system = repro.make_system()
+    assert system.server.plan_cache_enabled is True
+
+
+# ---------------------------------------------------------------- fast paths
+
+
+def test_like_to_regex_is_memoized():
+    first = like_to_regex("abc%", None)
+    second = like_to_regex("abc%", None)
+    assert first is second
+    assert first.match("abcdef")
+    assert not first.match("abX")
+
+
+def test_constant_false_is_folded_in_explain(server):
+    server, sid = server
+    result = server.execute(sid, "EXPLAIN SELECT * FROM t WHERE 0 = 1")
+    plan_lines = [r[0] for r in rows(result)]
+    assert any("ConstantFilter" in line for line in plan_lines)
+    assert rows(server.execute(sid, "SELECT * FROM t WHERE 0 = 1")) == []
+
+
+def test_folded_plan_skips_scan_but_repeats_correctly(server):
+    server, sid = server
+    sql = "SELECT k FROM t WHERE 1 = 2"
+    assert rows(server.execute(sid, sql)) == []
+    assert rows(server.execute(sid, sql)) == []
+
+
+def test_rowcount_conjunct_is_not_folded(server):
+    server, sid = server
+    sql = "SELECT k FROM t WHERE rowcount() = 1"
+    server.execute(sid, "UPDATE t SET v = 'uno' WHERE k = 1")  # rowcount -> 1
+    assert len(rows(server.execute(sid, sql))) == 3
+    server.execute(sid, "UPDATE t SET v = 'x' WHERE k < 3")  # rowcount -> 2
+    assert rows(server.execute(sid, sql)) == []
+
+
+def test_division_by_zero_still_raises_at_run_time(server):
+    server, sid = server
+    with pytest.raises(Exception):
+        server.execute(sid, "SELECT k FROM t WHERE 1 / 0 = 1")
+
+
+# --------------------------------------------------------------- cow storage
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        name="cow",
+        columns=(
+            Column("k", SqlType.INT),
+            Column("v", SqlType.VARCHAR, length=10),
+        ),
+        primary_key=("k",),
+    )
+
+
+def test_snapshot_isolates_structure():
+    data = TableData(schema=_schema(), rows={1: (1, "a")}, next_rowid=2)
+    snap = data.snapshot()
+    data.rows[2] = (2, "b")
+    data.next_rowid = 3
+    assert snap.rows == {1: (1, "a")}
+    assert snap.next_rowid == 2
+
+
+def test_storage_roundtrip_is_isolated():
+    storage = InMemoryStableStorage()
+    data = TableData(schema=_schema(), rows={1: (1, "a")}, next_rowid=2)
+    storage.write_table_file("cow", data)
+    data.rows[1] = (1, "mutated")
+    read = storage.read_table_file("cow")
+    assert read.rows[1] == (1, "a")
+    read.rows[1] = (1, "changed")
+    assert storage.read_table_file("cow").rows[1] == (1, "a")
+
+
+# -------------------------------------------------------------------- units
+
+
+def test_lru_cache_evicts_least_recently_used():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh a
+    cache.put("c", 3)  # evicts b
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+
+
+def test_plan_cache_counts_invalidation_and_miss():
+    metrics = EngineMetrics()
+    cache = PlanCache()
+    stmt = object()
+    cache.store(stmt, (1, 0), "runner")
+    assert cache.lookup(stmt, (1, 0), metrics) == "runner"
+    assert cache.lookup(stmt, (2, 0), metrics) is None
+    assert metrics.plan_invalidations == 1
+    assert metrics.plan_hits == 1
+    assert metrics.plan_misses == 1
+    assert len(cache) == 0
+
+
+def test_parse_cache_returns_same_objects():
+    cache = ParseCache()
+    stmts = (object(), object())
+    cache.put("SELECT 1", stmts)
+    got = cache.get("SELECT 1")
+    assert got[0] is stmts[0] and got[1] is stmts[1]

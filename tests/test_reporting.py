@@ -5,7 +5,18 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import harness, reporting
-from repro.bench.harness import Fig2Point, Fig2Series, Table1Row
+from repro.bench.harness import Fig2Point, Fig2Series, PlanCacheRun, Table1Row
+
+
+def _stub_metrics(hits: int, misses: int) -> dict:
+    total = hits + misses
+    return {
+        "parse_hits": hits, "parse_misses": misses,
+        "parse_hit_rate": hits / total if total else 0.0,
+        "plan_hits": hits, "plan_misses": misses,
+        "plan_hit_rate": hits / total if total else 0.0,
+        "plan_invalidations": 0,
+    }
 
 
 @pytest.fixture()
@@ -15,8 +26,13 @@ def stubbed(monkeypatch):
         Table1Row("Total Query", 6, 0.05, 0.052),
     ]
     series = Fig2Series(points=[Fig2Point(100, 0.0004, 0.001, 0.0001, 0.05)])
+    runs = [
+        PlanCacheRun("tpch_power", "on", 0.5, 25, 1234, _stub_metrics(24, 1)),
+        PlanCacheRun("tpch_power", "off", 1.0, 25, 1234, _stub_metrics(0, 0)),
+    ]
     monkeypatch.setattr(reporting, "run_table1_power_comparison", lambda **kw: rows)
     monkeypatch.setattr(reporting, "run_fig2_recovery_sweep", lambda **kw: series)
+    monkeypatch.setattr(reporting, "run_plan_cache_ablation", lambda **kw: runs)
     return rows, series
 
 
@@ -36,6 +52,25 @@ def test_cli_all(stubbed, capsys):
     assert reporting.main(["all"]) == 0
     out = capsys.readouterr().out
     assert "Table 1" in out and "Figure 2" in out
+
+
+def test_cli_plancache(stubbed, capsys):
+    assert reporting.main(["plancache"]) == 0
+    out = capsys.readouterr().out
+    assert "Ablation" in out
+    assert "speedup 2.00x" in out
+    assert "identical" in out
+
+
+def test_cli_json_artifact(stubbed, capsys, tmp_path):
+    path = tmp_path / "BENCH_plan_cache.json"
+    assert reporting.main(["plancache", "--json", str(path)]) == 0
+    import json
+
+    payload = json.loads(path.read_text())
+    runs = payload["plancache"]
+    assert {run["cache"] for run in runs} == {"on", "off"}
+    assert runs[0]["metrics"]["parse_hit_rate"] == pytest.approx(24 / 25)
 
 
 def test_cli_rejects_unknown_artifact(stubbed):
