@@ -36,6 +36,8 @@ __all__ = [
     "run_availability_experiment",
     "PlanCacheRun",
     "run_plan_cache_ablation",
+    "ChaosResult",
+    "run_chaos_experiment",
 ]
 
 
@@ -597,3 +599,90 @@ def run_availability_experiment(
             elapsed_seconds=time.perf_counter() - started,
         )
     return results
+
+
+# ==================================================================== chaos sweep
+
+
+@dataclass
+class ChaosResult:
+    """The chaos sweep as a benchmark artifact.
+
+    ``recovered_fraction`` is the headline (1.0 = every crash schedule
+    passed the exactly-once oracle); the per-kind rows and the
+    phase-1/phase-2 recovery-time split quantify *where* recovery spends
+    its time under each fault shape.
+    """
+
+    seed: int
+    golden_requests: int
+    runs: int
+    recovered_fraction: float
+    total_recoveries: int
+    mean_virtual_session_seconds: float
+    mean_sql_state_seconds: float
+    elapsed_seconds: float
+    #: fault kind -> {"runs", "recovered_fraction", "recoveries"}
+    by_kind: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: failing schedules, rendered (empty on a fully green sweep)
+    failures: list[dict] = field(default_factory=list)
+
+
+def run_chaos_experiment(
+    *,
+    seed: int = 0,
+    stride: int = 1,
+    random_runs: int = 24,
+) -> ChaosResult:
+    """Exhaustive single-fault sweep + storage faults + seeded multi-fault
+    schedules, judged by the exactly-once oracle (see :mod:`repro.chaos`).
+
+    ``stride`` thins the crash-point grid (1 = every wire request index);
+    ``random_runs`` multi-fault schedules derive from ``seed`` alone, so a
+    failure reproduces from the artifact's recorded seed.
+    """
+    from repro.chaos import ChaosExplorer
+    from repro.net.faults import STORAGE_FAULTS, WIRE_FAULTS
+
+    explorer = ChaosExplorer(seed=seed)
+    started = time.perf_counter()
+    report = explorer.sweep_single_faults(stride=stride)
+    report.merge(explorer.sweep_storage_faults(stride=stride))
+    report.merge(explorer.sweep_random(random_runs))
+    elapsed = time.perf_counter() - started
+
+    by_kind: dict[str, dict[str, float]] = {}
+    for kind in WIRE_FAULTS + STORAGE_FAULTS:
+        single = [
+            r for r in report.results
+            if len(r.schedule) == 1 and r.schedule[0][1] is kind
+        ]
+        if not single:
+            continue
+        by_kind[kind.value] = {
+            "runs": len(single),
+            "recovered_fraction": sum(1 for r in single if r.ok) / len(single),
+            "recoveries": sum(r.recoveries for r in single),
+        }
+    multi = [r for r in report.results if len(r.schedule) > 1]
+    if multi:
+        by_kind["multi_fault"] = {
+            "runs": len(multi),
+            "recovered_fraction": sum(1 for r in multi if r.ok) / len(multi),
+            "recoveries": sum(r.recoveries for r in multi),
+        }
+    return ChaosResult(
+        seed=seed,
+        golden_requests=report.golden_requests,
+        runs=report.runs,
+        recovered_fraction=report.recovered_fraction,
+        total_recoveries=report.total_recoveries,
+        mean_virtual_session_seconds=report.mean_virtual_session_seconds,
+        mean_sql_state_seconds=report.mean_sql_state_seconds,
+        elapsed_seconds=elapsed,
+        by_kind=by_kind,
+        failures=[
+            {"schedule": r.describe(), "violations": r.violations}
+            for r in report.failures
+        ],
+    )

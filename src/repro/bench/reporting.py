@@ -25,10 +25,12 @@ import json
 
 from repro.bench.harness import (
     AvailabilityResult,
+    ChaosResult,
     Fig2Series,
     PlanCacheRun,
     Table1Row,
     run_availability_experiment,
+    run_chaos_experiment,
     run_fig2_recovery_sweep,
     run_plan_cache_ablation,
     run_table1_power_comparison,
@@ -39,6 +41,7 @@ __all__ = [
     "render_fig2",
     "render_availability",
     "render_plan_cache",
+    "render_chaos",
     "main",
 ]
 
@@ -123,6 +126,45 @@ def render_plan_cache(runs: list[PlanCacheRun]) -> str:
     return "\n".join(lines)
 
 
+def render_chaos(result: ChaosResult) -> str:
+    """Experiment CH: the crash-schedule sweep with the exactly-once oracle."""
+    lines = [
+        "Experiment CH. Crash-schedule sweep vs the exactly-once oracle",
+        f"golden run: {result.golden_requests} wire requests; seed {result.seed}; "
+        f"{result.runs} faulted runs in {result.elapsed_seconds:.1f}s",
+        f"{'Fault kind':22} {'Runs':>5} {'Recovered':>10} {'Recoveries':>11}",
+    ]
+    for kind, cell in result.by_kind.items():
+        lines.append(
+            f"{kind:22} {cell['runs']:>5.0f} {cell['recovered_fraction']:>9.0%} "
+            f"{cell['recoveries']:>11.0f}"
+        )
+    lines.append(
+        f"overall: {result.recovered_fraction:.1%} recovered, "
+        f"{result.total_recoveries} recoveries "
+        f"(phase 1 mean {result.mean_virtual_session_seconds * 1e3:.3f} ms, "
+        f"phase 2 mean {result.mean_sql_state_seconds * 1e3:.3f} ms)"
+    )
+    for failure in result.failures:
+        lines.append(f"FAILING {failure['schedule']}: {failure['violations']}")
+    return "\n".join(lines)
+
+
+def _chaos_json(result: ChaosResult) -> dict:
+    return {
+        "seed": result.seed,
+        "golden_requests": result.golden_requests,
+        "runs": result.runs,
+        "recovered_fraction": result.recovered_fraction,
+        "total_recoveries": result.total_recoveries,
+        "mean_virtual_session_seconds": result.mean_virtual_session_seconds,
+        "mean_sql_state_seconds": result.mean_sql_state_seconds,
+        "elapsed_seconds": result.elapsed_seconds,
+        "by_kind": result.by_kind,
+        "failures": result.failures,
+    }
+
+
 def _plan_cache_json(runs: list[PlanCacheRun]) -> list[dict]:
     return [
         {
@@ -182,8 +224,10 @@ def _availability_json(results: dict[str, AvailabilityResult]) -> list[dict]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "artifact", choices=["table1", "fig2", "availability", "plancache", "all"]
+        "artifact",
+        choices=["table1", "fig2", "availability", "plancache", "chaos", "all"],
     )
+    parser.add_argument("--seed", type=int, default=0, help="chaos multi-fault seed")
     parser.add_argument("--sf", type=float, default=0.001, help="TPC-H scale factor")
     parser.add_argument("--reps", type=int, default=3, help="power test repetitions")
     parser.add_argument(
@@ -214,6 +258,10 @@ def main(argv: list[str] | None = None) -> int:
         runs = run_plan_cache_ablation(sf=args.sf, repetitions=args.reps)
         print(render_plan_cache(runs))
         payload["plancache"] = _plan_cache_json(runs)
+    if args.artifact in ("chaos", "all"):
+        result = run_chaos_experiment(seed=args.seed)
+        print(render_chaos(result))
+        payload["chaos"] = _chaos_json(result)
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

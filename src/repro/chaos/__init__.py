@@ -1,0 +1,38 @@
+"""Chaos engine: systematic crash-schedule exploration for Phoenix sessions.
+
+The paper claims a Phoenix session survives *any* server crash with
+exactly-once semantics.  Hand-picked crash positions cannot prove that —
+this package does it systematically:
+
+* :mod:`repro.chaos.trace` — a deterministic probe/DML workload trace and a
+  runner that executes it against a fresh system, recording everything the
+  application observed plus server-side ground truth (status-table rows,
+  direct table fingerprints, orphaned sessions).
+* :mod:`repro.chaos.oracle` — compares a faulted run against the fault-free
+  golden run: every DML applied exactly once, no lost or duplicated commit
+  replies, result sets gap-free and duplicate-free at their recorded
+  offsets, no orphaned server-side state after clean close.
+* :mod:`repro.chaos.explorer` — counts the golden run's wire requests, then
+  re-runs the trace once per (crash point × fault kind) — all four wire
+  faults and both storage faults at every request index — plus a seeded
+  random multi-fault mode (2+ faults per run) whose schedules are
+  reproducible from the printed seed.
+
+``python -m repro.chaos --seed N`` runs the full sweep (the CI smoke job).
+"""
+
+from repro.chaos.explorer import ChaosExplorer, ChaosReport, ChaosRunResult
+from repro.chaos.oracle import check_run
+from repro.chaos.trace import ChaosTrace, Step, TraceRecord, probe_dml_trace, run_trace
+
+__all__ = [
+    "ChaosExplorer",
+    "ChaosReport",
+    "ChaosRunResult",
+    "ChaosTrace",
+    "Step",
+    "TraceRecord",
+    "check_run",
+    "probe_dml_trace",
+    "run_trace",
+]

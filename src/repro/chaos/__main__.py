@@ -1,0 +1,68 @@
+"""CLI sweep driver: ``python -m repro.chaos [--seed N] [--stride K] ...``.
+
+Runs the exhaustive single-fault wire sweep, the storage-fault sweep, and a
+batch of seeded multi-fault schedules, then prints a summary.  Exits 1 on
+any oracle violation, printing the seed and the exact failing schedule so
+the run reproduces with ``ChaosExplorer(seed=N).run_schedule(schedule)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos.explorer import ChaosExplorer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Systematic crash-schedule sweep with the exactly-once oracle.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="multi-fault RNG seed")
+    parser.add_argument(
+        "--stride", type=int, default=1, help="crash-point stride (1 = exhaustive)"
+    )
+    parser.add_argument(
+        "--random-runs", type=int, default=24, help="seeded multi-fault run count"
+    )
+    parser.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    args = parser.parse_args(argv)
+
+    explorer = ChaosExplorer(seed=args.seed)
+    golden = explorer.golden
+    print(
+        f"golden run: {golden.requests_seen} wire requests, "
+        f"{len(golden.observations)} observations",
+        file=sys.stderr,
+    )
+
+    report = explorer.sweep_single_faults(stride=args.stride)
+    report.merge(explorer.sweep_storage_faults(stride=args.stride))
+    report.merge(explorer.sweep_random(args.random_runs))
+
+    summary = report.summary()
+    summary["seed"] = args.seed
+    summary["stride"] = args.stride
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"{report.runs} runs, {report.recovered_fraction:.1%} passed the oracle, "
+            f"{report.total_recoveries} recoveries "
+            f"(phase 1 mean {report.mean_virtual_session_seconds * 1e3:.3f} ms, "
+            f"phase 2 mean {report.mean_sql_state_seconds * 1e3:.3f} ms)"
+        )
+    if report.failures:
+        print(f"seed={args.seed} — {len(report.failures)} FAILING SCHEDULE(S):")
+        for result in report.failures:
+            print(f"  {result.describe()}")
+            for violation in result.violations:
+                print(f"    - {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

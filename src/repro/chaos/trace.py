@@ -1,0 +1,267 @@
+"""The chaos workload trace and its runner.
+
+A :class:`ChaosTrace` is a deterministic application script covering every
+Phoenix mechanism the paper describes: SET options, wrapped DDL/DML,
+materialized default result sets with partial fetches, a keyset cursor,
+temp-object redirection, explicit transactions (committed and rolled
+back), and clean close.  :func:`run_trace` executes it against a fresh
+:func:`repro.make_system` deployment — optionally under a fault schedule —
+and returns a :class:`TraceRecord`:
+
+* ``observations`` — everything the *application* saw, in order (row blocks
+  at their delivered offsets, DML rowcounts, commit acknowledgements);
+* ``status_rows`` — the Phoenix status table read server-side (bypassing
+  the wire, so the read cannot meet a scheduled fault);
+* ``fingerprints`` — each user table's full content, read server-side and
+  canonically sorted;
+* post-close hygiene: orphaned sessions/cursors and leftover ``phx_*``
+  objects on the server.
+
+The oracle (:mod:`repro.chaos.oracle`) compares a faulted run's record
+against the fault-free golden record field by field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import repro
+from repro import errors
+from repro.net.faults import FaultKind
+from repro.odbc.constants import CursorType, StatementAttr
+
+__all__ = ["Step", "ChaosTrace", "TraceRecord", "probe_dml_trace", "run_trace"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One application action.  ``op`` selects the shape:
+
+    * ``set`` — ``connection.set_option(name, value)``
+    * ``ddl`` / ``dml`` — ``cursor.execute(sql)`` (autocommit, wrapped)
+    * ``query`` — execute ``sql`` then ``fetchmany(n)`` for each n in
+      ``fetches`` (a short list leaves the delivery open mid-result)
+    * ``cursor_query`` — same, through a keyset server cursor
+    * ``begin`` / ``commit`` / ``rollback`` — explicit transaction control
+    * ``txn`` — ``cursor.execute(sql)`` inside the open transaction
+    """
+
+    op: str
+    sql: str = ""
+    name: str = ""
+    value: Any = None
+    fetches: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ChaosTrace:
+    steps: tuple[Step, ...]
+    #: user tables to fingerprint (must survive the trace)
+    tables: tuple[str, ...]
+
+
+def probe_dml_trace() -> ChaosTrace:
+    """The canonical probe/DML trace the chaos sweep explores."""
+    return ChaosTrace(
+        steps=(
+            Step("set", name="lock_timeout", value=1000),
+            Step("ddl", sql="CREATE TABLE accounts (id INT PRIMARY KEY, balance FLOAT)"),
+            Step(
+                "dml",
+                sql="INSERT INTO accounts VALUES "
+                "(1, 100.0), (2, 200.0), (3, 300.0), (4, 400.0)",
+            ),
+            Step("query", sql="SELECT id, balance FROM accounts ORDER BY id", fetches=(2, 10)),
+            Step("cursor_query", sql="SELECT id, balance FROM accounts", fetches=(2, 2, 10)),
+            Step("dml", sql="UPDATE accounts SET balance = balance + 5 WHERE id <= 2"),
+            Step("ddl", sql="CREATE TABLE #scratch (k INT PRIMARY KEY, note VARCHAR(10))"),
+            Step("dml", sql="INSERT INTO #scratch VALUES (1, 'a'), (2, 'b')"),
+            Step("query", sql="SELECT k, note FROM #scratch ORDER BY k", fetches=(10,)),
+            Step("begin"),
+            Step("txn", sql="UPDATE accounts SET balance = balance - 25 WHERE id = 1"),
+            Step("txn", sql="UPDATE accounts SET balance = balance + 25 WHERE id = 3"),
+            Step("commit"),
+            Step("begin"),
+            Step("txn", sql="UPDATE accounts SET balance = 0 WHERE id = 4"),
+            Step("rollback"),
+            Step("dml", sql="DELETE FROM accounts WHERE id = 2"),
+            Step("ddl", sql="DROP TABLE #scratch"),
+            Step("query", sql="SELECT sum(balance) FROM accounts", fetches=(1,)),
+            Step(
+                "query",
+                sql="SELECT id, balance FROM accounts ORDER BY id",
+                fetches=(1, 2, 5),
+            ),
+        ),
+        tables=("accounts",),
+    )
+
+
+@dataclass
+class TraceRecord:
+    """Everything one run of a trace produced — the oracle's raw material."""
+
+    #: ordered application-visible events: ("rows", step, offset, rows),
+    #: ("dml", step, rowcount), ("commit", step), ("rollback", step), ...
+    observations: list[tuple] = field(default_factory=list)
+    #: (stmt_seq, n_rows) rows of the Phoenix status table, read
+    #: server-side; None = the table did not exist
+    status_rows: frozenset | None = None
+    #: table name -> canonically sorted tuple of its rows (server-side read)
+    fingerprints: dict[str, tuple] = field(default_factory=dict)
+    completed: bool = False
+    error: str = ""
+    #: wire requests the fault injector inspected over the whole run
+    requests_seen: int = 0
+    #: fault kinds that actually fired (names, in firing order)
+    fired: tuple[str, ...] = ()
+    orphan_sessions: int = 0
+    orphan_cursors: int = 0
+    leftover_tables: tuple[str, ...] = ()
+    recoveries: int = 0
+    spurious_timeouts: int = 0
+    sessions_reaped: int = 0
+    recovery_pings: int = 0
+    virtual_session_seconds: float = 0.0
+    sql_state_seconds: float = 0.0
+
+
+def run_trace(
+    trace: ChaosTrace,
+    schedule: tuple[tuple[int, FaultKind], ...] = (),
+) -> TraceRecord:
+    """Run ``trace`` on a fresh system under ``schedule`` and record it.
+
+    ``schedule`` is a tuple of ``(request_index, FaultKind)`` pairs; each
+    becomes a one-shot fault armed before the first request, so index *i*
+    fires on the i-th wire request (0-based).  The injected ``sleep``
+    restarts a downed server, standing in for the operator/watchdog the
+    paper assumes — recovery waits out the outage and proceeds.
+    """
+    system = repro.make_system()
+    config = system.phoenix.config
+
+    def sleep(_seconds: float) -> None:
+        if not system.server.up:
+            system.endpoint.restart_server()
+
+    config.sleep = sleep
+    for after, kind in schedule:
+        system.faults.schedule(kind, after=after)
+
+    record = TraceRecord()
+    connection = None
+    try:
+        connection = system.phoenix.connect(system.DSN)
+        cursor = connection.cursor()
+        for index, step in enumerate(trace.steps):
+            _run_step(record, connection, cursor, index, step)
+        record.completed = True
+    except Exception as exc:  # the oracle reports it; nothing may escape
+        record.error = f"{type(exc).__name__}: {exc}"
+
+    # --- server-side ground truth, read off the wire (fault-immune) --------
+    _ensure_up(system)
+    if connection is not None:
+        record.status_rows = _read_status(system, connection.names.status_table)
+    for table in trace.tables:
+        record.fingerprints[table] = _fingerprint(system, table)
+
+    # --- clean close, then post-close hygiene ------------------------------
+    if connection is not None:
+        try:
+            connection.close()
+        except Exception as exc:
+            if record.completed:
+                record.completed = False
+                record.error = f"close failed: {type(exc).__name__}: {exc}"
+        record.recoveries = connection.stats.recoveries
+        record.spurious_timeouts = connection.stats.spurious_timeouts
+        record.sessions_reaped = connection.stats.sessions_reaped
+        record.recovery_pings = connection.stats.recovery_pings
+        record.virtual_session_seconds = connection.stats.virtual_session_seconds_total
+        record.sql_state_seconds = connection.stats.sql_state_seconds_total
+    _ensure_up(system)
+    record.orphan_sessions = len(system.server.sessions)
+    record.orphan_cursors = sum(
+        len(s.cursors) for s in system.server.sessions.values()
+    )
+    record.leftover_tables = tuple(
+        name for name in system.server.table_names() if name.startswith("phx_")
+    )
+    record.requests_seen = system.faults.requests_seen
+    record.fired = tuple(kind.value for kind in system.faults.fired)
+    return record
+
+
+def _run_step(record, connection, cursor, index, step) -> None:
+    if step.op == "set":
+        connection.set_option(step.name, step.value)
+        record.observations.append(("set", index))
+        return
+    if step.op == "begin":
+        connection.begin()
+        record.observations.append(("begin", index))
+        return
+    if step.op == "commit":
+        connection.commit()
+        record.observations.append(("commit", index))
+        return
+    if step.op == "rollback":
+        connection.rollback()
+        record.observations.append(("rollback", index))
+        return
+    if step.op in ("query", "cursor_query"):
+        if step.op == "cursor_query":
+            cursor.set_attr(StatementAttr.CURSOR_TYPE, CursorType.KEYSET)
+        else:
+            cursor.set_attr(StatementAttr.CURSOR_TYPE, CursorType.FORWARD_ONLY)
+        cursor.execute(step.sql)
+        offset = 0
+        for n in step.fetches:
+            rows = cursor.fetchmany(n)
+            record.observations.append(("rows", index, offset, tuple(rows)))
+            offset += len(rows)
+        return
+    # ddl / dml / txn: one statement through the cursor
+    cursor.set_attr(StatementAttr.CURSOR_TYPE, CursorType.FORWARD_ONLY)
+    cursor.execute(step.sql)
+    record.observations.append((step.op, index, cursor.rowcount))
+
+
+def _ensure_up(system) -> None:
+    if not system.server.up:
+        system.endpoint.restart_server()
+
+
+def _server_session(system):
+    return system.server.connect("chaos-oracle")
+
+
+def _read_status(system, status_table: str) -> frozenset | None:
+    """The status table's rows, read through a direct server session (no
+    wire, no faults).  None when the table does not exist."""
+    session_id = _server_session(system)
+    try:
+        result = system.server.execute(
+            session_id, f"SELECT stmt_seq, n_rows FROM {status_table}"
+        )
+        return frozenset(result.result_set.rows)
+    except errors.CatalogError:
+        return None
+    finally:
+        system.server.disconnect(session_id)
+
+
+def _fingerprint(system, table: str) -> tuple:
+    """Canonical content fingerprint of ``table`` (sorted row tuples);
+    ("<missing>",) when the table does not exist."""
+    session_id = _server_session(system)
+    try:
+        result = system.server.execute(session_id, f"SELECT * FROM {table}")
+        return tuple(sorted(result.result_set.rows))
+    except errors.CatalogError:
+        return ("<missing>",)
+    finally:
+        system.server.disconnect(session_id)

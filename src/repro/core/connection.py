@@ -55,8 +55,16 @@ class PhoenixStats:
     status_probes: int = 0
     probe_hits: int = 0
     replayed_txns: int = 0
+    #: failed ping attempts while waiting out a server outage
+    recovery_pings: int = 0
+    #: orphaned server sessions this connection disconnected best-effort
+    sessions_reaped: int = 0
     last_virtual_session_seconds: float = 0.0
     last_sql_state_seconds: float = 0.0
+    #: cumulative phase times across every recovery of this connection —
+    #: the chaos bench reports mean phase-1/phase-2 splits from these.
+    virtual_session_seconds_total: float = 0.0
+    sql_state_seconds_total: float = 0.0
 
     def snapshot(self) -> dict[str, Any]:
         return dict(self.__dict__)
@@ -111,9 +119,20 @@ class PhoenixConnection:
                 self._install_session_fixtures()
                 break
             except RECOVERABLE_ERRORS as exc:
+                # A failed attempt may have left live sessions on a
+                # surviving server (e.g. the fixture request hung after both
+                # connects succeeded).  Collect them for reaping — retrying
+                # without it leaks a lock-holding session per attempt.
+                stale = [
+                    conn.session_id
+                    for conn in (getattr(self, "app", None), getattr(self, "private", None))
+                    if conn is not None
+                ]
+                self.app = self.private = None  # type: ignore[assignment]
                 if attempt + 1 >= attempts:
                     raise
                 self.recovery._await_server(exc)
+                self._reap_server_sessions(stale)
 
     # ------------------------------------------------------------- fixtures
 
@@ -214,12 +233,47 @@ class PhoenixConnection:
                     self.recovery.recover(exc)
                 except Exception:
                     break
+        unreaped = []
         for connection in (self.app, self.private):
             try:
-                connection.disconnect()
+                acked = connection.disconnect()
             except RECOVERABLE_ERRORS:
-                pass
+                acked = False
+            if not acked:
+                # the DisconnectRequest died in flight: if the server is
+                # still up the session is orphaned — reap it out of band
+                unreaped.append(connection.session_id)
+        if unreaped:
+            self._reap_server_sessions(unreaped)
         self.closed = True
+
+    def _reap_server_sessions(self, session_ids: list[int]) -> None:
+        """Best-effort disconnect of orphaned server sessions by id.
+
+        Used when this client abandoned a session without the server
+        noticing: a dropped connection mid-session (recovery rebuilt onto
+        fresh sessions) or a disconnect whose request died in flight.  Each
+        id gets a few attempts on throwaway channels; a session that is
+        already gone (crash took it, or the disconnect did land) counts as
+        reaped.  Never raises — the server-side ``reap_sessions`` hook is
+        the backstop for anything left behind.
+        """
+        from repro.errors import ServerCrashedError, SessionLostError
+
+        for session_id in session_ids:
+            for _attempt in range(3):
+                try:
+                    self.driver.disconnect_session(session_id)
+                    self.stats.sessions_reaped += 1
+                    break
+                except SessionLostError:
+                    break  # already gone — nothing to reap
+                except ServerCrashedError:
+                    break  # sessions die with the server
+                except RECOVERABLE_ERRORS:
+                    continue  # transient (hang/drop on the reap itself): retry
+                except Error:
+                    break
 
     def _cleanup_server_objects(self) -> None:
         for proc in self.cleanup_procs:
@@ -277,6 +331,12 @@ class PhoenixConnection:
                 # probe EVERY round: a retried batch may have committed just
                 # before its reply died — replaying then would double-commit
                 if self.probe_status(seq) is not None:
+                    # the probe itself can meet a crash, and its nested
+                    # recovery replays the open txn_log before the probe
+                    # retry discovers the commit landed: that replayed
+                    # transaction is a double-apply sitting open on the
+                    # server — discard it before reporting the commit
+                    self._rollback_wrapper_txn()
                     self.txn_log.clear()
                     self.stats.probe_hits += 1
                     return ResultResponse(kind="ok", message="COMMIT (recovered)")
@@ -391,8 +451,13 @@ class PhoenixConnection:
         while True:
             try:
                 response = self.app.execute(batch)
+                # batch_rowcounts ends with the status insert's own count;
+                # anything before it is the wrapped statement's.  A DDL
+                # contributes no entry, and its recorded outcome is 0 — the
+                # live reply must say the same, or a replayed run would
+                # report a different rowcount than the original.
                 rowcounts = response.batch_rowcounts
-                return (seq, rowcounts[0] if rowcounts else 0, response)
+                return (seq, rowcounts[0] if len(rowcounts) > 1 else 0, response)
             except RECOVERABLE_ERRORS as exc:
                 self.recovery.recover(exc)
                 logged = self.probe_status(seq)

@@ -26,6 +26,7 @@ Figure 2.
 
 from __future__ import annotations
 
+import random
 import time
 from typing import TYPE_CHECKING
 
@@ -53,6 +54,7 @@ class PhoenixRecovery:
 
     def __init__(self, connection: "PhoenixConnection"):
         self.connection = connection
+        self._jitter_rng: random.Random | None = None
 
     # ------------------------------------------------------------------ entry
 
@@ -71,6 +73,7 @@ class PhoenixRecovery:
         # 1. spurious timeout? (channel still healthy)
         if isinstance(cause, TimeoutError) and not connection.app.channel.broken:
             if self._probe_session():
+                self._repair_private_channel()
                 stats.spurious_timeouts += 1
                 return False
 
@@ -78,8 +81,11 @@ class PhoenixRecovery:
         self._await_server(cause)
 
         # 2b. server answers and the session itself survived (e.g. the
-        # timeout fired while the server was merely slow) — nothing to do.
+        # timeout fired while the server was merely slow, or only the
+        # *private* connection's channel dropped) — repair what broke,
+        # keep the session.
         if not connection.app.channel.broken and self._probe_session():
+            self._repair_private_channel()
             stats.spurious_timeouts += 1
             return False
 
@@ -90,14 +96,18 @@ class PhoenixRecovery:
             try:
                 started = time.perf_counter()
                 self._rebuild_connections()
-                stats.last_virtual_session_seconds = time.perf_counter() - started
+                phase1 = time.perf_counter() - started
+                stats.last_virtual_session_seconds = phase1
+                stats.virtual_session_seconds_total += phase1
 
                 started = time.perf_counter()
                 self._verify_materialized_state()
                 self._reinstall_deliveries()
                 if replay_txn and connection.txn_log.active:
                     connection._replay_transaction()
-                stats.last_sql_state_seconds = time.perf_counter() - started
+                phase2 = time.perf_counter() - started
+                stats.last_sql_state_seconds = phase2
+                stats.sql_state_seconds_total += phase2
                 break
             except RECOVERABLE_ERRORS as exc:
                 if attempt + 1 >= attempts:
@@ -123,21 +133,55 @@ class PhoenixRecovery:
             return False
 
     def _await_server(self, cause: Exception) -> None:
-        """Ping (on throwaway channels) until the server answers."""
+        """Ping (on throwaway channels) until the server answers.
+
+        The wait between pings backs off exponentially with deterministic
+        seeded jitter (config: ``ping_interval`` × ``ping_backoff_factor``
+        capped at ``ping_max_interval``, ±``ping_jitter``), and the whole
+        wait is bounded both by ``max_ping_attempts`` and by the optional
+        ``recovery_deadline`` wall-clock budget.
+        """
         config = self.connection.config
+        deadline: float | None = None
+        if config.recovery_deadline is not None:
+            deadline = config.clock() + config.recovery_deadline
+        interval = config.ping_interval
         for _ in range(config.max_ping_attempts):
             try:
                 self.connection.driver.ping()
                 return
             except RECOVERABLE_ERRORS:
-                config.sleep(config.ping_interval)
+                self.connection.stats.recovery_pings += 1
+                if deadline is not None and config.clock() >= deadline:
+                    break
+                config.sleep(self._jittered(interval))
+                interval = min(
+                    interval * config.ping_backoff_factor, config.ping_max_interval
+                )
         # paper: "If after a period of time Phoenix/ODBC is unable to
         # connect to the server ... passes the communication error on."
         raise cause
 
+    def _jittered(self, interval: float) -> float:
+        """Scale a wait by a deterministic pseudo-random jitter factor."""
+        jitter = self.connection.config.ping_jitter
+        if jitter <= 0:
+            return interval
+        if self._jitter_rng is None:
+            self._jitter_rng = random.Random(self.connection.config.jitter_seed)
+        return interval * (1.0 + jitter * (2.0 * self._jitter_rng.random() - 1.0))
+
     def _rebuild_connections(self) -> None:
-        """Fresh app + private connections; replay recorded session context."""
+        """Fresh app + private connections; replay recorded session context.
+
+        When the server *survived* (a dropped connection, not a crash), the
+        old session ids still hold live server sessions — temp tables, open
+        transactions, locks.  They are reaped best-effort once the new
+        connections are up, so an orphaned transaction's locks never block
+        the replayed one.
+        """
         connection = self.connection
+        old_session_ids = [connection.app.session_id, connection.private.session_id]
         for old in (connection.app, connection.private):
             try:
                 old.channel.close()
@@ -153,6 +197,27 @@ class PhoenixRecovery:
             f"CREATE TABLE IF NOT EXISTS {connection.names.status_table} "
             f"(stmt_seq INT PRIMARY KEY, n_rows INT)"
         )
+        connection._reap_server_sessions(old_session_ids)
+
+    def _repair_private_channel(self) -> None:
+        """The session survived but the private connection's channel may
+        have died (DROP_CONNECTION on private traffic).  Open a fresh
+        private connection and reap the orphaned old session — the app
+        session, proxy table, and all materialized state are untouched."""
+        connection = self.connection
+        if not connection.private.channel.broken:
+            return
+        old_session_id = connection.private.session_id
+        try:
+            connection.private.channel.close()
+        except Exception:
+            pass
+        connection.private = connection.driver.connect(connection.user, {})
+        connection.private.execute(
+            f"CREATE TABLE IF NOT EXISTS {connection.names.status_table} "
+            f"(stmt_seq INT PRIMARY KEY, n_rows INT)"
+        )
+        connection._reap_server_sessions([old_session_id])
 
     def _verify_materialized_state(self) -> None:
         """Paper: "first verifies that all application state materialized in

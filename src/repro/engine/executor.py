@@ -124,8 +124,13 @@ class Executor:
             raise
         if autocommit:
             self.database.commit(txn)
-        if result.kind == "rowcount":
-            self.session.last_rowcount = result.rowcount
+        # rowcount() reflects the immediately preceding statement: DML sets
+        # it, any other mutation (DDL, EXEC returning rows) resets it to 0 —
+        # sticky values would leak a *previous* statement's count into the
+        # Phoenix status table when a wrapped DDL records its outcome.
+        self.session.last_rowcount = (
+            result.rowcount if result.kind == "rowcount" else 0
+        )
         return result
 
     def execute_sql(self, sql: str, **kwargs) -> StatementResult:

@@ -35,7 +35,7 @@ from repro.engine.database import (
 )
 from repro.engine.storage import StableStorage, TableData
 from repro.engine.table import Table
-from repro.engine.wal import LogRecord, RecordType, decode_log
+from repro.engine.wal import LogRecord, RecordType, scan_log
 
 __all__ = ["recover", "RecoveryReport"]
 
@@ -50,12 +50,16 @@ class RecoveryReport:
         self.loser_txns: list[int] = []
         self.committed_txns: list[int] = []
         self.tables_loaded: int = 0
+        #: garbage bytes a torn tail write left past the last intact frame
+        #: (truncated before the database comes up; 0 for a clean log)
+        self.torn_tail_bytes: int = 0
 
     def __repr__(self) -> str:
         return (
             f"RecoveryReport(checkpoint={self.checkpoint_lsn}, "
             f"scanned={self.records_scanned}, redone={self.records_redone}, "
-            f"losers={self.loser_txns}, tables={self.tables_loaded})"
+            f"losers={self.loser_txns}, tables={self.tables_loaded}, "
+            f"torn_tail={self.torn_tail_bytes})"
         )
 
 
@@ -63,8 +67,14 @@ def recover(storage: StableStorage) -> tuple[Database, RecoveryReport]:
     """Build a consistent Database from ``storage``; returns it plus a report."""
     report = RecoveryReport()
     base = getattr(storage, "log_base", 0)
-    records = decode_log(storage.read_log(), base_offset=base)
+    raw = storage.read_log()
+    records, good_end = scan_log(raw, base_offset=base)
     report.records_scanned = len(records)
+    report.torn_tail_bytes = base + len(raw) - good_end
+    if report.torn_tail_bytes:
+        # A torn tail is dead weight *and* a trap: appending after it would
+        # put every future record beyond the scan's reach.  Cut it now.
+        storage.truncate_log_suffix(good_end)
 
     checkpoint_lsn = int(storage.read_meta(_META_CHECKPOINT, 0) or 0)
     report.checkpoint_lsn = checkpoint_lsn

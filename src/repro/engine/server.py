@@ -78,6 +78,11 @@ class DatabaseServer:
         #: SQL text → parsed statements; volatile (rebuilt cold on restart)
         self._parse_cache: ParseCache | None = None
         self.last_recovery: RecoveryReport | None = None
+        #: monotonically increasing activity counter; every session-scoped
+        #: operation stamps its session with the current value, which is
+        #: what :meth:`reap_sessions` compares against.  Cumulative across
+        #: restarts (it describes the simulation timeline, like stats).
+        self.activity_epoch = 0
         self.up = False
         self._boot()
 
@@ -95,6 +100,9 @@ class DatabaseServer:
         self.sessions.clear()
         self._executors.clear()
         self._parse_cache = None  # caches are volatile: a restart starts cold
+        # a dead server has no pending device fault — the injected torn
+        # write / failed force models the crash moment itself
+        self.storage.clear_append_fault()
         self.stats.crashes += 1
 
     def restart(self) -> RecoveryReport:
@@ -133,6 +141,7 @@ class DatabaseServer:
             metrics=self.engine_metrics,
             plan_cache=self.plan_cache_enabled,
         )
+        self._touch(session)
         self.stats.connects += 1
         return session.session_id
 
@@ -146,9 +155,31 @@ class DatabaseServer:
         del self.sessions[session_id]
         del self._executors[session_id]
 
+    def _touch(self, session: Session) -> None:
+        self.activity_epoch += 1
+        session.last_epoch = self.activity_epoch
+
+    def reap_sessions(self, older_than_epoch: int) -> list[int]:
+        """Administrative GC hook: disconnect every session whose last
+        activity predates ``older_than_epoch`` (open transactions are
+        aborted by the disconnect).  A client that loses its connection
+        without a crash (network glitch) leaves its old session orphaned —
+        Phoenix reaps its own orphans best-effort during recovery, and this
+        hook is the server-side backstop an operator (or test) can drive.
+        Returns the reaped session ids."""
+        self._require_up()
+        reaped = []
+        for session_id, session in list(self.sessions.items()):
+            if session.last_epoch < older_than_epoch:
+                self.disconnect(session_id)
+                reaped.append(session_id)
+        return reaped
+
     def _session(self, session_id: int) -> Session:
         try:
-            return self.sessions[session_id]
+            session = self.sessions[session_id]
+            self._touch(session)
+            return session
         except KeyError:
             # The server is up but this session is gone — it died in a crash
             # + fast restart, or was disconnected.  A distinct error type so

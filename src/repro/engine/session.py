@@ -43,6 +43,10 @@ class Session:
         #: create or drop; plan-cache entries record it so a plan compiled
         #: against (or shadowed by) a temp object is never served stale.
         self.temp_version: int = 0
+        #: server activity epoch of this session's last operation — stamped
+        #: by the server, read by ``DatabaseServer.reap_sessions`` to find
+        #: sessions orphaned by a dropped connection.
+        self.last_epoch: int = 0
         self.closed = False
 
     def register_cursor(self, cursor: ServerCursor) -> int:

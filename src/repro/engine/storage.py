@@ -28,7 +28,23 @@ from dataclasses import dataclass, field
 
 from repro.engine.schema import TableSchema
 
-__all__ = ["TableData", "StableStorage", "InMemoryStableStorage", "FileStableStorage"]
+__all__ = [
+    "TableData",
+    "StorageFault",
+    "StableStorage",
+    "InMemoryStableStorage",
+    "FileStableStorage",
+]
+
+
+class StorageFault(Exception):
+    """A stable-storage device failure (torn write, failed force).
+
+    Deliberately *not* a :class:`repro.errors.Error` subclass: a device
+    fault must never travel in-band as an SQL ErrorResponse — it kills the
+    server process (the endpoint turns it into a crash + communication
+    error, exactly like a kernel panic on fsync would).
+    """
 
 
 @dataclass
@@ -69,6 +85,56 @@ class TableData:
 class StableStorage:
     """Interface every stable-storage backend implements."""
 
+    #: armed device fault for the next log append: None | "torn" | "fail"
+    _append_fault: str | None = None
+    _append_fault_torn_bytes: int = 7
+
+    # -- fault injection ----------------------------------------------------
+
+    def inject_append_fault(self, mode: str, *, torn_bytes: int = 7) -> None:
+        """Arm a device fault for the next :meth:`append_log`.
+
+        ``mode="torn"`` writes all but the last ``torn_bytes`` bytes of the
+        payload and then raises :class:`StorageFault` — the partial frame
+        stays on disk, exercising recovery's "read until the first bad
+        frame" scan.  ``mode="fail"`` raises without writing anything (a
+        failed force).  Either way the caller is expected to treat the
+        exception as fatal (the server crashes).
+        """
+        if mode not in ("torn", "fail"):
+            raise ValueError(f"unknown append fault mode {mode!r}")
+        self._append_fault = mode
+        self._append_fault_torn_bytes = max(1, torn_bytes)
+
+    def clear_append_fault(self) -> None:
+        """Disarm any pending device fault (a dead server has none)."""
+        self._append_fault = None
+
+    def append_log(self, payload: bytes) -> int:
+        """Durably append ``payload`` and return its start offset (LSN).
+
+        The append is atomic: a crash either leaves the log without the
+        payload or with all of it (see wal.py for why recovery leans on
+        this).  An armed device fault (:meth:`inject_append_fault`) breaks
+        exactly that promise — once, deliberately — and raises
+        :class:`StorageFault`.
+        """
+        fault, self._append_fault = self._append_fault, None
+        if fault == "fail":
+            raise StorageFault("log append failed (device error, nothing written)")
+        if fault == "torn":
+            torn = payload[: max(0, len(payload) - self._append_fault_torn_bytes)]
+            if torn:
+                self._append_log_raw(torn)
+            raise StorageFault(
+                f"torn log append ({len(torn)}/{len(payload)} bytes reached the device)"
+            )
+        return self._append_log_raw(payload)
+
+    def _append_log_raw(self, payload: bytes) -> int:
+        """Backend-specific append (no fault checking)."""
+        raise NotImplementedError
+
     # -- table files --------------------------------------------------------
 
     def write_table_file(self, name: str, data: TableData) -> None:
@@ -85,15 +151,6 @@ class StableStorage:
 
     # -- the log ------------------------------------------------------------
 
-    def append_log(self, payload: bytes) -> int:
-        """Durably append ``payload`` and return its start offset (LSN).
-
-        The append is atomic: a crash either leaves the log without the
-        payload or with all of it (see wal.py for why recovery leans on
-        this).
-        """
-        raise NotImplementedError
-
     def read_log(self) -> bytes:
         raise NotImplementedError
 
@@ -103,6 +160,11 @@ class StableStorage:
     def truncate_log_prefix(self, offset: int) -> None:
         """Discard log bytes before ``offset`` (log head after a quiescent
         checkpoint).  Offsets/LSNs remain absolute."""
+        raise NotImplementedError
+
+    def truncate_log_suffix(self, offset: int) -> None:
+        """Discard log bytes at and after absolute ``offset`` (a torn tail
+        found by restart recovery).  Later appends land at ``offset``."""
         raise NotImplementedError
 
     # -- meta ----------------------------------------------------------------
@@ -147,7 +209,7 @@ class InMemoryStableStorage(StableStorage):
     def list_table_files(self) -> list[str]:
         return sorted(self._tables)
 
-    def append_log(self, payload: bytes) -> int:
+    def _append_log_raw(self, payload: bytes) -> int:
         offset = self._log_base + len(self._log)
         self._log.extend(payload)
         self.log_appends += 1
@@ -170,6 +232,12 @@ class InMemoryStableStorage(StableStorage):
             return
         del self._log[:keep_from]
         self._log_base = offset
+
+    def truncate_log_suffix(self, offset: int) -> None:
+        keep_to = offset - self._log_base
+        if keep_to >= len(self._log):
+            return
+        del self._log[max(0, keep_to):]
 
     def write_meta(self, key: str, value: object) -> None:
         self._meta[key] = copy.deepcopy(value)
@@ -259,7 +327,7 @@ class FileStableStorage(StableStorage):
                 return pickle.load(handle)
         return 0
 
-    def append_log(self, payload: bytes) -> int:
+    def _append_log_raw(self, payload: bytes) -> int:
         offset = self.log_base + os.path.getsize(self._log_path)
         with open(self._log_path, "ab") as handle:
             handle.write(payload)
@@ -284,6 +352,14 @@ class FileStableStorage(StableStorage):
             remainder = handle.read()
         self._atomic_write(self._log_path, remainder)
         self._atomic_write(self._base_path, pickle.dumps(offset))
+
+    def truncate_log_suffix(self, offset: int) -> None:
+        keep_to = offset - self.log_base
+        if keep_to >= os.path.getsize(self._log_path):
+            return
+        with open(self._log_path, "rb") as handle:
+            prefix = handle.read(max(0, keep_to))
+        self._atomic_write(self._log_path, prefix)
 
     # -- meta --------------------------------------------------------------------------
 

@@ -34,7 +34,14 @@ from dataclasses import dataclass, field
 from repro.engine.schema import TableSchema
 from repro.engine.storage import StableStorage
 
-__all__ = ["RecordType", "LogRecord", "WriteAheadLog", "encode_record", "decode_log"]
+__all__ = [
+    "RecordType",
+    "LogRecord",
+    "WriteAheadLog",
+    "encode_record",
+    "decode_log",
+    "scan_log",
+]
 
 _FRAME_HEADER = struct.Struct("<II")  # length, crc32
 
@@ -101,11 +108,16 @@ def encode_record(record: LogRecord) -> bytes:
     return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def decode_log(raw: bytes, base_offset: int = 0) -> list[LogRecord]:
-    """Decode every intact frame; stop silently at a torn/corrupt tail.
+def scan_log(raw: bytes, base_offset: int = 0) -> tuple[list[LogRecord], int]:
+    """Decode every intact frame; stop at a torn/corrupt tail.
 
-    ``base_offset`` is the absolute LSN of ``raw[0]`` (log truncation keeps
-    LSNs absolute)."""
+    Returns ``(records, good_end)`` where ``good_end`` is the absolute
+    offset just past the last intact frame — equal to
+    ``base_offset + len(raw)`` when the log is clean, smaller when a torn
+    tail write left garbage bytes that restart recovery must truncate
+    (appending after them would make every later record unreachable to
+    this scan).  ``base_offset`` is the absolute LSN of ``raw[0]`` (log
+    truncation keeps LSNs absolute)."""
     records: list[LogRecord] = []
     pos = 0
     total = len(raw)
@@ -122,7 +134,12 @@ def decode_log(raw: bytes, base_offset: int = 0) -> list[LogRecord]:
         record.lsn = base_offset + pos
         records.append(record)
         pos = end
-    return records
+    return records, base_offset + pos
+
+
+def decode_log(raw: bytes, base_offset: int = 0) -> list[LogRecord]:
+    """Decode every intact frame; stop silently at a torn/corrupt tail."""
+    return scan_log(raw, base_offset)[0]
 
 
 class WriteAheadLog:

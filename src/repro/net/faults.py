@@ -14,6 +14,21 @@ cares about:
 * ``HANG`` — the server stays up but the reply never comes; the client's
   timeout fires.  Phoenix must then ping to decide crash vs. slow network.
 
+Two further shapes live *below* the wire, at the storage device (the fault
+classes instant-restore/recovery work injects into the log):
+
+* ``TORN_WAL_TAIL`` — the next WAL append writes only a prefix of its
+  payload and the server dies: restart recovery must stop its log scan at
+  the first bad frame and truncate the garbage tail.
+* ``FORCE_FAIL`` — the next WAL append fails outright (device error) and
+  the server dies with nothing of the append on disk.
+
+Both are armed on the storage backend when the scheduled request arrives
+and fire at that request's first log append; a request that never appends
+(a pure read) leaves the fault armed for the next appending request, and a
+crash from any other cause disarms it (a dead server has no pending device
+fault).
+
 Faults are one-shot by default and matched by an optional predicate on the
 request (e.g. "the third FETCH", "any SQL containing 'invoices'"), which
 keeps failure tests exact and repeatable.
@@ -27,7 +42,13 @@ from typing import Callable
 
 from repro.net.protocol import Request
 
-__all__ = ["FaultKind", "ScheduledFault", "FaultInjector"]
+__all__ = [
+    "FaultKind",
+    "ScheduledFault",
+    "FaultInjector",
+    "WIRE_FAULTS",
+    "STORAGE_FAULTS",
+]
 
 
 class FaultKind(enum.Enum):
@@ -35,6 +56,20 @@ class FaultKind(enum.Enum):
     CRASH_AFTER_EXECUTE = "crash_after_execute"
     HANG = "hang"
     DROP_CONNECTION = "drop_connection"  # comm glitch: server stays up
+    TORN_WAL_TAIL = "torn_wal_tail"  # storage: partial last append, then crash
+    FORCE_FAIL = "force_fail"  # storage: append fails outright, then crash
+
+
+#: faults that fire on the wire itself (the chaos explorer's request sweep)
+WIRE_FAULTS = (
+    FaultKind.CRASH_BEFORE_EXECUTE,
+    FaultKind.CRASH_AFTER_EXECUTE,
+    FaultKind.HANG,
+    FaultKind.DROP_CONNECTION,
+)
+
+#: faults that fire at the stable-storage device, below the wire
+STORAGE_FAULTS = (FaultKind.TORN_WAL_TAIL, FaultKind.FORCE_FAIL)
 
 
 @dataclass
@@ -42,10 +77,17 @@ class ScheduledFault:
     """One armed fault.
 
     ``matcher`` filters requests (default: match anything).  ``after``
-    skips that many matching requests before firing.  ``repeat`` keeps the
-    fault armed after it fires (default one-shot).  ``every`` makes a
-    repeating fault *periodic*: it fires on each Nth matching request —
-    the chaos schedule availability experiments use.
+    counts **matching requests only**: a one-shot fault with ``after=N``
+    lets the first N requests its matcher accepts through and fires on the
+    N+1-th match — requests the matcher rejects never advance the
+    countdown.  (With the default match-anything matcher this is simply
+    "fire on the N+1-th request the injector inspects".)  ``repeat`` keeps
+    the fault armed after it fires (default one-shot — the injector removes
+    the fault the first time it fires).  ``every`` makes a repeating fault
+    *periodic*: it fires on each Nth matching request — the chaos schedule
+    availability experiments use.  :attr:`fires_remaining` and
+    :attr:`matches_until_fire` expose the pending state so a schedule
+    explorer can introspect what is still armed.
     """
 
     kind: FaultKind
@@ -54,6 +96,7 @@ class ScheduledFault:
     repeat: bool = False
     every: int | None = None
     _seen: int = field(default=0, repr=False)
+    _fired: int = field(default=0, repr=False)
 
     def check(self, request: Request) -> bool:
         """True if this fault fires for ``request`` (consumes one-shot)."""
@@ -61,8 +104,30 @@ class ScheduledFault:
             return False
         self._seen += 1
         if self.every is not None:
-            return self._seen % self.every == 0
-        return self._seen > self.after
+            fires = self._seen % self.every == 0
+        else:
+            fires = self._seen > self.after and (self.repeat or self._fired == 0)
+        if fires:
+            self._fired += 1
+        return fires
+
+    @property
+    def fires_remaining(self) -> int | None:
+        """How many more times this fault can fire: ``None`` for repeating
+        faults (unbounded), else 1 until the one-shot fires, then 0."""
+        if self.repeat:
+            return None
+        return 0 if self._fired else 1
+
+    @property
+    def matches_until_fire(self) -> int | None:
+        """Matching requests left before the next firing (1 = the next
+        match fires).  ``None`` once a one-shot has already fired."""
+        if self.every is not None:
+            return self.every - (self._seen % self.every)
+        if self.fires_remaining == 0:
+            return None
+        return max(self.after - self._seen, 0) + 1
 
 
 class FaultInjector:
@@ -71,6 +136,9 @@ class FaultInjector:
     def __init__(self):
         self._faults: list[ScheduledFault] = []
         self.fired: list[FaultKind] = []
+        #: total requests inspected — the chaos explorer's golden run reads
+        #: this to learn how many crash points the trace has.
+        self.requests_seen = 0
 
     def schedule(
         self,
@@ -103,6 +171,7 @@ class FaultInjector:
 
     def next_fault(self, request: Request) -> FaultKind | None:
         """The fault (if any) that fires for this request."""
+        self.requests_seen += 1
         for fault in self._faults:
             if fault.check(request):
                 if not fault.repeat:

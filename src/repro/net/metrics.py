@@ -29,6 +29,10 @@ class NetworkMetrics:
     latency_seconds: float = 0.0
     by_request_type: Counter = field(default_factory=Counter)
     errors: int = 0
+    #: failed round trips broken down by request type — recovery's ping
+    #: storms against a down server show up here as PingRequest errors,
+    #: distinguishable from an application statement dying in flight.
+    errors_by_request_type: Counter = field(default_factory=Counter)
 
     def record(self, request_type: str, sent: int, received: int) -> None:
         self.round_trips += 1
@@ -44,6 +48,7 @@ class NetworkMetrics:
         self.simulated_seconds += self.latency_seconds
         self.by_request_type[request_type] += 1
         self.errors += 1
+        self.errors_by_request_type[request_type] += 1
 
     def merge(self, other: "NetworkMetrics") -> None:
         self.round_trips += other.round_trips
@@ -52,6 +57,7 @@ class NetworkMetrics:
         self.simulated_seconds += other.simulated_seconds
         self.by_request_type.update(other.by_request_type)
         self.errors += other.errors
+        self.errors_by_request_type.update(other.errors_by_request_type)
 
     def reset(self) -> None:
         self.round_trips = 0
@@ -60,6 +66,7 @@ class NetworkMetrics:
         self.simulated_seconds = 0.0
         self.by_request_type.clear()
         self.errors = 0
+        self.errors_by_request_type.clear()
 
     def snapshot(self) -> dict:
         return {
@@ -69,4 +76,5 @@ class NetworkMetrics:
             "simulated_seconds": self.simulated_seconds,
             "errors": self.errors,
             "by_request_type": dict(self.by_request_type),
+            "errors_by_request_type": dict(self.errors_by_request_type),
         }

@@ -17,6 +17,7 @@ import itertools
 
 from repro import errors
 from repro.engine.server import DatabaseServer
+from repro.engine.storage import StorageFault
 from repro.net.faults import FaultInjector, FaultKind
 from repro.net.metrics import NetworkMetrics
 from repro.net.protocol import (
@@ -83,9 +84,22 @@ class ServerEndpoint:
             raise errors.TimeoutError("request timed out (server not responding)")
         if fault is FaultKind.DROP_CONNECTION:
             raise errors.CommunicationError("connection reset by peer (network glitch)")
+        if fault is FaultKind.TORN_WAL_TAIL:
+            # armed on the device; fires at this request's first log append
+            # (or a later request's, if this one never appends)
+            self.server.storage.inject_append_fault("torn")
+        if fault is FaultKind.FORCE_FAIL:
+            self.server.storage.inject_append_fault("fail")
 
         try:
             response = self._dispatch(request)
+        except StorageFault as exc:
+            # the log device failed under the server: that is a process
+            # kill, not an SQL error — nothing in-band can describe it
+            self.server.crash()
+            raise errors.CommunicationError(
+                f"connection reset by peer (server crashed: {exc})"
+            ) from exc
         except errors.Error as exc:
             response = ErrorResponse(error_type=type(exc).__name__, message=str(exc))
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import InterfaceError
+from repro.errors import InterfaceError, SessionLostError
 from repro.net.metrics import NetworkMetrics
 from repro.net.protocol import (
     AdvanceRequest,
@@ -51,6 +51,19 @@ class NativeDriver:
         response = channel.send(PingRequest())
         assert isinstance(response, PongResponse)
         return response
+
+    def disconnect_session(self, session_id: int) -> None:
+        """Disconnect a server session by id over a throwaway channel.
+
+        The session-GC analog of :meth:`ping`: Phoenix uses it to reap a
+        session it orphaned (the old connection object is gone or broken,
+        but the server may still hold the session).  Raises whatever the
+        wire raises — callers decide what is best-effort."""
+        channel = ClientChannel(self.endpoint, metrics=self.metrics)
+        try:
+            channel.send(DisconnectRequest(session_id=session_id))
+        finally:
+            channel.close()
 
 
 class DriverConnection:
@@ -129,18 +142,27 @@ class DriverConnection:
         rendered = value if isinstance(value, (int, float)) else f"'{value}'"
         self.execute(f"SET {name} {rendered}")
 
-    def disconnect(self) -> None:
+    def disconnect(self) -> bool:
         """Best-effort: a session that died in a crash is already gone,
-        and close() is the one call that must never raise for that."""
+        and close() is the one call that must never raise for that.
+
+        Returns True when the server acknowledged the disconnect (or had
+        already lost the session) — False means the request died in flight
+        and the session may be orphaned on a surviving server."""
         if self.closed:
-            return
+            return True
+        acked = False
         try:
             if not self.channel.broken:
                 self.channel.send(DisconnectRequest(session_id=self.session_id))
+                acked = True
         except InterfaceError:
             raise
+        except SessionLostError:
+            acked = True  # already gone — nothing left to orphan
         except Exception:
             pass
         finally:
             self.channel.close()
             self.closed = True
+        return acked

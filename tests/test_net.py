@@ -208,6 +208,94 @@ def test_cancel_all(endpoint):
     assert channel(endpoint).send(PingRequest())
 
 
+def test_fires_remaining_counts_down(endpoint):
+    fault = endpoint.faults.schedule(FaultKind.HANG, after=1)
+    assert fault.fires_remaining == 1
+    assert fault.matches_until_fire == 2
+    ch = channel(endpoint)
+    ch.send(PingRequest())
+    assert fault.matches_until_fire == 1
+    with pytest.raises(errors.TimeoutError):
+        channel(endpoint).send(PingRequest())
+    assert fault.fires_remaining == 0
+    assert fault.matches_until_fire is None
+
+
+def test_fires_remaining_for_repeating_and_periodic(endpoint):
+    repeating = endpoint.faults.schedule(FaultKind.HANG, repeat=True)
+    assert repeating.fires_remaining is None  # unbounded
+    endpoint.faults.cancel_all()
+    periodic = endpoint.faults.schedule(FaultKind.HANG, every=3)
+    assert periodic.matches_until_fire == 3
+    for _ in range(2):
+        channel(endpoint).send(PingRequest())
+    assert periodic.matches_until_fire == 1
+
+
+def test_after_counts_matching_requests_only(endpoint):
+    # `after` counts requests the matcher accepts, not all wire traffic
+    fault = endpoint.faults.schedule(
+        FaultKind.HANG,
+        matcher=lambda r: getattr(r, "sql", "").startswith("SELECT"),
+        after=1,
+    )
+    ch, sid = connect(endpoint)  # ConnectRequest does not match
+    ch.send(ExecuteRequest(session_id=sid, sql="SELECT 1"))  # match 1: skipped
+    assert fault.matches_until_fire == 1
+    ch.send(PingRequest())  # non-match: no effect
+    assert fault.matches_until_fire == 1
+    with pytest.raises(errors.TimeoutError):
+        ch.send(ExecuteRequest(session_id=sid, sql="SELECT 2"))
+
+
+# ---------------------------------------------------------------- storage faults
+
+def test_torn_wal_tail_crashes_server_and_loses_the_write(endpoint):
+    ch, sid = connect(endpoint)
+    ch.send(ExecuteRequest(session_id=sid, sql="CREATE TABLE t (k INT)"))
+    endpoint.faults.schedule_on_sql(FaultKind.TORN_WAL_TAIL, "INSERT")
+    with pytest.raises(errors.CommunicationError):
+        ch.send(ExecuteRequest(session_id=sid, sql="INSERT INTO t VALUES (1)"))
+    assert not endpoint.server.up  # device fault downs the server
+    endpoint.restart_server()
+    ch2, sid2 = connect(endpoint)
+    response = ch2.send(ExecuteRequest(session_id=sid2, sql="SELECT count(*) FROM t"))
+    assert response.rows == [(0,)]  # the torn commit record never took
+
+
+def test_force_fail_crashes_server_with_nothing_written(endpoint):
+    ch, sid = connect(endpoint)
+    ch.send(ExecuteRequest(session_id=sid, sql="CREATE TABLE t (k INT)"))
+    endpoint.faults.schedule_on_sql(FaultKind.FORCE_FAIL, "INSERT")
+    with pytest.raises(errors.CommunicationError):
+        ch.send(ExecuteRequest(session_id=sid, sql="INSERT INTO t VALUES (1)"))
+    assert not endpoint.server.up
+    endpoint.restart_server()
+    ch2, sid2 = connect(endpoint)
+    response = ch2.send(ExecuteRequest(session_id=sid2, sql="SELECT count(*) FROM t"))
+    assert response.rows == [(0,)]
+
+
+def test_storage_fault_then_recovery_keeps_earlier_commits(endpoint):
+    ch, sid = connect(endpoint)
+    ch.send(ExecuteRequest(session_id=sid, sql="CREATE TABLE t (k INT)"))
+    ch.send(ExecuteRequest(session_id=sid, sql="INSERT INTO t VALUES (1)"))
+    endpoint.faults.schedule_on_sql(FaultKind.TORN_WAL_TAIL, "INSERT")
+    with pytest.raises(errors.CommunicationError):
+        ch.send(ExecuteRequest(session_id=sid, sql="INSERT INTO t VALUES (2)"))
+    endpoint.restart_server()
+    # the truncated tail must not block post-restart appends
+    ch2, sid2 = connect(endpoint)
+    ch2.send(ExecuteRequest(session_id=sid2, sql="INSERT INTO t VALUES (3)"))
+    endpoint.server.crash()
+    endpoint.restart_server()
+    ch3, sid3 = connect(endpoint)
+    response = ch3.send(
+        ExecuteRequest(session_id=sid3, sql="SELECT k FROM t ORDER BY k")
+    )
+    assert response.rows == [(1,), (3,)]
+
+
 # ---------------------------------------------------------------- metrics
 
 def test_metrics_count_round_trips_and_bytes(endpoint):
@@ -246,3 +334,53 @@ def test_metrics_merge_and_reset():
     assert a.round_trips == 2 and a.bytes_sent == 11
     a.reset()
     assert a.round_trips == 0 and not a.by_request_type
+
+
+def test_metrics_errors_broken_down_by_request_type(endpoint):
+    metrics = NetworkMetrics()
+    endpoint.faults.schedule(FaultKind.DROP_CONNECTION)
+    with pytest.raises(errors.CommunicationError):
+        ClientChannel(endpoint, metrics=metrics).send(PingRequest())
+    endpoint.faults.schedule(FaultKind.DROP_CONNECTION)
+    with pytest.raises(errors.CommunicationError):
+        ClientChannel(endpoint, metrics=metrics).send(ConnectRequest())
+    assert metrics.errors_by_request_type["PingRequest"] == 1
+    assert metrics.errors_by_request_type["ConnectRequest"] == 1
+    assert metrics.errors == 2
+    assert metrics.snapshot()["errors_by_request_type"] == {
+        "PingRequest": 1,
+        "ConnectRequest": 1,
+    }
+    metrics.reset()
+    assert not metrics.errors_by_request_type
+
+
+def test_metrics_merge_combines_error_breakdown():
+    a = NetworkMetrics()
+    a.record_error("PingRequest", 5)
+    b = NetworkMetrics()
+    b.record_error("PingRequest", 5)
+    b.record_error("ExecuteRequest", 9)
+    a.merge(b)
+    assert a.errors_by_request_type == {"PingRequest": 2, "ExecuteRequest": 1}
+
+
+def test_recovery_ping_traffic_visible_in_system_metrics():
+    import repro
+    from repro.errors import CommunicationError as CE
+
+    system = repro.make_system()
+    connection = system.phoenix.connect(system.DSN)
+    connection.config.sleep = lambda _s: (
+        system.endpoint.restart_server() if not system.server.up else None
+    )
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY)")
+    before_pings = system.metrics.by_request_type.get("PingRequest", 0)
+    system.server.crash()
+    cur.execute("INSERT INTO t VALUES (1)")
+    # the recovery pings ride the shared driver metrics: failed attempts in
+    # the error breakdown, the successful one in the round-trip counts
+    assert system.metrics.by_request_type["PingRequest"] > before_pings
+    assert system.metrics.errors_by_request_type.get("PingRequest", 0) >= 1
+    assert connection.stats.recovery_pings >= 1

@@ -113,6 +113,16 @@ def test_regression_crash_during_replay():
     assert run_transfers(plan) == [(1, 85.0), (2, 115.0)]
 
 
+def test_regression_crash_during_commit_probe_recovery():
+    """CRASH_AFTER_EXECUTE lands the commit but kills the reply; a second
+    crash then hits the recovery's own wire traffic, so the status probe
+    runs a *nested* recovery that replays the (already committed)
+    transaction.  The probe hit must discard that replayed transaction —
+    leaving it open double-applies it on the next commit."""
+    plan = [(5, FaultKind.CRASH_AFTER_EXECUTE), (10, FaultKind.CRASH_BEFORE_EXECUTE)]
+    assert run_transfers(plan) == [(1, 85.0), (2, 115.0)]
+
+
 def test_regression_crash_after_retried_commit():
     """A CRASH_AFTER_EXECUTE on a *retried* commit batch: the commit landed,
     so the per-round status probe must prevent a double replay+commit."""

@@ -1,0 +1,230 @@
+"""Faults during recovery itself, and the adaptive ping backoff.
+
+Recovery is the one code path that *must* work while everything around it
+is failing.  These tests aim faults at the recovery machinery directly:
+pings that die, crashes between the two recovery phases, a second crash in
+the middle of transaction replay — plus the backoff/jitter/deadline
+behaviour of ``_await_server``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PhoenixConfig
+from repro.errors import (
+    CommunicationError,
+    RecoveryError,
+    ServerCrashedError,
+    TimeoutError,
+)
+from repro.net import FaultKind
+
+
+def crash_restart(system):
+    system.server.crash()
+    system.endpoint.restart_server()
+
+
+# ----------------------------------------------------------------- backoff
+
+def collecting_config(**overrides) -> tuple[PhoenixConfig, list[float]]:
+    """A config whose sleep records every wait instead of sleeping."""
+    waits: list[float] = []
+    config = PhoenixConfig(**overrides)
+    config.sleep = waits.append
+    return config, waits
+
+
+def test_ping_backoff_is_exponential_and_capped(system):
+    config, waits = collecting_config(
+        ping_interval=1.0,
+        ping_backoff_factor=2.0,
+        ping_max_interval=8.0,
+        ping_jitter=0.0,
+        max_ping_attempts=6,
+    )
+    connection = system.phoenix.connect(system.DSN, config=config)
+    system.server.crash()
+    cause = CommunicationError("boom")
+    with pytest.raises(CommunicationError) as excinfo:
+        connection.recovery._await_server(cause)
+    assert excinfo.value is cause  # the original error surfaces, per paper
+    assert waits == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+    assert connection.stats.recovery_pings == 6
+
+
+def test_ping_backoff_jitter_is_deterministic_and_bounded(system):
+    def run(seed: int) -> list[float]:
+        config, waits = collecting_config(
+            ping_interval=1.0,
+            ping_backoff_factor=2.0,
+            ping_max_interval=4.0,
+            ping_jitter=0.25,
+            jitter_seed=seed,
+            max_ping_attempts=5,
+        )
+        connection = system.phoenix.connect(system.DSN, config=config)
+        system.server.crash()
+        with pytest.raises(CommunicationError):
+            connection.recovery._await_server(CommunicationError("x"))
+        system.endpoint.restart_server()
+        return waits
+
+    first, second, other = run(7), run(7), run(8)
+    assert first == second  # same seed, same schedule
+    assert first != other
+    for wait, base in zip(first, [1.0, 2.0, 4.0, 4.0, 4.0]):
+        assert base * 0.75 <= wait <= base * 1.25  # jitter stays in ±25%
+
+
+def test_recovery_deadline_bounds_total_wait(system):
+    now = [0.0]
+    config, waits = collecting_config(
+        ping_interval=1.0,
+        ping_backoff_factor=2.0,
+        ping_max_interval=64.0,
+        ping_jitter=0.0,
+        max_ping_attempts=50,
+        recovery_deadline=10.0,
+    )
+    config.clock = lambda: now[0]
+    real_sleep = waits.append
+
+    def sleep(seconds: float) -> None:
+        real_sleep(seconds)
+        now[0] += seconds
+
+    config.sleep = sleep
+    connection = system.phoenix.connect(system.DSN, config=config)
+    system.server.crash()
+    with pytest.raises(CommunicationError):
+        connection.recovery._await_server(CommunicationError("down"))
+    # 1+2+4+8 = 15 >= 10: the deadline cuts the loop long before 50 pings
+    assert len(waits) == 4
+    assert connection.stats.recovery_pings == 5
+
+
+def test_no_deadline_means_full_ping_budget(system):
+    config, waits = collecting_config(
+        ping_interval=0.5, ping_jitter=0.0, max_ping_attempts=7
+    )
+    connection = system.phoenix.connect(system.DSN, config=config)
+    system.server.crash()
+    with pytest.raises(CommunicationError):
+        connection.recovery._await_server(CommunicationError("down"))
+    assert len(waits) == 7
+
+
+def test_await_server_returns_after_restart_mid_backoff(system):
+    config = PhoenixConfig(ping_jitter=0.0, max_ping_attempts=10)
+    restores: list[float] = []
+
+    def sleep(seconds: float) -> None:
+        restores.append(seconds)
+        if len(restores) == 3:
+            system.endpoint.restart_server()
+
+    config.sleep = sleep
+    connection = system.phoenix.connect(system.DSN, config=config)
+    system.server.crash()
+    connection.recovery._await_server(CommunicationError("down"))  # no raise
+    assert len(restores) == 3
+
+
+# ------------------------------------------------- faults during recovery
+
+@pytest.fixture()
+def ready(system, phoenix_conn):
+    cur = phoenix_conn.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY)")
+    cur.execute("INSERT INTO t VALUES (1), (2), (3)")
+    return system, phoenix_conn, cur
+
+
+def test_drop_connection_on_recovery_ping(ready):
+    system, conn, cur = ready
+    crash_restart(system)
+    # the recovery ping itself meets a dropped connection; the next ping
+    # attempt (after backoff) succeeds and recovery completes normally
+    system.faults.schedule(FaultKind.DROP_CONNECTION, matcher=_is_ping)
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (3,)
+    assert conn.stats.recoveries == 1
+    assert conn.stats.recovery_pings >= 1
+
+
+def test_crash_between_recovery_phases(ready):
+    system, conn, cur = ready
+    crash_restart(system)
+    # phase 1 rebuilds connections (ConnectRequests); crash the server
+    # again on the private rebuild's status-table statement — recovery
+    # restarts wholesale and still converges
+    system.faults.schedule_on_sql(
+        FaultKind.CRASH_BEFORE_EXECUTE, "CREATE TABLE IF NOT EXISTS"
+    )
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (3,)
+    assert conn.stats.recoveries == 1
+
+
+def test_second_crash_mid_transaction_replay(ready):
+    system, conn, cur = ready
+    conn.begin()
+    cur.execute("UPDATE t SET k = 10 WHERE k = 1")
+    crash_restart(system)
+    # the replayed UPDATE meets another crash; replay restarts from scratch
+    system.faults.schedule_on_sql(FaultKind.CRASH_AFTER_EXECUTE, "UPDATE t")
+    conn.commit()
+    cur.execute("SELECT k FROM t ORDER BY k")
+    assert [r[0] for r in cur.fetchall()] == [2, 3, 10]  # applied exactly once
+
+
+def test_max_recovery_attempts_bounds_repeated_crashes(system):
+    config = PhoenixConfig(max_recovery_attempts=3, max_ping_attempts=2)
+    config.sleep = lambda _s: (
+        system.endpoint.restart_server() if not system.server.up else None
+    )
+    connection = system.phoenix.connect(system.DSN, config=config)
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY)")
+    # every rebuilt connection dies immediately, forever
+    system.faults.schedule(FaultKind.CRASH_BEFORE_EXECUTE, repeat=True)
+    with pytest.raises((RecoveryError, CommunicationError)):
+        cur.execute("INSERT INTO t VALUES (1)")
+    # bounded: no completed recovery, and the loop stopped (we got here)
+    assert connection.stats.recoveries == 0
+
+
+def test_recovery_error_carries_causal_chain(system):
+    config = PhoenixConfig(max_recovery_attempts=2, max_ping_attempts=1)
+    config.sleep = lambda _s: (
+        system.endpoint.restart_server() if not system.server.up else None
+    )
+    connection = system.phoenix.connect(system.DSN, config=config)
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE t (k INT PRIMARY KEY)")
+    system.faults.schedule(FaultKind.CRASH_BEFORE_EXECUTE, repeat=True)
+    with pytest.raises(Exception) as excinfo:
+        cur.execute("INSERT INTO t VALUES (1)")
+    chain = []
+    exc: BaseException | None = excinfo.value
+    while exc is not None:
+        chain.append(type(exc))
+        exc = exc.__cause__
+    # whatever the outermost type, a concrete wire error must be in the chain
+    assert any(
+        issubclass(t, (CommunicationError, ServerCrashedError)) for t in chain
+    ), chain
+
+
+def test_hang_mid_recovery_is_survivable(ready):
+    system, conn, cur = ready
+    crash_restart(system)
+    system.faults.schedule(FaultKind.HANG, matcher=_is_ping)
+    cur.execute("SELECT count(*) FROM t")
+    assert cur.fetchone() == (3,)
+
+
+def _is_ping(request) -> bool:
+    return type(request).__name__ == "PingRequest"

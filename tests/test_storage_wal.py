@@ -197,3 +197,96 @@ def test_crash_loses_unforced_tail():
     # "crash": a new WAL over the same storage sees only the durable prefix
     recovered = WriteAheadLog(storage).read_all()
     assert [r.rowid for r in recovered] == [1]
+
+
+# ------------------------------------------------------- scan_log / torn tails
+
+def test_scan_log_returns_end_of_intact_prefix():
+    from repro.engine.wal import scan_log
+
+    a, b = encode_record(record(1)), encode_record(record(2))
+    records, good_end = scan_log(a + b)
+    assert len(records) == 2 and good_end == len(a) + len(b)
+    records, good_end = scan_log(a + b[:-3])
+    assert len(records) == 1 and good_end == len(a)
+    records, good_end = scan_log(a + b[:-3], base_offset=50)
+    assert good_end == 50 + len(a)
+
+
+def test_truncate_log_suffix_drops_torn_tail(storage):
+    a, b = encode_record(record(1)), encode_record(record(2))
+    storage.append_log(a)
+    storage.append_log(b[:-3])  # torn write
+    storage.truncate_log_suffix(len(a))
+    assert storage.read_log() == a
+    # appends after truncation land at the truncated offset
+    offset = storage.append_log(b)
+    assert offset == len(a)
+    assert decode_log(storage.read_log())[1].rowid == 2
+
+
+def test_truncate_log_suffix_noop_past_end(storage):
+    a = encode_record(record(1))
+    storage.append_log(a)
+    storage.truncate_log_suffix(len(a) + 100)
+    assert storage.read_log() == a
+
+
+def test_inject_append_fault_torn(storage):
+    from repro.engine.storage import StorageFault
+
+    a = encode_record(record(1))
+    storage.inject_append_fault("torn", torn_bytes=3)
+    with pytest.raises(StorageFault):
+        storage.append_log(a)
+    assert storage.read_log() == a[:-3]  # a real torn prefix hit the device
+    # the fault is one-shot: the next append is clean
+    storage.truncate_log_suffix(0)
+    storage.append_log(a)
+    assert storage.read_log() == a
+
+
+def test_inject_append_fault_fail_writes_nothing(storage):
+    from repro.engine.storage import StorageFault
+
+    storage.inject_append_fault("fail")
+    with pytest.raises(StorageFault):
+        storage.append_log(encode_record(record(1)))
+    assert storage.read_log() == b""
+
+
+def test_inject_append_fault_rejects_unknown_mode(storage):
+    with pytest.raises(ValueError):
+        storage.inject_append_fault("sparks")
+
+
+def test_clear_append_fault_disarms(storage):
+    storage.inject_append_fault("fail")
+    storage.clear_append_fault()
+    storage.append_log(encode_record(record(1)))
+    assert len(decode_log(storage.read_log())) == 1
+
+
+def test_restart_recovery_truncates_torn_tail(storage):
+    """End to end: a torn append downs the server; restart recovery must
+    truncate the tail so post-restart commits stay readable."""
+    from repro.engine import DatabaseServer
+    from repro.engine.storage import StorageFault
+
+    server = DatabaseServer(storage)
+    sid = server.connect()
+    server.execute(sid, "CREATE TABLE t (k INT)")
+    server.execute(sid, "INSERT INTO t VALUES (1)")
+    storage.inject_append_fault("torn")
+    with pytest.raises(StorageFault):
+        server.execute(sid, "INSERT INTO t VALUES (2)")
+    server.crash()
+    report = server.restart()
+    assert report.torn_tail_bytes > 0
+    sid = server.connect()
+    server.execute(sid, "INSERT INTO t VALUES (3)")
+    server.crash()
+    server.restart()
+    sid = server.connect()
+    result = server.execute(sid, "SELECT k FROM t ORDER BY k")
+    assert result.result_set.rows == [(1,), (3,)]
