@@ -33,6 +33,7 @@ from repro.core import PhoenixConfig, PhoenixConnection, PhoenixCursor, PhoenixD
 from repro.engine import DatabaseServer
 from repro.engine.storage import FileStableStorage, InMemoryStableStorage, StableStorage
 from repro.net import FaultInjector, FaultKind, NetworkMetrics, ServerEndpoint
+from repro.obs import MetricsRegistry
 from repro.odbc import Connection, DriverManager, NativeDriver, Statement
 
 __version__ = "1.0.0"
@@ -44,6 +45,7 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "NetworkMetrics",
+    "MetricsRegistry",
     "DriverManager",
     "NativeDriver",
     "Connection",
@@ -69,6 +71,7 @@ class System:
     native: NativeDriver
     plain: DriverManager
     phoenix: PhoenixDriverManager
+    registry: MetricsRegistry
     DSN: str = "main"
 
     @property
@@ -86,16 +89,25 @@ def make_system(
     dsn: str = "main",
     config: PhoenixConfig | None = None,
     plan_cache: bool = True,
+    registry: MetricsRegistry | None = None,
 ) -> System:
     """Build server + wire + driver + both driver managers, ready to use.
 
     ``storage`` defaults to in-memory stable storage (instant crashes); pass
     a :class:`FileStableStorage` for on-disk durability.  ``plan_cache``
     toggles the server's parse/plan caches (the bench ablation's knob).
+    ``registry`` lets a caller supply its own :class:`MetricsRegistry`; by
+    default each system gets a fresh one adopting the server's engine
+    counters and the driver's network counters, so
+    ``system.registry.snapshot()`` is the one-stop observability view.
     """
-    server = DatabaseServer(storage, plan_cache=plan_cache)
+    if registry is None:
+        registry = MetricsRegistry()
+    server = DatabaseServer(
+        storage, plan_cache=plan_cache, engine_metrics=registry.engine
+    )
     endpoint = ServerEndpoint(server)
-    native = NativeDriver(endpoint)
+    native = NativeDriver(endpoint, metrics=registry.network)
     plain = DriverManager()
     plain.register_dsn(dsn, native)
     phoenix = PhoenixDriverManager(config)
@@ -106,6 +118,7 @@ def make_system(
         native=native,
         plain=plain,
         phoenix=phoenix,
+        registry=registry,
         DSN=dsn,
     )
 

@@ -38,6 +38,10 @@ __all__ = [
     "run_plan_cache_ablation",
     "ChaosResult",
     "run_chaos_experiment",
+    "ObsOverheadResult",
+    "run_obs_overhead",
+    "RecoveryBreakdownRow",
+    "run_recovery_breakdown",
 ]
 
 
@@ -686,3 +690,236 @@ def run_chaos_experiment(
             for r in report.failures
         ],
     )
+
+
+# ============================================================= tracing overhead
+
+
+@dataclass
+class ObsOverheadResult:
+    """Cost of the tracing instrumentation on the phoenix-trace workload.
+
+    Three modes over the identical deterministic workload:
+
+    * ``baseline`` — the process default: no tracer was ever installed
+      (module-level disabled tracer, exactly what normal operation pays);
+    * ``disabled`` — a ``Tracer(enabled=False)`` explicitly installed, to
+      prove an installed-but-off tracer costs the same as none;
+    * ``on`` — a ``Tracer(enabled=True)`` capturing every span and event.
+
+    The acceptance bar: ``disabled_ratio`` ≈ 1 (tracing off is a true
+    no-op) and ``on_ratio`` < 1.10 (full capture under 10% overhead).
+    """
+
+    baseline_seconds: float
+    disabled_seconds: float
+    on_seconds: float
+    statements: int
+    #: span/event records one traced pass of the workload produces
+    records_captured: int
+    #: spans absorb_trace() folded into latency histograms from that pass
+    spans_absorbed: int
+    #: per-mode result fingerprints — identical iff tracing changed nothing
+    fingerprints: dict[str, int] = field(default_factory=dict)
+    trials: int = 0
+
+    @property
+    def disabled_ratio(self) -> float:
+        return self.disabled_seconds / self.baseline_seconds
+
+    @property
+    def on_ratio(self) -> float:
+        return self.on_seconds / self.baseline_seconds
+
+
+def run_obs_overhead(
+    *,
+    trace_iterations: int = 40,
+    timing_trials: int = 6,
+    seed: int = 0,
+) -> ObsOverheadResult:
+    """Measure tracing overhead on the plan-cache ablation's phoenix-trace
+    workload (metadata probes + wrapped DML + periodic materialization —
+    the span-densest path in the system).
+
+    The workload mutates its table, so every trial runs against a freshly
+    built system (the trace is deterministic, making trials comparable).
+    Trials rotate the mode order each round so each mode occupies every
+    position equally and monotone process drift cancels; each mode's
+    minimum across trials is the reported time.
+    """
+    from repro.obs import MetricsRegistry, Tracer, use_tracer
+    from repro.sql import parse
+
+    def _workload() -> tuple[float, int, int]:
+        system = repro.make_system()
+        loader = system.server.connect(user="loader")
+        system.server.execute(
+            loader,
+            "CREATE TABLE accounts (id INT PRIMARY KEY, owner VARCHAR(20), balance FLOAT)",
+        )
+        values = ", ".join(
+            f"({i}, 'owner_{i % 7}', {100.0 + i})" for i in range(1, 101)
+        )
+        system.server.execute(loader, f"INSERT INTO accounts VALUES {values}")
+        system.server.disconnect(loader)
+
+        connection = system.phoenix.connect(system.DSN)
+        cursor = connection.cursor()
+        scan = parse("SELECT id, owner, balance FROM accounts WHERE balance > 120")
+        agg = parse(
+            "SELECT count(*) AS n, avg(balance) AS mean FROM accounts "
+            "WHERE owner LIKE 'owner_%'"
+        )
+        fingerprint = 0
+        statements = 0
+        started = time.perf_counter()
+        for i in range(trace_iterations):
+            connection.probe_metadata(scan)
+            connection.probe_metadata(agg)
+            cursor.execute(
+                f"UPDATE accounts SET balance = balance + 1 WHERE id = {i % 50 + 1}"
+            )
+            statements += 3
+            if i % 8 == 0:
+                cursor.execute(
+                    "SELECT id, owner, balance FROM accounts "
+                    "WHERE balance > 120 ORDER BY id"
+                )
+                fingerprint = _fold_fingerprint(fingerprint, "scan", cursor.fetchall())
+                statements += 1
+        seconds = time.perf_counter() - started
+        connection.close()
+        return seconds, statements, fingerprint
+
+    modes = ("baseline", "disabled", "on")
+    best = {mode: float("inf") for mode in modes}
+    fingerprints: dict[str, int] = {}
+    statements = 0
+    records_captured = 0
+    spans_absorbed = 0
+
+    def _run_mode(mode: str) -> None:
+        nonlocal statements, records_captured, spans_absorbed
+        if mode == "baseline":
+            seconds, statements, fingerprint = _workload()
+        elif mode == "disabled":
+            with use_tracer(Tracer(enabled=False, seed=seed)):
+                seconds, statements, fingerprint = _workload()
+        else:
+            tracer = Tracer(enabled=True, seed=seed)
+            with use_tracer(tracer):
+                seconds, statements, fingerprint = _workload()
+            records_captured = len(tracer.records)
+            registry = MetricsRegistry()
+            spans_absorbed = registry.absorb_trace(tracer.records)
+        best[mode] = min(best[mode], seconds)
+        fingerprints[mode] = fingerprint
+
+    # untimed warm-up round before any measured trial
+    for mode in modes:
+        _run_mode(mode)
+    for mode in modes:
+        best[mode] = float("inf")
+
+    # trial count a multiple of 3: rotating the order each round puts each
+    # mode in each position equally often, cancelling monotone drift
+    trials = max(3, timing_trials + (-timing_trials % 3))
+    for trial in range(trials):
+        shift = trial % 3
+        for mode in modes[shift:] + modes[:shift]:
+            _run_mode(mode)
+
+    return ObsOverheadResult(
+        baseline_seconds=best["baseline"],
+        disabled_seconds=best["disabled"],
+        on_seconds=best["on"],
+        statements=statements,
+        records_captured=records_captured,
+        spans_absorbed=spans_absorbed,
+        fingerprints=fingerprints,
+        trials=trials,
+    )
+
+
+# ========================================================== recovery breakdown
+
+
+@dataclass
+class RecoveryBreakdownRow:
+    """Per-fault-kind recovery-time split, reconstructed from span traces.
+
+    Every faulted chaos run is executed under a tracer; a
+    :class:`repro.obs.RecoveryTimeline` rebuilt from each trace yields the
+    per-recovery phase durations the row aggregates.  This is Figure 2's
+    phase split measured *from the trace* rather than from
+    ``PhoenixStats`` — the two must agree, which is itself a cross-check.
+    """
+
+    kind: str
+    runs: int
+    recoveries: int
+    mean_pings: float
+    mean_await_ms: float
+    mean_phase1_ms: float
+    mean_phase2_ms: float
+    mean_total_ms: float
+
+
+def run_recovery_breakdown(
+    *,
+    seed: int = 0,
+    stride: int = 4,
+) -> list[RecoveryBreakdownRow]:
+    """Traced single-fault chaos sweep → per-kind recovery phase breakdown.
+
+    For each fault kind, the probe/DML trace runs once per crash point
+    (thinned by ``stride``) under an enabled tracer; the recovery spans in
+    each captured trace are reconstructed into timelines and aggregated.
+    """
+    from repro.chaos.trace import probe_dml_trace, run_trace
+    from repro.net.faults import STORAGE_FAULTS, WIRE_FAULTS
+    from repro.obs import RecoveryTimeline, Tracer
+
+    trace = probe_dml_trace()
+    golden = run_trace(trace)
+    if not golden.completed:
+        raise RuntimeError(f"golden run failed: {golden.error}")
+
+    rows: list[RecoveryBreakdownRow] = []
+    for kind in WIRE_FAULTS + STORAGE_FAULTS:
+        runs = 0
+        recoveries = 0
+        pings = 0
+        await_s = 0.0
+        phase1_s = 0.0
+        phase2_s = 0.0
+        total_s = 0.0
+        for index in range(0, golden.requests_seen, stride):
+            tracer = Tracer(enabled=True, seed=seed)
+            run_trace(trace, ((index, kind),), tracer=tracer)
+            runs += 1
+            timeline = RecoveryTimeline.from_records(tracer.records)
+            for view in timeline.recoveries:
+                if view.outcome == "spurious":
+                    continue
+                recoveries += 1
+                pings += view.pings
+                await_s += view.phase_seconds("recovery.await_server")
+                phase1_s += view.phase_seconds("recovery.phase1.virtual_session")
+                phase2_s += view.phase_seconds("recovery.phase2.sql_state")
+                total_s += view.duration
+        n = recoveries or 1
+        rows.append(
+            RecoveryBreakdownRow(
+                kind=kind.value,
+                runs=runs,
+                recoveries=recoveries,
+                mean_pings=pings / n,
+                mean_await_ms=await_s / n * 1e3,
+                mean_phase1_ms=phase1_s / n * 1e3,
+                mean_phase2_ms=phase2_s / n * 1e3,
+                mean_total_ms=total_s / n * 1e3,
+            )
+        )
+    return rows

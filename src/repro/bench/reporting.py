@@ -5,6 +5,8 @@ Usage::
     python -m repro.bench.reporting table1 [--sf 0.001] [--reps 3]
     python -m repro.bench.reporting fig2
     python -m repro.bench.reporting plancache --json BENCH_plan_cache.json
+    python -m repro.bench.reporting obs_overhead --json BENCH_obs_overhead.json
+    python -m repro.bench.reporting recovery_breakdown
     python -m repro.bench.reporting all
 
 Output mirrors the paper's layout: Table 1's columns are query id, result
@@ -27,12 +29,16 @@ from repro.bench.harness import (
     AvailabilityResult,
     ChaosResult,
     Fig2Series,
+    ObsOverheadResult,
     PlanCacheRun,
+    RecoveryBreakdownRow,
     Table1Row,
     run_availability_experiment,
     run_chaos_experiment,
     run_fig2_recovery_sweep,
+    run_obs_overhead,
     run_plan_cache_ablation,
+    run_recovery_breakdown,
     run_table1_power_comparison,
 )
 
@@ -42,6 +48,8 @@ __all__ = [
     "render_availability",
     "render_plan_cache",
     "render_chaos",
+    "render_obs_overhead",
+    "render_recovery_breakdown",
     "main",
 ]
 
@@ -150,6 +158,73 @@ def render_chaos(result: ChaosResult) -> str:
     return "\n".join(lines)
 
 
+def render_obs_overhead(result: ObsOverheadResult) -> str:
+    """Experiment OBS: tracing overhead on the phoenix-trace workload."""
+    match = (
+        "identical"
+        if len(set(result.fingerprints.values())) == 1
+        else "MISMATCH"
+    )
+    lines = [
+        "Experiment OBS. Tracing overhead (phoenix trace workload)",
+        f"{'Mode':10} {'Seconds':>9} {'Ratio':>7}",
+        f"{'baseline':10} {result.baseline_seconds:>9.4f} {1.0:>7.3f}",
+        f"{'disabled':10} {result.disabled_seconds:>9.4f} {result.disabled_ratio:>7.3f}",
+        f"{'on':10} {result.on_seconds:>9.4f} {result.on_ratio:>7.3f}",
+        f"{result.statements} statements/trial, {result.trials} timed trials; "
+        f"tracing-on captured {result.records_captured} records "
+        f"({result.spans_absorbed} spans folded into histograms); results {match}",
+    ]
+    return "\n".join(lines)
+
+
+def render_recovery_breakdown(rows: list[RecoveryBreakdownRow]) -> str:
+    """Experiment RB: recovery phase split per fault kind, from span traces."""
+    lines = [
+        "Experiment RB. Recovery time breakdown by fault kind (from span traces)",
+        f"{'Fault kind':22} {'Runs':>5} {'Recov.':>7} {'Pings':>6} "
+        f"{'Await (ms)':>11} {'Phase1 (ms)':>12} {'Phase2 (ms)':>12} {'Total (ms)':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.kind:22} {row.runs:>5} {row.recoveries:>7} {row.mean_pings:>6.1f} "
+            f"{row.mean_await_ms:>11.3f} {row.mean_phase1_ms:>12.3f} "
+            f"{row.mean_phase2_ms:>12.3f} {row.mean_total_ms:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _obs_overhead_json(result: ObsOverheadResult) -> dict:
+    return {
+        "baseline_seconds": result.baseline_seconds,
+        "disabled_seconds": result.disabled_seconds,
+        "on_seconds": result.on_seconds,
+        "disabled_ratio": result.disabled_ratio,
+        "on_ratio": result.on_ratio,
+        "statements": result.statements,
+        "records_captured": result.records_captured,
+        "spans_absorbed": result.spans_absorbed,
+        "fingerprints_match": len(set(result.fingerprints.values())) == 1,
+        "trials": result.trials,
+    }
+
+
+def _recovery_breakdown_json(rows: list[RecoveryBreakdownRow]) -> list[dict]:
+    return [
+        {
+            "kind": row.kind,
+            "runs": row.runs,
+            "recoveries": row.recoveries,
+            "mean_pings": row.mean_pings,
+            "mean_await_ms": row.mean_await_ms,
+            "mean_phase1_ms": row.mean_phase1_ms,
+            "mean_phase2_ms": row.mean_phase2_ms,
+            "mean_total_ms": row.mean_total_ms,
+        }
+        for row in rows
+    ]
+
+
 def _chaos_json(result: ChaosResult) -> dict:
     return {
         "seed": result.seed,
@@ -225,7 +300,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "artifact",
-        choices=["table1", "fig2", "availability", "plancache", "chaos", "all"],
+        choices=[
+            "table1",
+            "fig2",
+            "availability",
+            "plancache",
+            "chaos",
+            "obs_overhead",
+            "recovery_breakdown",
+            "all",
+        ],
     )
     parser.add_argument("--seed", type=int, default=0, help="chaos multi-fault seed")
     parser.add_argument("--sf", type=float, default=0.001, help="TPC-H scale factor")
@@ -262,6 +346,14 @@ def main(argv: list[str] | None = None) -> int:
         result = run_chaos_experiment(seed=args.seed)
         print(render_chaos(result))
         payload["chaos"] = _chaos_json(result)
+    if args.artifact in ("obs_overhead", "all"):
+        obs_result = run_obs_overhead()
+        print(render_obs_overhead(obs_result))
+        payload["obs_overhead"] = _obs_overhead_json(obs_result)
+    if args.artifact in ("recovery_breakdown", "all"):
+        breakdown = run_recovery_breakdown(seed=args.seed)
+        print(render_recovery_breakdown(breakdown))
+        payload["recovery_breakdown"] = _recovery_breakdown_json(breakdown)
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -4,6 +4,9 @@ Runs the exhaustive single-fault wire sweep, the storage-fault sweep, and a
 batch of seeded multi-fault schedules, then prints a summary.  Exits 1 on
 any oracle violation, printing the seed and the exact failing schedule so
 the run reproduces with ``ChaosExplorer(seed=N).run_schedule(schedule)``.
+With ``--trace-dir DIR`` every failing schedule is re-run under a tracer
+and its span trace written to ``DIR`` as JSONL — the violation report names
+the file, and ``python -m repro.obs --load FILE`` renders the timeline.
 """
 
 from __future__ import annotations
@@ -11,8 +14,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.chaos.explorer import ChaosExplorer
+from repro.obs.tracer import Tracer, dump_jsonl
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -28,6 +33,12 @@ def main(argv: list[str] | None = None) -> int:
         "--random-runs", type=int, default=24, help="seeded multi-fault run count"
     )
     parser.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="re-run each failing schedule traced; write span traces here",
+    )
     args = parser.parse_args(argv)
 
     explorer = ChaosExplorer(seed=args.seed)
@@ -56,10 +67,19 @@ def main(argv: list[str] | None = None) -> int:
         )
     if report.failures:
         print(f"seed={args.seed} — {len(report.failures)} FAILING SCHEDULE(S):")
-        for result in report.failures:
+        for i, result in enumerate(report.failures):
             print(f"  {result.describe()}")
             for violation in result.violations:
                 print(f"    - {violation}")
+            if args.trace_dir is not None:
+                # deterministic re-run under a tracer: same trace, same
+                # schedule, so the captured spans show the failing timeline
+                args.trace_dir.mkdir(parents=True, exist_ok=True)
+                tracer = Tracer(enabled=True, seed=args.seed)
+                explorer.run_schedule(result.schedule, tracer=tracer)
+                path = args.trace_dir / f"failure-{i}.jsonl"
+                dump_jsonl(tracer.records, path)
+                print(f"    trace: {path} (render: python -m repro.obs --load {path})")
         return 1
     return 0
 

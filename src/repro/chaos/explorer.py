@@ -122,8 +122,10 @@ class ChaosExplorer:
 
     # -- running ------------------------------------------------------------
 
-    def run_schedule(self, schedule: Schedule) -> ChaosRunResult:
-        record = run_trace(self.trace, schedule)
+    def run_schedule(self, schedule: Schedule, *, tracer=None) -> ChaosRunResult:
+        """Run one faulted schedule; pass a ``repro.obs.Tracer`` to capture
+        the run as a span trace (see :func:`repro.chaos.trace.run_trace`)."""
+        record = run_trace(self.trace, schedule, tracer=tracer)
         return ChaosRunResult(
             schedule=tuple(schedule),
             violations=check_run(self.golden, record),

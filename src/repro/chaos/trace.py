@@ -29,6 +29,7 @@ from typing import Any
 import repro
 from repro import errors
 from repro.net.faults import FaultKind
+from repro.obs.tracer import Tracer, use_tracer
 from repro.odbc.constants import CursorType, StatementAttr
 
 __all__ = ["Step", "ChaosTrace", "TraceRecord", "probe_dml_trace", "run_trace"]
@@ -130,6 +131,8 @@ class TraceRecord:
 def run_trace(
     trace: ChaosTrace,
     schedule: tuple[tuple[int, FaultKind], ...] = (),
+    *,
+    tracer: Tracer | None = None,
 ) -> TraceRecord:
     """Run ``trace`` on a fresh system under ``schedule`` and record it.
 
@@ -138,7 +141,22 @@ def run_trace(
     fires on the i-th wire request (0-based).  The injected ``sleep``
     restarts a downed server, standing in for the operator/watchdog the
     paper assumes — recovery waits out the outage and proceeds.
+
+    Pass a ``tracer`` (:class:`repro.obs.Tracer`) to capture the whole run
+    as a span trace — it is installed process-wide for the run's duration
+    and restored after; read the records off ``tracer.records`` or render
+    them with :func:`repro.obs.render_tree`.
     """
+    if tracer is not None:
+        with use_tracer(tracer):
+            return _run_trace(trace, schedule)
+    return _run_trace(trace, schedule)
+
+
+def _run_trace(
+    trace: ChaosTrace,
+    schedule: tuple[tuple[int, FaultKind], ...],
+) -> TraceRecord:
     system = repro.make_system()
     config = system.phoenix.config
 

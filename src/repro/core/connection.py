@@ -36,6 +36,7 @@ from repro.core.interceptor import (
 from repro.core.naming import PROXY_TABLE, NameAllocator
 from repro.core.recovery import RECOVERABLE_ERRORS, PhoenixRecovery
 from repro.core.statements import ResultState, TxnReplayLog
+from repro.obs.tracer import get_tracer
 from repro.odbc.constants import CursorType
 from repro.odbc.driver import DriverConnection, NativeDriver
 from repro.sql import ast
@@ -108,31 +109,38 @@ class PhoenixConnection:
 
         self.recovery = PhoenixRecovery(self)
 
+        #: one correlation id per virtual session — every span the session
+        #: produces (driver, wire, engine, recovery) carries it, which is
+        #: what stitches a crash-spanning trace into one causal timeline.
+        #: None when tracing is disabled (no id allocation).
+        self.correlation_id = get_tracer().new_correlation_id()
+
         # Real connections behind the virtual handle.  Session establishment
         # itself must survive a crash: wait for the server and retry the
         # whole setup (the fixture statements are idempotent).
-        attempts = max(1, self.config.max_recovery_attempts)
-        for attempt in range(attempts):
-            try:
-                self.app: DriverConnection = driver.connect(user, self.options)
-                self.private: DriverConnection = driver.connect(user, {})
-                self._install_session_fixtures()
-                break
-            except RECOVERABLE_ERRORS as exc:
-                # A failed attempt may have left live sessions on a
-                # surviving server (e.g. the fixture request hung after both
-                # connects succeeded).  Collect them for reaping — retrying
-                # without it leaks a lock-holding session per attempt.
-                stale = [
-                    conn.session_id
-                    for conn in (getattr(self, "app", None), getattr(self, "private", None))
-                    if conn is not None
-                ]
-                self.app = self.private = None  # type: ignore[assignment]
-                if attempt + 1 >= attempts:
-                    raise
-                self.recovery._await_server(exc)
-                self._reap_server_sessions(stale)
+        with get_tracer().span("session.open", corr=self.correlation_id, user=user, dsn=dsn):
+            attempts = max(1, self.config.max_recovery_attempts)
+            for attempt in range(attempts):
+                try:
+                    self.app: DriverConnection = driver.connect(user, self.options)
+                    self.private: DriverConnection = driver.connect(user, {})
+                    self._install_session_fixtures()
+                    break
+                except RECOVERABLE_ERRORS as exc:
+                    # A failed attempt may have left live sessions on a
+                    # surviving server (e.g. the fixture request hung after both
+                    # connects succeeded).  Collect them for reaping — retrying
+                    # without it leaks a lock-holding session per attempt.
+                    stale = [
+                        conn.session_id
+                        for conn in (getattr(self, "app", None), getattr(self, "private", None))
+                        if conn is not None
+                    ]
+                    self.app = self.private = None  # type: ignore[assignment]
+                    if attempt + 1 >= attempts:
+                        raise
+                    self.recovery._await_server(exc)
+                    self._reap_server_sessions(stale)
 
     # ------------------------------------------------------------- fixtures
 
@@ -198,7 +206,8 @@ class PhoenixConnection:
         self._require_open()
         self.set_log.append((name, value))
         rendered = value if isinstance(value, (int, float)) else f"'{value}'"
-        self._app_execute(f"SET {name} {rendered}")
+        with get_tracer().span("session.set_option", corr=self.correlation_id, option=name):
+            self._app_execute(f"SET {name} {rendered}")
 
     def begin(self) -> None:
         self.handle_begin()
@@ -221,30 +230,31 @@ class PhoenixConnection:
         for state in self.results.values():
             state.open = False
         self.txn_log.clear()
-        attempts = max(1, self.config.max_operation_retries)
-        for attempt in range(attempts + 1):
-            try:
-                self._cleanup_server_objects()
-                break
-            except RECOVERABLE_ERRORS as exc:
-                if attempt >= attempts:
-                    break  # server stayed down: orphans reclaimed out of band
+        with get_tracer().span("session.close", corr=self.correlation_id):
+            attempts = max(1, self.config.max_operation_retries)
+            for attempt in range(attempts + 1):
                 try:
-                    self.recovery.recover(exc)
-                except Exception:
+                    self._cleanup_server_objects()
                     break
-        unreaped = []
-        for connection in (self.app, self.private):
-            try:
-                acked = connection.disconnect()
-            except RECOVERABLE_ERRORS:
-                acked = False
-            if not acked:
-                # the DisconnectRequest died in flight: if the server is
-                # still up the session is orphaned — reap it out of band
-                unreaped.append(connection.session_id)
-        if unreaped:
-            self._reap_server_sessions(unreaped)
+                except RECOVERABLE_ERRORS as exc:
+                    if attempt >= attempts:
+                        break  # server stayed down: orphans reclaimed out of band
+                    try:
+                        self.recovery.recover(exc)
+                    except Exception:
+                        break
+            unreaped = []
+            for connection in (self.app, self.private):
+                try:
+                    acked = connection.disconnect()
+                except RECOVERABLE_ERRORS:
+                    acked = False
+                if not acked:
+                    # the DisconnectRequest died in flight: if the server is
+                    # still up the session is orphaned — reap it out of band
+                    unreaped.append(connection.session_id)
+            if unreaped:
+                self._reap_server_sessions(unreaped)
         self.closed = True
 
     def _reap_server_sessions(self, session_ids: list[int]) -> None:
@@ -307,7 +317,8 @@ class PhoenixConnection:
         self._require_open()
         if self.in_transaction:
             raise ProgrammingError("transaction already in progress")
-        self._app_execute("BEGIN TRANSACTION")
+        with get_tracer().span("txn.begin", corr=self.correlation_id):
+            self._app_execute("BEGIN TRANSACTION")
         self.txn_log.begin()
 
     def handle_commit(self) -> ResultResponse:
@@ -320,31 +331,32 @@ class PhoenixConnection:
         batch = f"INSERT INTO {self.names.status_table} VALUES ({seq}, 0); COMMIT"
         attempts = max(1, self.config.max_operation_retries)
         response: ResultResponse | None = None
-        for attempt in range(attempts + 1):
-            try:
-                response = self.app.execute(batch)
-                break
-            except RECOVERABLE_ERRORS as exc:
-                if attempt >= attempts:
-                    raise
-                rebuilt = self.recovery.recover(exc, replay_txn=False)
-                # probe EVERY round: a retried batch may have committed just
-                # before its reply died — replaying then would double-commit
-                if self.probe_status(seq) is not None:
-                    # the probe itself can meet a crash, and its nested
-                    # recovery replays the open txn_log before the probe
-                    # retry discovers the commit landed: that replayed
-                    # transaction is a double-apply sitting open on the
-                    # server — discard it before reporting the commit
-                    self._rollback_wrapper_txn()
-                    self.txn_log.clear()
-                    self.stats.probe_hits += 1
-                    return ResultResponse(kind="ok", message="COMMIT (recovered)")
-                if rebuilt:
-                    # transaction lost wholesale: replay, then commit again
-                    self._replay_transaction()
-                # spurious failure with no status row: the batch never ran;
-                # the transaction is still open — just retry the batch
+        with get_tracer().span("txn.commit", corr=self.correlation_id, seq=seq):
+            for attempt in range(attempts + 1):
+                try:
+                    response = self.app.execute(batch)
+                    break
+                except RECOVERABLE_ERRORS as exc:
+                    if attempt >= attempts:
+                        raise
+                    rebuilt = self.recovery.recover(exc, replay_txn=False)
+                    # probe EVERY round: a retried batch may have committed just
+                    # before its reply died — replaying then would double-commit
+                    if self.probe_status(seq) is not None:
+                        # the probe itself can meet a crash, and its nested
+                        # recovery replays the open txn_log before the probe
+                        # retry discovers the commit landed: that replayed
+                        # transaction is a double-apply sitting open on the
+                        # server — discard it before reporting the commit
+                        self._rollback_wrapper_txn()
+                        self.txn_log.clear()
+                        self.stats.probe_hits += 1
+                        return ResultResponse(kind="ok", message="COMMIT (recovered)")
+                    if rebuilt:
+                        # transaction lost wholesale: replay, then commit again
+                        self._replay_transaction()
+                    # spurious failure with no status row: the batch never ran;
+                    # the transaction is still open — just retry the batch
         self.txn_log.clear()
         assert response is not None
         return response
@@ -355,19 +367,20 @@ class PhoenixConnection:
             raise ProgrammingError("no transaction in progress")
         attempts = max(1, self.config.max_operation_retries)
         response: ResultResponse | None = None
-        for attempt in range(attempts + 1):
-            try:
-                response = self.app.execute("ROLLBACK")
-                break
-            except RECOVERABLE_ERRORS as exc:
-                if attempt >= attempts:
-                    raise
-                rebuilt = self.recovery.recover(exc, replay_txn=False)
-                if rebuilt:
-                    # a crash rolls the transaction back by definition
-                    response = ResultResponse(kind="ok", message="ROLLBACK (by crash)")
+        with get_tracer().span("txn.rollback", corr=self.correlation_id):
+            for attempt in range(attempts + 1):
+                try:
+                    response = self.app.execute("ROLLBACK")
                     break
-                # spurious: the transaction is still open — retry ROLLBACK
+                except RECOVERABLE_ERRORS as exc:
+                    if attempt >= attempts:
+                        raise
+                    rebuilt = self.recovery.recover(exc, replay_txn=False)
+                    if rebuilt:
+                        # a crash rolls the transaction back by definition
+                        response = ResultResponse(kind="ok", message="ROLLBACK (by crash)")
+                        break
+                    # spurious: the transaction is still open — retry ROLLBACK
         self.txn_log.clear()
         assert response is not None
         return response
@@ -383,6 +396,11 @@ class PhoenixConnection:
         later) or is wholly discarded.
         """
         self.stats.replayed_txns += 1
+        get_tracer().event(
+            "recovery.replay_txn",
+            corr=self.correlation_id,
+            statements=len(self.txn_log.statements),
+        )
         attempts = max(1, self.config.max_operation_retries)
         last_exc: Exception | None = None
         for _attempt in range(attempts):
@@ -486,6 +504,9 @@ class PhoenixConnection:
         self.stats.status_probes += 1
         response = self._private_execute(
             f"SELECT n_rows FROM {self.names.status_table} WHERE stmt_seq = {seq}"
+        )
+        get_tracer().event(
+            "status.probe", corr=self.correlation_id, seq=seq, hit=bool(response.rows)
         )
         if response.rows:
             return response.rows[0][0]

@@ -26,6 +26,7 @@ from repro.core.interceptor import StatementClass, classify, inline_placeholders
 from repro.core.recovery import RECOVERABLE_ERRORS
 from repro.core.statements import ResultState
 from repro.net.protocol import ResultResponse
+from repro.obs.tracer import get_tracer
 from repro.odbc.constants import DEFAULT_FETCH_BLOCK, CursorType, StatementAttr
 from repro.odbc.driver_manager import describe_columns
 from repro.sql import ast, parse_script
@@ -73,10 +74,20 @@ class PhoenixCursor:
         self._reset_result()
         statements = parse_script(sql)
         bound = list(placeholders or [])
+        tracer = get_tracer()
         for stmt in statements:
             if bound:
                 inline_placeholders(stmt, bound)
-            self._execute_one(stmt)
+            if tracer.enabled:
+                with tracer.span(
+                    "client.statement",
+                    corr=self.connection.correlation_id,
+                    sql=stmt.sql()[:80],
+                    cls=classify(stmt).name,
+                ):
+                    self._execute_one(stmt)
+            else:
+                self._execute_one(stmt)
         return self
 
     def _execute_one(self, stmt: ast.Statement) -> None:
@@ -225,6 +236,17 @@ class PhoenixCursor:
 
     def fetchmany(self, n: int) -> list[tuple]:
         self._require_open()
+        tracer = get_tracer()
+        if tracer.enabled and self._state is not None:
+            with tracer.span(
+                "client.fetch", corr=self.connection.correlation_id, n=n
+            ) as span:
+                out = self._fetchmany(n)
+                span.set(rows=len(out))
+                return out
+        return self._fetchmany(n)
+
+    def _fetchmany(self, n: int) -> list[tuple]:
         out: list[tuple] = []
         while len(out) < n:
             row = self._next_row()

@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.core.config import PhoenixConfig
 from repro.core.connection import PhoenixConnection
+from repro.obs.tracer import get_tracer
 from repro.odbc.driver_manager import DriverManager
 
 __all__ = ["PhoenixDriverManager"]
@@ -35,12 +36,13 @@ class PhoenixDriverManager(DriverManager):
         config: PhoenixConfig | None = None,
     ) -> PhoenixConnection:
         """Open a persistent database session."""
-        driver = self.driver_for(dsn)
-        return PhoenixConnection(
-            self,
-            dsn,
-            driver,
-            user,
-            options,
-            config if config is not None else self.config,
-        )
+        with get_tracer().span("phoenix.connect", dsn=dsn, user=user):
+            driver = self.driver_for(dsn)
+            return PhoenixConnection(
+                self,
+                dsn,
+                driver,
+                user,
+                options,
+                config if config is not None else self.config,
+            )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 
+from repro.obs.tracer import get_tracer
 from repro.sql import ast, parse_script
 
 __all__ = [
@@ -270,6 +271,7 @@ def build_dml_batch(dml_sql: str, status_table: str, seq: int) -> str:
 
         BEGIN; <dml>; INSERT INTO <status> VALUES (<seq>, rowcount()); COMMIT
     """
+    get_tracer().event("interceptor.wrap_dml", seq=seq)
     return (
         "BEGIN TRANSACTION; "
         f"{dml_sql}; "
@@ -290,6 +292,9 @@ def build_fill_batch(
     Idempotent under retry: the procedure is dropped first if a previous
     attempt got far enough to create it.
     """
+    get_tracer().event(
+        "interceptor.fill_batch", table=result_table, via_procedure=via_procedure
+    )
     insert = f"INSERT INTO {result_table} {select_sql}"
     if not via_procedure:
         return insert

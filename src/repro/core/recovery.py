@@ -38,6 +38,7 @@ from repro.errors import (
     TimeoutError,
 )
 from repro.core.naming import PROXY_TABLE
+from repro.obs.tracer import get_tracer
 
 if TYPE_CHECKING:
     from repro.core.connection import PhoenixConnection
@@ -67,12 +68,28 @@ class PhoenixRecovery:
         needed.  ``replay_txn=False`` lets transaction handling own the
         replay decision (commit probes the status table first).
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._recover_impl(cause, replay_txn=replay_txn)
+        with tracer.span(
+            "recovery",
+            corr=self.connection.correlation_id,
+            cause=type(cause).__name__,
+        ) as span:
+            rebuilt = self._recover_impl(cause, replay_txn=replay_txn)
+            span.set(outcome="rebuilt" if rebuilt else "spurious")
+            return rebuilt
+
+    def _recover_impl(self, cause: Exception, *, replay_txn: bool) -> bool:
         connection = self.connection
         stats = connection.stats
+        tracer = get_tracer()
 
         # 1. spurious timeout? (channel still healthy)
         if isinstance(cause, TimeoutError) and not connection.app.channel.broken:
-            if self._probe_session():
+            with tracer.span("recovery.detect"):
+                survived = self._probe_session()
+            if survived:
                 self._repair_private_channel()
                 stats.spurious_timeouts += 1
                 return False
@@ -95,16 +112,18 @@ class PhoenixRecovery:
         for attempt in range(attempts):
             try:
                 started = time.perf_counter()
-                self._rebuild_connections()
+                with tracer.span("recovery.phase1.virtual_session"):
+                    self._rebuild_connections()
                 phase1 = time.perf_counter() - started
                 stats.last_virtual_session_seconds = phase1
                 stats.virtual_session_seconds_total += phase1
 
                 started = time.perf_counter()
-                self._verify_materialized_state()
-                self._reinstall_deliveries()
-                if replay_txn and connection.txn_log.active:
-                    connection._replay_transaction()
+                with tracer.span("recovery.phase2.sql_state"):
+                    self._verify_materialized_state()
+                    self._reinstall_deliveries()
+                    if replay_txn and connection.txn_log.active:
+                        connection._replay_transaction()
                 phase2 = time.perf_counter() - started
                 stats.last_sql_state_seconds = phase2
                 stats.sql_state_seconds_total += phase2
@@ -142,25 +161,29 @@ class PhoenixRecovery:
         ``recovery_deadline`` wall-clock budget.
         """
         config = self.connection.config
+        tracer = get_tracer()
         deadline: float | None = None
         if config.recovery_deadline is not None:
             deadline = config.clock() + config.recovery_deadline
         interval = config.ping_interval
-        for _ in range(config.max_ping_attempts):
-            try:
-                self.connection.driver.ping()
-                return
-            except RECOVERABLE_ERRORS:
-                self.connection.stats.recovery_pings += 1
-                if deadline is not None and config.clock() >= deadline:
-                    break
-                config.sleep(self._jittered(interval))
-                interval = min(
-                    interval * config.ping_backoff_factor, config.ping_max_interval
-                )
-        # paper: "If after a period of time Phoenix/ODBC is unable to
-        # connect to the server ... passes the communication error on."
-        raise cause
+        with tracer.span("recovery.await_server"):
+            for _ in range(config.max_ping_attempts):
+                try:
+                    self.connection.driver.ping()
+                    tracer.event("recovery.ping", ok=True)
+                    return
+                except RECOVERABLE_ERRORS:
+                    tracer.event("recovery.ping", ok=False)
+                    self.connection.stats.recovery_pings += 1
+                    if deadline is not None and config.clock() >= deadline:
+                        break
+                    config.sleep(self._jittered(interval))
+                    interval = min(
+                        interval * config.ping_backoff_factor, config.ping_max_interval
+                    )
+            # paper: "If after a period of time Phoenix/ODBC is unable to
+            # connect to the server ... passes the communication error on."
+            raise cause
 
     def _jittered(self, interval: float) -> float:
         """Scale a wait by a deterministic pseudo-random jitter factor."""
@@ -224,12 +247,15 @@ class PhoenixRecovery:
         tables on the server was recovered by the database recovery
         mechanisms"."""
         connection = self.connection
+        tracer = get_tracer()
         for state in connection.results.values():
             if not state.open:
                 continue
             try:
                 connection.private.execute(f"SELECT count(*) FROM {state.table}")
+                tracer.event("recovery.verify_table", table=state.table, ok=True)
             except CatalogError as exc:
+                tracer.event("recovery.verify_table", table=state.table, ok=False)
                 raise RecoveryError(
                     f"materialized state {state.table} missing after database recovery"
                 ) from exc
@@ -246,6 +272,12 @@ class PhoenixRecovery:
 
     def _reposition(self, state: "ResultState") -> None:
         connection = self.connection
+        get_tracer().event(
+            "recovery.reposition",
+            table=state.table,
+            delivered=state.delivered,
+            server_side=connection.config.reposition_server_side,
+        )
         if connection.config.reposition_server_side:
             # Open a server cursor over the materialized table (rows stay on
             # the server) and advance it — the paper's stored-procedure

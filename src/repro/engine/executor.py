@@ -31,6 +31,7 @@ from repro.engine.results import ResultSet, StatementResult
 from repro.engine.schema import Column, schema_from_ast, type_spec_to_sql_type
 from repro.engine.table import Table
 from repro.engine.values import SqlType, sort_key
+from repro.obs.tracer import get_tracer
 from repro.sql import ast, parse_script
 
 __all__ = ["Executor"]
@@ -70,6 +71,19 @@ class Executor:
         placeholders: list | None = None,
     ) -> StatementResult:
         """Execute one statement with autocommit semantics (see module doc)."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("engine.stmt", stmt=type(stmt).__name__):
+                return self._execute_traced(stmt, params=params, placeholders=placeholders)
+        return self._execute_traced(stmt, params=params, placeholders=placeholders)
+
+    def _execute_traced(
+        self,
+        stmt: ast.Statement,
+        *,
+        params: dict[str, Any] | None = None,
+        placeholders: list | None = None,
+    ) -> StatementResult:
         if isinstance(stmt, ast.BeginTransaction):
             return self._begin()
         if isinstance(stmt, ast.Commit):

@@ -58,10 +58,13 @@ PLAN_CACHE_CAPACITY = 128
 class EngineMetrics:
     """Cache observability counters for one server.
 
-    Like :class:`~repro.engine.server.ServerStats`, these are cumulative
+    Reset semantics follow the system-wide contract defined in
+    :mod:`repro.obs.metrics`: like :class:`~repro.engine.server.ServerStats`
+    and :class:`~repro.net.metrics.NetworkMetrics`, these are cumulative
     across crashes and restarts — they describe the simulation, not server
-    state.  The *caches themselves* are volatile; the counters let tests
-    prove it (a restart shows fresh misses for SQL that used to hit).
+    state — and only an explicit :meth:`reset` zeroes them.  The *caches
+    themselves* are volatile; the counters let tests prove it (a restart
+    shows fresh misses for SQL that used to hit).
     """
 
     def __init__(self) -> None:
@@ -87,6 +90,15 @@ class EngineMetrics:
         self.plan_hits = 0
         self.plan_misses = 0
         self.plan_invalidations = 0
+
+    def merge(self, other: "EngineMetrics") -> None:
+        """Fold another server's counters in (same surface as
+        ``NetworkMetrics.merge`` — multi-system benchmarks aggregate both)."""
+        self.parse_hits += other.parse_hits
+        self.parse_misses += other.parse_misses
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.plan_invalidations += other.plan_invalidations
 
     def snapshot(self) -> dict[str, float]:
         return {

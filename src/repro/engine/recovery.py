@@ -36,6 +36,7 @@ from repro.engine.database import (
 from repro.engine.storage import StableStorage, TableData
 from repro.engine.table import Table
 from repro.engine.wal import LogRecord, RecordType, scan_log
+from repro.obs.tracer import get_tracer
 
 __all__ = ["recover", "RecoveryReport"]
 
@@ -65,6 +66,19 @@ class RecoveryReport:
 
 def recover(storage: StableStorage) -> tuple[Database, RecoveryReport]:
     """Build a consistent Database from ``storage``; returns it plus a report."""
+    with get_tracer().span("engine.recovery") as span:
+        database, report = _recover(storage)
+        span.set(
+            scanned=report.records_scanned,
+            redone=report.records_redone,
+            losers=len(report.loser_txns),
+            tables=report.tables_loaded,
+            torn_tail_bytes=report.torn_tail_bytes,
+        )
+        return database, report
+
+
+def _recover(storage: StableStorage) -> tuple[Database, RecoveryReport]:
     report = RecoveryReport()
     base = getattr(storage, "log_base", 0)
     raw = storage.read_log()

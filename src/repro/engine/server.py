@@ -34,6 +34,7 @@ from repro.engine.recovery import RecoveryReport, recover
 from repro.engine.results import StatementResult
 from repro.engine.session import Session
 from repro.engine.storage import InMemoryStableStorage, StableStorage
+from repro.obs.tracer import get_tracer
 from repro.sql import ast, parse_script
 
 __all__ = ["DatabaseServer", "ServerStats"]
@@ -63,6 +64,7 @@ class DatabaseServer:
         *,
         name: str = "server",
         plan_cache: bool = True,
+        engine_metrics: EngineMetrics | None = None,
     ):
         self.name = name
         self.storage = storage if storage is not None else InMemoryStableStorage()
@@ -71,7 +73,9 @@ class DatabaseServer:
         self._executors: dict[int, Executor] = {}
         self.stats = ServerStats()
         #: parse/plan cache counters — cumulative across crashes, like stats
-        self.engine_metrics = EngineMetrics()
+        #: (reset semantics: repro.obs.metrics); injectable so a
+        #: MetricsRegistry can adopt the same object
+        self.engine_metrics = engine_metrics if engine_metrics is not None else EngineMetrics()
         #: enables both the parse cache and per-session plan caches; the
         #: bench ablation flips this off for its baseline
         self.plan_cache_enabled = plan_cache
@@ -104,12 +108,14 @@ class DatabaseServer:
         # write / failed force models the crash moment itself
         self.storage.clear_append_fault()
         self.stats.crashes += 1
+        get_tracer().event("server.crash", server=self.name)
 
     def restart(self) -> RecoveryReport:
         """Run restart recovery and come back up (with zero sessions)."""
         if self.up:
             raise OperationalError("server is already up")
-        self._boot()
+        with get_tracer().span("server.restart", server=self.name):
+            self._boot()
         self.stats.restarts += 1
         return self.last_recovery
 

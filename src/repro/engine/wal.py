@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.schema import TableSchema
 from repro.engine.storage import StableStorage
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "RecordType",
@@ -179,10 +180,12 @@ class WriteAheadLog:
     def force(self) -> int:
         """Durably flush buffered records; returns the log size (next LSN)."""
         if self._pending:
+            flushed = len(self._pending)
             payload = b"".join(self._pending)
             self._pending.clear()
             self._pending_bytes = 0
             self._storage.append_log(payload)
+            get_tracer().event("wal.force", records=flushed, bytes=len(payload))
         self.forces += 1
         return self._storage.log_size()
 
@@ -207,6 +210,9 @@ class WriteAheadLog:
         self.forces += 1
         if payload:
             self._storage.append_log(payload)
+            get_tracer().event(
+                "wal.force", records=len(records), bytes=len(payload), atomic_batch=True
+            )
         return lsns
 
     def pending_count(self) -> int:

@@ -20,7 +20,16 @@ __all__ = ["NetworkMetrics"]
 
 @dataclass
 class NetworkMetrics:
-    """Counters for one channel (or aggregated across channels)."""
+    """Counters for one channel (or aggregated across channels).
+
+    Reset semantics follow the system-wide contract defined in
+    :mod:`repro.obs.metrics`: counters are **cumulative across server
+    crashes and restarts** (they describe the simulation's history, not
+    server state) and only an explicit :meth:`reset` — an observer action,
+    typically via ``MetricsRegistry.reset()`` — zeroes them.
+    ``latency_seconds`` is configuration (the simulated per-round-trip
+    latency), not a counter, so ``reset()`` leaves it alone.
+    """
 
     round_trips: int = 0
     bytes_sent: int = 0

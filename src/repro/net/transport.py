@@ -20,6 +20,7 @@ from repro.engine.server import DatabaseServer
 from repro.engine.storage import StorageFault
 from repro.net.faults import FaultInjector, FaultKind
 from repro.net.metrics import NetworkMetrics
+from repro.obs.tracer import get_tracer
 from repro.net.protocol import (
     AdvanceRequest,
     CloseCursorRequest,
@@ -72,44 +73,48 @@ class ServerEndpoint:
         """
         request = decode_message(raw_request)
         assert isinstance(request, Request)
+        tracer = get_tracer()
 
-        if not self.server.up:
-            raise errors.ServerCrashedError("connection refused: server is down")
+        with tracer.span("server.dispatch", request=type(request).__name__):
+            if not self.server.up:
+                raise errors.ServerCrashedError("connection refused: server is down")
 
-        fault = self.faults.next_fault(request)
-        if fault is FaultKind.CRASH_BEFORE_EXECUTE:
-            self.server.crash()
-            raise errors.CommunicationError("connection reset by peer (server crashed)")
-        if fault is FaultKind.HANG:
-            raise errors.TimeoutError("request timed out (server not responding)")
-        if fault is FaultKind.DROP_CONNECTION:
-            raise errors.CommunicationError("connection reset by peer (network glitch)")
-        if fault is FaultKind.TORN_WAL_TAIL:
-            # armed on the device; fires at this request's first log append
-            # (or a later request's, if this one never appends)
-            self.server.storage.inject_append_fault("torn")
-        if fault is FaultKind.FORCE_FAIL:
-            self.server.storage.inject_append_fault("fail")
+            fault = self.faults.next_fault(request)
+            if fault is not None:
+                tracer.event("fault.fired", fault=fault.value)
+            if fault is FaultKind.CRASH_BEFORE_EXECUTE:
+                self.server.crash()
+                raise errors.CommunicationError("connection reset by peer (server crashed)")
+            if fault is FaultKind.HANG:
+                raise errors.TimeoutError("request timed out (server not responding)")
+            if fault is FaultKind.DROP_CONNECTION:
+                raise errors.CommunicationError("connection reset by peer (network glitch)")
+            if fault is FaultKind.TORN_WAL_TAIL:
+                # armed on the device; fires at this request's first log append
+                # (or a later request's, if this one never appends)
+                self.server.storage.inject_append_fault("torn")
+            if fault is FaultKind.FORCE_FAIL:
+                self.server.storage.inject_append_fault("fail")
 
-        try:
-            response = self._dispatch(request)
-        except StorageFault as exc:
-            # the log device failed under the server: that is a process
-            # kill, not an SQL error — nothing in-band can describe it
-            self.server.crash()
-            raise errors.CommunicationError(
-                f"connection reset by peer (server crashed: {exc})"
-            ) from exc
-        except errors.Error as exc:
-            response = ErrorResponse(error_type=type(exc).__name__, message=str(exc))
+            try:
+                response = self._dispatch(request)
+            except StorageFault as exc:
+                # the log device failed under the server: that is a process
+                # kill, not an SQL error — nothing in-band can describe it
+                self.server.crash()
+                raise errors.CommunicationError(
+                    f"connection reset by peer (server crashed: {exc})"
+                ) from exc
+            except errors.Error as exc:
+                response = ErrorResponse(error_type=type(exc).__name__, message=str(exc))
 
-        if fault is FaultKind.CRASH_AFTER_EXECUTE:
-            # The work (commits and all) happened; the reply is lost.
-            self.server.crash()
-            raise errors.CommunicationError(
-                "connection reset by peer (server crashed before replying)"
-            )
-        return encode_message(response)
+            if fault is FaultKind.CRASH_AFTER_EXECUTE:
+                # The work (commits and all) happened; the reply is lost.
+                self.server.crash()
+                raise errors.CommunicationError(
+                    "connection reset by peer (server crashed before replying)"
+                )
+            return encode_message(response)
 
     # -- dispatch --------------------------------------------------------------
 
@@ -200,22 +205,26 @@ class ClientChannel:
             raise errors.CommunicationError("channel is broken (previous failure)")
         raw = encode_message(request)
         request_type = type(request).__name__
-        try:
-            raw_response = self.endpoint.handle(raw)
-        except errors.TimeoutError:
-            # a client-side timeout abandons the request but not the socket:
-            # the server may just be slow (Phoenix probes to find out)
-            self.metrics.record_error(request_type, len(raw))
-            raise
-        except errors.CommunicationError:
-            self.broken = True
-            self.metrics.record_error(request_type, len(raw))
-            raise
-        response = decode_message(raw_response)
-        self.metrics.record(request_type, len(raw), len(raw_response))
-        if isinstance(response, ErrorResponse):
-            raise _rebuild_error(response)
-        return response
+        with get_tracer().span(
+            "wire.send", request=request_type, channel=self.channel_id
+        ) as span:
+            try:
+                raw_response = self.endpoint.handle(raw)
+            except errors.TimeoutError:
+                # a client-side timeout abandons the request but not the socket:
+                # the server may just be slow (Phoenix probes to find out)
+                self.metrics.record_error(request_type, len(raw))
+                raise
+            except errors.CommunicationError:
+                self.broken = True
+                self.metrics.record_error(request_type, len(raw))
+                raise
+            response = decode_message(raw_response)
+            self.metrics.record(request_type, len(raw), len(raw_response))
+            span.set(bytes_out=len(raw), bytes_in=len(raw_response))
+            if isinstance(response, ErrorResponse):
+                raise _rebuild_error(response)
+            return response
 
     def close(self) -> None:
         self.broken = True

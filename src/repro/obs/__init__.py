@@ -1,0 +1,48 @@
+"""Observability: tracing, unified metrics, and the recovery timeline.
+
+The missing leg next to performance (plan caches) and robustness (chaos
+engine): make what a Phoenix session *did* — especially across a crash —
+reconstructible from one structured trace.
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` span/event recording with
+  per-virtual-session correlation ids; off by default, deterministic ids,
+  JSONL export.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` unifying
+  ``NetworkMetrics`` + ``EngineMetrics`` + log-scale latency
+  :class:`Histogram`\\ s behind one ``snapshot()``; also the canonical
+  definition of metrics reset semantics.
+* :mod:`repro.obs.timeline` — :class:`RecoveryTimeline` (trace → named
+  recovery phases with durations) and :func:`render_tree`.
+* ``python -m repro.obs`` — run a faulted chaos trace with tracing on and
+  render the causal tree + recovery timeline, or export/load JSONL.
+
+See docs/OBSERVABILITY.md for the span taxonomy and propagation rules.
+"""
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.timeline import Phase, RecoveryTimeline, RecoveryView, render_tree
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    dump_jsonl,
+    get_tracer,
+    load_jsonl,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "dump_jsonl",
+    "load_jsonl",
+    "Histogram",
+    "MetricsRegistry",
+    "RecoveryTimeline",
+    "RecoveryView",
+    "Phase",
+    "render_tree",
+]

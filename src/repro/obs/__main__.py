@@ -1,0 +1,102 @@
+"""CLI: ``python -m repro.obs`` — capture or inspect a trace.
+
+Default: run the chaos probe/DML trace under one injected fault with
+tracing enabled, then print the causal span tree and the reconstructed
+recovery timeline.  Options export the raw records as JSONL, or load a
+previously exported trace instead of running one.
+
+Examples::
+
+    python -m repro.obs                               # default crash, tree + timeline
+    python -m repro.obs --fault hang@14 --timeline-only
+    python -m repro.obs --fault crash_after_execute@20 --export trace.jsonl
+    python -m repro.obs --load trace.jsonl --corr s0-c1
+    python -m repro.obs --jsonl > trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.net.faults import FaultKind
+from repro.obs.timeline import RecoveryTimeline, render_tree
+from repro.obs.tracer import Tracer, dump_jsonl, load_jsonl
+
+
+def _parse_fault(spec: str) -> tuple[int, FaultKind]:
+    """``kind@index`` → schedule entry (e.g. ``crash_before_execute@10``)."""
+    try:
+        kind_name, _, index = spec.partition("@")
+        return int(index), FaultKind(kind_name)
+    except (ValueError, KeyError):
+        valid = ", ".join(k.value for k in FaultKind)
+        raise argparse.ArgumentTypeError(
+            f"fault must be KIND@INDEX with KIND one of: {valid}"
+        ) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace a faulted chaos run (or inspect a saved trace).",
+    )
+    parser.add_argument(
+        "--fault",
+        type=_parse_fault,
+        action="append",
+        metavar="KIND@INDEX",
+        help="inject this fault at the given wire-request index "
+        "(repeatable; default: crash_before_execute@10)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="correlation-id seed")
+    parser.add_argument("--load", metavar="PATH", help="read a JSONL trace instead of running")
+    parser.add_argument("--export", metavar="PATH", help="also write the records as JSONL")
+    parser.add_argument("--jsonl", action="store_true", help="print JSONL instead of the tree")
+    parser.add_argument("--corr", help="filter the tree to one correlation id")
+    parser.add_argument("--max-depth", type=int, default=None, help="limit tree depth")
+    parser.add_argument(
+        "--timeline-only", action="store_true", help="print only the recovery timeline"
+    )
+    args = parser.parse_args(argv)
+
+    if args.load:
+        records = load_jsonl(args.load)
+    else:
+        from repro.chaos.trace import probe_dml_trace, run_trace
+
+        schedule = tuple(args.fault) if args.fault else ((10, FaultKind.CRASH_BEFORE_EXECUTE),)
+        tracer = Tracer(enabled=True, seed=args.seed)
+        record = run_trace(probe_dml_trace(), schedule, tracer=tracer)
+        records = tracer.records
+        status = "completed" if record.completed else f"FAILED: {record.error}"
+        print(
+            f"run {status}: {record.requests_seen} wire requests, "
+            f"fired={list(record.fired)}, {record.recoveries} recover"
+            f"{'y' if record.recoveries == 1 else 'ies'}",
+            file=sys.stderr,
+        )
+
+    if args.export:
+        dump_jsonl(records, args.export)
+        print(f"wrote {len(records)} records to {args.export}", file=sys.stderr)
+
+    if args.jsonl:
+        import json
+
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+
+    timeline = RecoveryTimeline.from_records(records, corr=args.corr)
+    if not args.timeline_only:
+        corrs = sorted({r["corr"] for r in records if r.get("corr")})
+        print(f"trace: {len(records)} records, correlation ids: {corrs or ['-']}")
+        print(render_tree(records, corr=args.corr, max_depth=args.max_depth))
+        print()
+    print(timeline.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,195 @@
+"""One observability surface: counters + latency histograms behind one
+``snapshot()``.
+
+This module is also the **single place the reset semantics of every metrics
+object in the system are defined**.  `NetworkMetrics`, `EngineMetrics`, and
+`ServerStats` all follow the same contract, and their docstrings point
+here:
+
+* **Counters are cumulative across ``crash()``/``restart()``.**  They
+  describe the *simulation's* history, not server state, so a crash must
+  not zero them — a recovery that silently reset the books would hide
+  exactly the traffic recovery costs.
+* **Caches and other volatile structures always drop on crash.**  The
+  parse cache, plan caches, sessions, cursors: a restart starts cold.
+  Counters surviving while caches drop is therefore *by design*, not an
+  inconsistency — the counters are how tests prove the caches dropped
+  (fresh misses for SQL that used to hit).
+* **``reset()`` is an explicit observer action** — the only way counters
+  return to zero.  Benchmarks call it to scope a measurement window; the
+  system itself never does.
+
+:class:`MetricsRegistry` unifies the per-layer objects behind one snapshot
+and one reset, and adds :class:`Histogram` latency distributions (fixed
+log-scale buckets, pure Python).  Histograms are *derived from traces*
+(:meth:`MetricsRegistry.absorb_trace`) rather than recorded inline, so the
+wire and engine hot paths carry no histogram bookkeeping.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # real imports are deferred: engine/net modules import
+    # repro.obs.tracer at module load, so importing them here would cycle
+    from repro.engine.plancache import EngineMetrics
+    from repro.net.metrics import NetworkMetrics
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """Latency histogram over fixed log-scale buckets.
+
+    Bucket upper edges are ``min_edge * base**i`` for ``i in
+    range(buckets)``; value ``v`` lands in the first bucket whose edge is
+    ``>= v`` (values above the last edge land in an overflow bucket).  The
+    defaults span 1 µs … ~1 hour in half-decade-ish steps — wide enough for
+    both a sub-millisecond wire send and a multi-second recovery wait.
+    """
+
+    def __init__(self, *, min_edge: float = 1e-6, base: float = 2.0, buckets: int = 32):
+        if min_edge <= 0 or base <= 1 or buckets < 1:
+            raise ValueError("histogram needs min_edge > 0, base > 1, buckets >= 1")
+        self.edges: list[float] = [min_edge * base**i for i in range(buckets)]
+        self.counts: list[int] = [0] * (buckets + 1)  # + overflow
+        self.n = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.n += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge at cumulative fraction ``q`` (0 < q <= 1) —
+        a conservative estimate, exact to bucket resolution."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile fraction must be in (0, 1]")
+        if self.n == 0:
+            return 0.0
+        target = q * self.n
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target:
+                return self.edges[i] if i < len(self.edges) else self.max
+        return self.max
+
+    def snapshot(self) -> dict:
+        nonzero = {
+            f"{self.edges[i]:.9g}" if i < len(self.edges) else "+inf": count
+            for i, count in enumerate(self.counts)
+            if count
+        }
+        return {
+            "count": self.n,
+            "sum": self.sum,
+            "min": self.min if self.n else 0.0,
+            "max": self.max,
+            "mean": self.sum / self.n if self.n else 0.0,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "buckets": nonzero,
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * len(self.counts)
+        self.n = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+
+#: span names whose durations absorb_trace() turns into histograms, and the
+#: histogram each feeds.  wire.send durations are additionally split per
+#: request type (``wire.send.ExecuteRequest`` etc.).
+_SPAN_HISTOGRAMS = {
+    "wire.send": "wire.send",
+    "server.dispatch": "server.dispatch",
+    "engine.stmt": "engine.stmt",
+    "recovery": "recovery.total",
+    "recovery.phase1.virtual_session": "recovery.phase1",
+    "recovery.phase2.sql_state": "recovery.phase2",
+    "engine.recovery": "engine.recovery",
+}
+
+
+class MetricsRegistry:
+    """Every metrics surface of one system behind one snapshot.
+
+    Adopts (not copies) a :class:`NetworkMetrics` and an
+    :class:`EngineMetrics` — ``repro.make_system`` builds one per system
+    wired to the live driver/server objects, so ``system.registry
+    .snapshot()`` always reflects current counters.  Latency histograms
+    are filled from trace records via :meth:`absorb_trace`.
+    """
+
+    def __init__(self, *, network: NetworkMetrics | None = None,
+                 engine: EngineMetrics | None = None):
+        if network is None:
+            from repro.net.metrics import NetworkMetrics
+            network = NetworkMetrics()
+        if engine is None:
+            from repro.engine.plancache import EngineMetrics
+            engine = EngineMetrics()
+        self.network = network
+        self.engine = engine
+        self.histograms: dict[str, Histogram] = {}
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        """Get or create the named histogram."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(**kwargs)
+        return hist
+
+    def absorb_trace(self, records: list[dict]) -> int:
+        """Fold span durations from a trace into latency histograms.
+
+        Returns the number of spans absorbed.  Keeping this off the hot
+        path (derive from the trace, don't record inline) is what lets the
+        tracing-on overhead stay within budget.
+        """
+        absorbed = 0
+        for record in records:
+            if record.get("kind") != "span":
+                continue
+            target = _SPAN_HISTOGRAMS.get(record["name"])
+            if target is None:
+                continue
+            duration = record["end"] - record["start"]
+            self.histogram(target).record(duration)
+            if record["name"] == "wire.send":
+                request = record.get("attrs", {}).get("request")
+                if request:
+                    self.histogram(f"wire.send.{request}").record(duration)
+            absorbed += 1
+        return absorbed
+
+    def snapshot(self) -> dict:
+        return {
+            "network": self.network.snapshot(),
+            "engine": self.engine.snapshot(),
+            "histograms": {
+                name: hist.snapshot() for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """The explicit observer-side reset (see module docstring): zeroes
+        every adopted counter and drops every histogram."""
+        self.network.reset()
+        self.engine.reset()
+        self.histograms.clear()

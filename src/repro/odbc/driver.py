@@ -27,6 +27,7 @@ from repro.net.protocol import (
     TableSchemaResponse,
 )
 from repro.net.transport import ClientChannel, ServerEndpoint
+from repro.obs.tracer import get_tracer
 
 __all__ = ["NativeDriver", "DriverConnection"]
 
@@ -40,9 +41,11 @@ class NativeDriver:
         self.metrics = metrics if metrics is not None else NetworkMetrics()
 
     def connect(self, user: str = "app", options: dict[str, Any] | None = None) -> "DriverConnection":
-        channel = ClientChannel(self.endpoint, metrics=self.metrics)
-        response = channel.send(ConnectRequest(user=user, options=dict(options or {})))
-        return DriverConnection(self, channel, response.session_id, user)
+        with get_tracer().span("driver.connect", user=user) as span:
+            channel = ClientChannel(self.endpoint, metrics=self.metrics)
+            response = channel.send(ConnectRequest(user=user, options=dict(options or {})))
+            span.set(session_id=response.session_id)
+            return DriverConnection(self, channel, response.session_id, user)
 
     def ping(self) -> PongResponse:
         """Liveness probe on a throwaway channel (so a dead server does not

@@ -20,6 +20,7 @@ from repro.errors import InterfaceError, ProgrammingError
 from repro.engine.schema import Column
 from repro.net.protocol import ResultResponse
 from repro.odbc.constants import DEFAULT_FETCH_BLOCK, CursorType, StatementAttr
+from repro.obs.tracer import get_tracer
 from repro.odbc.driver import DriverConnection, NativeDriver
 
 __all__ = ["DriverManager", "Connection", "Statement", "describe_columns"]
@@ -51,9 +52,10 @@ class DriverManager:
     def connect(
         self, dsn: str, user: str = "app", options: dict[str, Any] | None = None
     ) -> "Connection":
-        driver = self.driver_for(dsn)
-        driver_connection = driver.connect(user, options)
-        return Connection(self, dsn, driver_connection, options or {})
+        with get_tracer().span("odbc.connect", dsn=dsn, user=user):
+            driver = self.driver_for(dsn)
+            driver_connection = driver.connect(user, options)
+            return Connection(self, dsn, driver_connection, options or {})
 
 
 class Connection:
