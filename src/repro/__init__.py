@@ -104,7 +104,10 @@ def make_system(
     if registry is None:
         registry = MetricsRegistry()
     server = DatabaseServer(
-        storage, plan_cache=plan_cache, engine_metrics=registry.engine
+        storage,
+        plan_cache=plan_cache,
+        engine_metrics=registry.engine,
+        wal_stats=registry.wal,
     )
     endpoint = ServerEndpoint(server)
     native = NativeDriver(endpoint, metrics=registry.network)

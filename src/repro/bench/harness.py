@@ -36,6 +36,9 @@ __all__ = [
     "run_availability_experiment",
     "PlanCacheRun",
     "run_plan_cache_ablation",
+    "WireBatchRun",
+    "WireBatchResult",
+    "run_wire_batch",
     "ChaosResult",
     "run_chaos_experiment",
     "ObsOverheadResult",
@@ -522,6 +525,168 @@ def run_plan_cache_ablation(
     return runs
 
 
+# ======================================================== wire-batch ablation
+
+
+@dataclass
+class WireBatchRun:
+    """One (mode, trial) cell of the wire-batching ablation."""
+
+    mode: str  # "unbatched" | "batched"
+    trial: int
+    batch_size: int
+    seconds: float
+    statements: int
+    round_trips: int
+    batch_requests: int
+    requests_batched: int
+    wal_forces: int
+    group_forces: int
+    forces_coalesced: int
+    #: order-sensitive hash over the table contents and the status-table
+    #: totals — identical across modes iff batching changed nothing durable
+    fingerprint: int
+
+
+@dataclass
+class WireBatchResult:
+    """The wire-batch ablation: batched vs unbatched executemany DML."""
+
+    rows: int
+    batch_size: int
+    runs: list[WireBatchRun] = field(default_factory=list)
+
+    def _mode(self, mode: str) -> list[WireBatchRun]:
+        return [r for r in self.runs if r.mode == mode]
+
+    @property
+    def fingerprints_match(self) -> bool:
+        return len({r.fingerprint for r in self.runs}) == 1
+
+    @property
+    def trip_ratio(self) -> float:
+        """Unbatched round trips per batched round trip (higher = batching
+        saved more wire)."""
+        batched = statistics.fmean(r.round_trips for r in self._mode("batched"))
+        unbatched = statistics.fmean(r.round_trips for r in self._mode("unbatched"))
+        return unbatched / batched if batched else float("inf")
+
+    @property
+    def force_ratio(self) -> float:
+        """Unbatched WAL forces per batched WAL force (group commit's win)."""
+        batched = statistics.fmean(r.wal_forces for r in self._mode("batched"))
+        unbatched = statistics.fmean(r.wal_forces for r in self._mode("unbatched"))
+        return unbatched / batched if batched else float("inf")
+
+
+def run_wire_batch(
+    *,
+    rows: int = 48,
+    batch_size: int = 8,
+    trials: int = 3,
+) -> WireBatchResult:
+    """The wire-batching + group-commit ablation (experiment WB).
+
+    The same executemany workload — ``rows`` INSERTs then ``rows`` UPDATEs
+    through a Phoenix cursor — runs with ``BATCH_SIZE = 1`` (one wrapped
+    DML per round trip, one WAL force per commit: the paper's shape) and
+    with ``BATCH_SIZE = batch_size`` (N wrapped statements per
+    ``BatchExecuteRequest``, all commit forces coalesced into one group
+    force at the batch boundary).  Each trial runs each mode against a
+    freshly built system; the registry is reset after setup so the counters
+    scope exactly the DML window.
+
+    The fingerprint folds the table contents and the status-table totals
+    read back *server-side* after the workload; a mismatch between modes
+    means batching changed durable state and raises ``RuntimeError`` — the
+    guard CI's bench-smoke job leans on.
+    """
+    from repro.odbc.constants import CursorType, StatementAttr
+
+    result = WireBatchResult(rows=rows, batch_size=batch_size)
+    for trial in range(trials):
+        # interleave modes ABBA-style so drift cancels across trials
+        order = ("unbatched", "batched") if trial % 2 == 0 else ("batched", "unbatched")
+        for mode in order:
+            system = repro.make_system()
+            loader = system.server.connect(user="loader")
+            system.server.execute(
+                loader, "CREATE TABLE wire_bench (k INT PRIMARY KEY, v FLOAT)"
+            )
+            system.server.disconnect(loader)
+
+            connection = system.phoenix.connect(system.DSN)
+            cursor = connection.cursor()
+            cursor.set_attr(StatementAttr.CURSOR_TYPE, CursorType.FORWARD_ONLY)
+            cursor.set_attr(
+                StatementAttr.BATCH_SIZE, 1 if mode == "unbatched" else batch_size
+            )
+            registry = system.registry
+            registry.reset()
+
+            started = time.perf_counter()
+            cursor.executemany(
+                "INSERT INTO wire_bench VALUES (?, ?)",
+                [[k, k * 1.5] for k in range(1, rows + 1)],
+            )
+            inserted = cursor.rowcount
+            cursor.executemany(
+                "UPDATE wire_bench SET v = v + ? WHERE k = ?",
+                [[0.5, k] for k in range(1, rows + 1)],
+            )
+            updated = cursor.rowcount
+            seconds = time.perf_counter() - started
+            if inserted != rows or updated != rows:
+                raise RuntimeError(
+                    f"{mode} trial {trial}: rowcounts {inserted}/{updated}, "
+                    f"expected {rows}/{rows}"
+                )
+
+            # counters first (the verification reads below cost trips too)
+            network = registry.network
+            wal = registry.wal
+            run = WireBatchRun(
+                mode=mode,
+                trial=trial,
+                batch_size=1 if mode == "unbatched" else batch_size,
+                seconds=seconds,
+                statements=2 * rows,
+                round_trips=network.round_trips,
+                batch_requests=network.batch_requests,
+                requests_batched=network.requests_batched,
+                wal_forces=wal.forces,
+                group_forces=wal.group_forces,
+                forces_coalesced=wal.forces_coalesced,
+                fingerprint=0,
+            )
+
+            # fingerprint durable state server-side, before close() drops
+            # the session's status table
+            verifier = system.server.connect(user="verifier")
+            data = system.server.execute(
+                verifier, "SELECT k, v FROM wire_bench ORDER BY k"
+            )
+            status = system.server.execute(
+                verifier,
+                f"SELECT count(*) AS n, sum(n_rows) AS total "
+                f"FROM {connection.names.status_table}",
+            )
+            system.server.disconnect(verifier)
+            fingerprint = _fold_fingerprint(0, "data", data.result_set.rows)
+            run.fingerprint = _fold_fingerprint(
+                fingerprint, "status", status.result_set.rows
+            )
+            result.runs.append(run)
+            connection.close()
+
+    if not result.fingerprints_match:
+        raise RuntimeError(
+            "wire-batch ablation: durable state diverged between modes: "
+            + ", ".join(f"{r.mode}/{r.trial}={r.fingerprint}" for r in result.runs)
+        )
+    return result
+
+
 # ============================================================== availability
 
 
@@ -638,7 +803,8 @@ def run_chaos_experiment(
     stride: int = 1,
     random_runs: int = 24,
 ) -> ChaosResult:
-    """Exhaustive single-fault sweep + storage faults + seeded multi-fault
+    """Exhaustive single-fault sweep + storage faults + mid-batch crashes
+    (every interior position of every batched request) + seeded multi-fault
     schedules, judged by the exactly-once oracle (see :mod:`repro.chaos`).
 
     ``stride`` thins the crash-point grid (1 = every wire request index);
@@ -646,17 +812,18 @@ def run_chaos_experiment(
     failure reproduces from the artifact's recorded seed.
     """
     from repro.chaos import ChaosExplorer
-    from repro.net.faults import STORAGE_FAULTS, WIRE_FAULTS
+    from repro.net.faults import BATCH_FAULTS, STORAGE_FAULTS, WIRE_FAULTS
 
     explorer = ChaosExplorer(seed=seed)
     started = time.perf_counter()
     report = explorer.sweep_single_faults(stride=stride)
     report.merge(explorer.sweep_storage_faults(stride=stride))
+    report.merge(explorer.sweep_batch_faults(stride=stride))
     report.merge(explorer.sweep_random(random_runs))
     elapsed = time.perf_counter() - started
 
     by_kind: dict[str, dict[str, float]] = {}
-    for kind in WIRE_FAULTS + STORAGE_FAULTS:
+    for kind in WIRE_FAULTS + STORAGE_FAULTS + BATCH_FAULTS:
         single = [
             r for r in report.results
             if len(r.schedule) == 1 and r.schedule[0][1] is kind

@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench.reporting table1 [--sf 0.001] [--reps 3]
     python -m repro.bench.reporting fig2
     python -m repro.bench.reporting plancache --json BENCH_plan_cache.json
+    python -m repro.bench.reporting wirebatch --json BENCH_wire_batch.json
     python -m repro.bench.reporting obs_overhead --json BENCH_obs_overhead.json
     python -m repro.bench.reporting recovery_breakdown
     python -m repro.bench.reporting all
@@ -33,6 +34,7 @@ from repro.bench.harness import (
     PlanCacheRun,
     RecoveryBreakdownRow,
     Table1Row,
+    WireBatchResult,
     run_availability_experiment,
     run_chaos_experiment,
     run_fig2_recovery_sweep,
@@ -40,6 +42,7 @@ from repro.bench.harness import (
     run_plan_cache_ablation,
     run_recovery_breakdown,
     run_table1_power_comparison,
+    run_wire_batch,
 )
 
 __all__ = [
@@ -47,6 +50,7 @@ __all__ = [
     "render_fig2",
     "render_availability",
     "render_plan_cache",
+    "render_wire_batch",
     "render_chaos",
     "render_obs_overhead",
     "render_recovery_breakdown",
@@ -131,6 +135,29 @@ def render_plan_cache(runs: list[PlanCacheRun]) -> str:
         speedup = off.seconds / on.seconds if on.seconds > 0 else float("inf")
         match = "identical" if on.fingerprint == off.fingerprint else "MISMATCH"
         lines.append(f"{workload}: speedup {speedup:.2f}x, results {match}")
+    return "\n".join(lines)
+
+
+def render_wire_batch(result: WireBatchResult) -> str:
+    """Experiment WB: wire batching + group commit vs one trip per DML."""
+    lines = [
+        "Experiment WB. Wire batching + WAL group commit (executemany DML)",
+        f"{result.rows} rows x 2 statements each; batched mode sends "
+        f"{result.batch_size} wrapped statements per request",
+        f"{'Mode':10} {'Trial':>5} {'Seconds':>9} {'Trips':>6} {'BatchReqs':>10} "
+        f"{'Batched':>8} {'Forces':>7} {'Group':>6} {'Coalesced':>10}",
+    ]
+    for run in result.runs:
+        lines.append(
+            f"{run.mode:10} {run.trial:>5} {run.seconds:>9.4f} {run.round_trips:>6} "
+            f"{run.batch_requests:>10} {run.requests_batched:>8} {run.wal_forces:>7} "
+            f"{run.group_forces:>6} {run.forces_coalesced:>10}"
+        )
+    match = "identical" if result.fingerprints_match else "MISMATCH"
+    lines.append(
+        f"round trips {result.trip_ratio:.1f}x fewer, WAL forces "
+        f"{result.force_ratio:.1f}x fewer; durable state {match}"
+    )
     return "\n".join(lines)
 
 
@@ -225,6 +252,33 @@ def _recovery_breakdown_json(rows: list[RecoveryBreakdownRow]) -> list[dict]:
     ]
 
 
+def _wire_batch_json(result: WireBatchResult) -> dict:
+    return {
+        "rows": result.rows,
+        "batch_size": result.batch_size,
+        "trip_ratio": result.trip_ratio,
+        "force_ratio": result.force_ratio,
+        "fingerprints_match": result.fingerprints_match,
+        "runs": [
+            {
+                "mode": run.mode,
+                "trial": run.trial,
+                "batch_size": run.batch_size,
+                "seconds": run.seconds,
+                "statements": run.statements,
+                "round_trips": run.round_trips,
+                "batch_requests": run.batch_requests,
+                "requests_batched": run.requests_batched,
+                "wal_forces": run.wal_forces,
+                "group_forces": run.group_forces,
+                "forces_coalesced": run.forces_coalesced,
+                "fingerprint": run.fingerprint,
+            }
+            for run in result.runs
+        ],
+    }
+
+
 def _chaos_json(result: ChaosResult) -> dict:
     return {
         "seed": result.seed,
@@ -305,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
             "fig2",
             "availability",
             "plancache",
+            "wirebatch",
             "chaos",
             "obs_overhead",
             "recovery_breakdown",
@@ -314,6 +369,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="chaos multi-fault seed")
     parser.add_argument("--sf", type=float, default=0.001, help="TPC-H scale factor")
     parser.add_argument("--reps", type=int, default=3, help="power test repetitions")
+    parser.add_argument(
+        "--rows", type=int, default=48, help="wirebatch: rows per executemany"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=8, help="wirebatch: statements per request"
+    )
+    parser.add_argument(
+        "--trials", type=int, default=3, help="wirebatch: trials per mode"
+    )
     parser.add_argument(
         "--json",
         dest="json_path",
@@ -342,6 +406,12 @@ def main(argv: list[str] | None = None) -> int:
         runs = run_plan_cache_ablation(sf=args.sf, repetitions=args.reps)
         print(render_plan_cache(runs))
         payload["plancache"] = _plan_cache_json(runs)
+    if args.artifact in ("wirebatch", "all"):
+        wire_batch = run_wire_batch(
+            rows=args.rows, batch_size=args.batch_size, trials=args.trials
+        )
+        print(render_wire_batch(wire_batch))
+        payload["wire_batch"] = _wire_batch_json(wire_batch)
     if args.artifact in ("chaos", "all"):
         result = run_chaos_experiment(seed=args.seed)
         print(render_chaos(result))

@@ -22,7 +22,8 @@ from repro.net.faults import STORAGE_FAULTS, WIRE_FAULTS, FaultKind
 
 __all__ = ["ChaosExplorer", "ChaosReport", "ChaosRunResult"]
 
-Schedule = tuple[tuple[int, FaultKind], ...]
+#: entries are (request_index, kind) or (request_index, kind, arg)
+Schedule = tuple[tuple, ...]
 
 
 @dataclass
@@ -44,8 +45,13 @@ class ChaosRunResult:
         return not self.violations
 
     def describe(self) -> str:
-        sched = ", ".join(f"{kind.value}@{after}" for after, kind in self.schedule)
-        return f"[{sched}]"
+        parts = []
+        for entry in self.schedule:
+            after, kind = entry[0], entry[1]
+            arg = entry[2] if len(entry) > 2 else None
+            suffix = f"[{arg}]" if arg is not None else ""
+            parts.append(f"{kind.value}{suffix}@{after}")
+        return f"[{', '.join(parts)}]"
 
 
 @dataclass
@@ -158,6 +164,23 @@ class ChaosExplorer:
     def sweep_storage_faults(self, *, stride: int = 1) -> ChaosReport:
         """Torn WAL tail and failed force, armed at every request index."""
         return self._sweep(STORAGE_FAULTS, stride=stride)
+
+    def sweep_batch_faults(self, *, stride: int = 1) -> ChaosReport:
+        """CRASH_MID_BATCH at every interior position of every batch request.
+
+        The golden run records each BatchExecuteRequest's index and size;
+        for an N-statement batch the kill is placed after 0..N executed
+        sub-statements (N = every sub-statement ran but the group force has
+        not — all its commits are still deferred and die with the server).
+        Every position must recover to the same exactly-once outcome.
+        """
+        report = ChaosReport(golden_requests=self.golden.requests_seen)
+        for index, size in self.golden.batch_requests:
+            for executed in range(0, size + 1, stride):
+                report.results.append(
+                    self.run_schedule(((index, FaultKind.CRASH_MID_BATCH, executed),))
+                )
+        return report
 
     # -- seeded multi-fault mode --------------------------------------------
 

@@ -46,6 +46,9 @@ class Step:
     * ``cursor_query`` — same, through a keyset server cursor
     * ``begin`` / ``commit`` / ``rollback`` — explicit transaction control
     * ``txn`` — ``cursor.execute(sql)`` inside the open transaction
+    * ``executemany`` — ``cursor.executemany(sql, rows)`` with the wire
+      batch size set to ``batch_size`` (exercises BatchExecuteRequest +
+      WAL group commit, including partial-batch replay under faults)
     """
 
     op: str
@@ -53,6 +56,8 @@ class Step:
     name: str = ""
     value: Any = None
     fetches: tuple[int, ...] = ()
+    rows: tuple[tuple, ...] = ()
+    batch_size: int = 0
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,28 @@ def probe_dml_trace() -> ChaosTrace:
                 sql="SELECT id, balance FROM accounts ORDER BY id",
                 fetches=(1, 2, 5),
             ),
+            # batched-executemany segment: 6 wrapped INSERTs in 2 wire
+            # batches of 3 — mid-batch faults land between sub-statements,
+            # and a storage fault scheduled at a batch request tears the WAL
+            # tail under the *group* force
+            Step(
+                "executemany",
+                sql="INSERT INTO accounts VALUES (?, ?)",
+                rows=(
+                    (10, 10.0),
+                    (11, 11.0),
+                    (12, 12.0),
+                    (13, 13.0),
+                    (14, 14.0),
+                    (15, 15.0),
+                ),
+                batch_size=3,
+            ),
+            Step(
+                "query",
+                sql="SELECT count(*), sum(balance) FROM accounts",
+                fetches=(1,),
+            ),
         ),
         tables=("accounts",),
     )
@@ -115,6 +142,9 @@ class TraceRecord:
     error: str = ""
     #: wire requests the fault injector inspected over the whole run
     requests_seen: int = 0
+    #: (request_index, sub-statement count) of every BatchExecuteRequest —
+    #: the explorer sweeps CRASH_MID_BATCH over each interior position
+    batch_requests: tuple[tuple[int, int], ...] = ()
     #: fault kinds that actually fired (names, in firing order)
     fired: tuple[str, ...] = ()
     orphan_sessions: int = 0
@@ -130,13 +160,15 @@ class TraceRecord:
 
 def run_trace(
     trace: ChaosTrace,
-    schedule: tuple[tuple[int, FaultKind], ...] = (),
+    schedule: tuple[tuple, ...] = (),
     *,
     tracer: Tracer | None = None,
 ) -> TraceRecord:
     """Run ``trace`` on a fresh system under ``schedule`` and record it.
 
-    ``schedule`` is a tuple of ``(request_index, FaultKind)`` pairs; each
+    ``schedule`` is a tuple of ``(request_index, FaultKind)`` pairs — or
+    ``(request_index, FaultKind, arg)`` triples for kinds that take an
+    argument (CRASH_MID_BATCH's sub-statement position); each
     becomes a one-shot fault armed before the first request, so index *i*
     fires on the i-th wire request (0-based).  The injected ``sleep``
     restarts a downed server, standing in for the operator/watchdog the
@@ -155,7 +187,7 @@ def run_trace(
 
 def _run_trace(
     trace: ChaosTrace,
-    schedule: tuple[tuple[int, FaultKind], ...],
+    schedule: tuple[tuple, ...],
 ) -> TraceRecord:
     system = repro.make_system()
     config = system.phoenix.config
@@ -165,8 +197,10 @@ def _run_trace(
             system.endpoint.restart_server()
 
     config.sleep = sleep
-    for after, kind in schedule:
-        system.faults.schedule(kind, after=after)
+    for entry in schedule:
+        after, kind = entry[0], entry[1]
+        arg = entry[2] if len(entry) > 2 else None
+        system.faults.schedule(kind, after=after, arg=arg)
 
     record = TraceRecord()
     connection = None
@@ -209,6 +243,7 @@ def _run_trace(
         name for name in system.server.table_names() if name.startswith("phx_")
     )
     record.requests_seen = system.faults.requests_seen
+    record.batch_requests = tuple(system.faults.batch_requests)
     record.fired = tuple(kind.value for kind in system.faults.fired)
     return record
 
@@ -241,6 +276,13 @@ def _run_step(record, connection, cursor, index, step) -> None:
             rows = cursor.fetchmany(n)
             record.observations.append(("rows", index, offset, tuple(rows)))
             offset += len(rows)
+        return
+    if step.op == "executemany":
+        cursor.set_attr(StatementAttr.CURSOR_TYPE, CursorType.FORWARD_ONLY)
+        if step.batch_size:
+            cursor.set_attr(StatementAttr.BATCH_SIZE, step.batch_size)
+        cursor.executemany(step.sql, [list(row) for row in step.rows])
+        record.observations.append(("executemany", index, cursor.rowcount))
         return
     # ddl / dml / txn: one statement through the cursor
     cursor.set_attr(StatementAttr.CURSOR_TYPE, CursorType.FORWARD_ONLY)

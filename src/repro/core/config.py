@@ -80,6 +80,17 @@ class PhoenixConfig:
     #: Off = refetch and discard delivered rows client-side (ablation A3).
     reposition_server_side: bool = True
 
+    # --- wire batching ------------------------------------------------------------
+    #: accumulate autocommit wrapped DML into BatchExecuteRequests instead
+    #: of shipping each in its own round trip (flushed at the size threshold
+    #: or the next ordering barrier: query, transaction, probe, close).  Off
+    #: by default — queued statements report rowcount -1 until the flush,
+    #: which not every application tolerates; ``executemany`` batches
+    #: explicitly regardless of this switch.
+    dml_autobatch: bool = False
+    #: queued statements that trigger an autobatch flush.
+    dml_autobatch_size: int = 16
+
     # --- misc -------------------------------------------------------------------
     #: rows per block when Phoenix fetches keys / cursor blocks.
     fetch_block_size: int = 100

@@ -101,6 +101,10 @@ class PhoenixConnection:
         #: objects to drop at clean termination (paper: cleanup on success)
         self.cleanup_tables: list[str] = []
         self.cleanup_procs: list[str] = []
+        #: autobatch accumulator: (seq, wrapped batch SQL) of queued DML not
+        #: yet shipped — flushed as one BatchExecuteRequest at the next
+        #: batch-size threshold or ordering barrier (query, txn, close)
+        self._dml_pending: list[tuple[int, str]] = []
 
         #: bumped by every completed recovery; cursors use it to notice that
         #: their buffered delivery was re-mapped underneath them.
@@ -169,6 +173,8 @@ class PhoenixConnection:
         terminates either way).  ``retries=0`` disables retrying (cleanup
         paths that must not recover).
         """
+        if self._dml_pending:
+            self.flush_dml_batch()  # ordering barrier: queued DML goes first
         bound = self.config.max_operation_retries if retries is None else retries
         attempt = 0
         while True:
@@ -181,6 +187,8 @@ class PhoenixConnection:
                 self.recovery.recover(exc)
 
     def _private_execute(self, sql: str, *, retries: int | None = None) -> ResultResponse:
+        if self._dml_pending:
+            self.flush_dml_batch()  # ordering barrier (probes must see queued DML)
         bound = self.config.max_operation_retries if retries is None else retries
         attempt = 0
         while True:
@@ -227,6 +235,10 @@ class PhoenixConnection:
         # mark every result state closed first: a recovery triggered *during*
         # cleanup must not try to verify/reposition tables we just dropped;
         # an abandoned open transaction is implicitly rolled back, not replayed
+        try:
+            self.flush_dml_batch()  # queued autobatch DML must land before cleanup
+        except Error:
+            pass  # best-effort: close() reclaims what it can either way
         for state in self.results.values():
             state.open = False
         self.txn_log.clear()
@@ -463,6 +475,8 @@ class PhoenixConnection:
         if not self.config.persist_dml_status:
             response = self._app_execute(sql)  # at-most-once (ablation A4)
             return (-1, response.rowcount, response)
+        if self.config.dml_autobatch and not self.in_transaction:
+            return self.queue_dml(sql)
         seq = self.names.next_seq()
         batch = build_dml_batch(sql, self.names.status_table, seq)
         self.stats.dml_wrapped += 1
@@ -511,6 +525,105 @@ class PhoenixConnection:
         if response.rows:
             return response.rows[0][0]
         return None
+
+    def probe_status_many(self, seqs: list[int]) -> dict[int, int]:
+        """Probe the status table for many statements in one round trip.
+
+        Returns ``{seq: logged rowcount}`` for every seq that landed — the
+        batch analog of :meth:`probe_status`, used to resolve which of a
+        failed batch's sub-statements are evidenced durable."""
+        if not seqs:
+            return {}
+        self.stats.status_probes += 1
+        in_list = ", ".join(str(seq) for seq in seqs)
+        response = self._private_execute(
+            f"SELECT stmt_seq, n_rows FROM {self.names.status_table} "
+            f"WHERE stmt_seq IN ({in_list})"
+        )
+        landed = {row[0]: row[1] for row in response.rows}
+        get_tracer().event(
+            "status.probe_batch",
+            corr=self.correlation_id,
+            probed=len(seqs),
+            hits=len(landed),
+        )
+        return landed
+
+    # --- wire batching -----------------------------------------------------------
+
+    def run_dml_batch(self, entries: list[tuple[int, str]]) -> list[int]:
+        """Execute pre-wrapped DML batches in one round trip, exactly once each.
+
+        ``entries`` is ``[(seq, wrapped batch SQL), ...]`` — each already the
+        paper's wrapper (BEGIN; dml; status insert; COMMIT) with its own seq.
+        The server runs them as a unit under WAL group commit: one device
+        force covers every sub-statement, and no reply is released before it
+        lands.
+
+        On a transport failure Phoenix recovers the session and *resolves*
+        the batch: one status-table probe finds which seqs are evidenced
+        durable (their logged rowcounts are final); the un-evidenced suffix
+        never committed — a crash inside the deferred-force window loses all
+        its deferred commits — so resubmitting it cannot double-apply.
+
+        A SQL error aborts the batch at the failing entry: the landed prefix
+        keeps its effects (each sub-statement is its own transaction; the
+        group force covering them happened before the reply), the wrapper
+        transaction of the failing entry is rolled back, and the error is
+        re-raised — same semantics as the statement-at-a-time loop.
+
+        Returns the per-entry rowcounts, in entry order.
+        """
+        from repro.net.transport import _rebuild_error
+
+        rowcounts: dict[int, int] = {}
+        pending = list(entries)
+        self.stats.dml_wrapped += len(entries)
+        with get_tracer().span(
+            "dml.batch", corr=self.correlation_id, statements=len(entries)
+        ):
+            while pending:
+                try:
+                    response = self.app.execute_batch([sql for _seq, sql in pending])
+                except RECOVERABLE_ERRORS as exc:
+                    self.recovery.recover(exc)
+                    landed, pending = self.recovery.resolve_batch(pending)
+                    for seq, logged in landed.items():
+                        rowcounts[seq] = logged
+                        self.stats.probe_hits += 1
+                    continue
+                for (seq, _sql), sub in zip(pending, response.results):
+                    counts = sub.batch_rowcounts
+                    rowcounts[seq] = counts[0] if len(counts) > 1 else 0
+                if response.error is not None:
+                    self._rollback_wrapper_txn()
+                    raise _rebuild_error(response.error)
+                pending = []
+        return [rowcounts[seq] for seq, _sql in entries]
+
+    def queue_dml(self, sql: str) -> tuple[int, int, None]:
+        """Autobatch mode: accumulate a wrapped DML instead of shipping it.
+
+        The statement is assigned its seq and wrapper now (exactly-once
+        bookkeeping is fixed at queue time) but travels with the next flush
+        — at the batch-size threshold or the next ordering barrier.  Its
+        rowcount is not yet known, so the returned rowcount is ``-1``; a SQL
+        error it raises surfaces at the flush, like any batching API.
+        """
+        seq = self.names.next_seq()
+        batch = build_dml_batch(sql, self.names.status_table, seq)
+        self._dml_pending.append((seq, batch))
+        if len(self._dml_pending) >= max(self.config.dml_autobatch_size, 1):
+            self.flush_dml_batch()
+        return (seq, -1, None)
+
+    def flush_dml_batch(self) -> list[int]:
+        """Ship every queued autobatch DML now; returns their rowcounts."""
+        if not self._dml_pending:
+            return []
+        entries = self._dml_pending
+        self._dml_pending = []
+        return self.run_dml_batch(entries)
 
     # --- temp-object redirection ----------------------------------------------------
 

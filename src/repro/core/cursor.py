@@ -22,12 +22,22 @@ from typing import Any
 
 from repro.errors import InterfaceError, ProgrammingError
 from repro.core.connection import PhoenixConnection
-from repro.core.interceptor import StatementClass, classify, inline_placeholders
+from repro.core.interceptor import (
+    StatementClass,
+    build_dml_batch,
+    classify,
+    inline_placeholders,
+)
 from repro.core.recovery import RECOVERABLE_ERRORS
 from repro.core.statements import ResultState
 from repro.net.protocol import ResultResponse
 from repro.obs.tracer import get_tracer
-from repro.odbc.constants import DEFAULT_FETCH_BLOCK, CursorType, StatementAttr
+from repro.odbc.constants import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_FETCH_BLOCK,
+    CursorType,
+    StatementAttr,
+)
 from repro.odbc.driver_manager import describe_columns
 from repro.sql import ast, parse_script
 
@@ -43,6 +53,7 @@ class PhoenixCursor:
             StatementAttr.CURSOR_TYPE: CursorType.FORWARD_ONLY,
             StatementAttr.FETCH_BLOCK_SIZE: DEFAULT_FETCH_BLOCK,
             StatementAttr.QUERY_TIMEOUT: None,
+            StatementAttr.BATCH_SIZE: DEFAULT_BATCH_SIZE,
         }
         self.closed = False
         self._reset_result()
@@ -197,15 +208,69 @@ class PhoenixCursor:
         self._epoch = connection.session_epoch
 
     def executemany(self, sql: str, rows: list[list]) -> "PhoenixCursor":
-        """DB-API executemany (same accumulation semantics as the plain
-        Statement; each row's statement is individually exactly-once)."""
+        """DB-API executemany — batched onto the wire when it safely can be.
+
+        A single autocommit DML statement is wrapped per row (own seq, own
+        status row: per-statement exactly-once is unchanged) and shipped in
+        :attr:`StatementAttr.BATCH_SIZE`-sized BatchExecuteRequests, each
+        one round trip and one WAL group force server-side.  Anything else
+        (multi-statement scripts, explicit transactions, non-DML, batching
+        disabled) falls back to the statement-at-a-time loop.
+
+        ``rowcount`` is the sum of the non-negative per-row rowcounts, or
+        -1 when any row's count was unknown.
+        """
+        self._require_open()
+        self.connection._require_open()
+        entries = self._batch_entries(sql, rows)
+        if entries is not None:
+            self._reset_result()
+            connection = self.connection
+            batch_size = max(int(self.attrs[StatementAttr.BATCH_SIZE]), 1)
+            total = 0
+            for start in range(0, len(entries), batch_size):
+                counts = connection.run_dml_batch(entries[start : start + batch_size])
+                total += sum(counts)
+            self.rowcount = total
+            self.messages.append(f"{len(entries)} statements batched")
+            return self
         total = 0
+        unknown = False
         for row in rows:
             self.execute(sql, list(row))
-            if self.rowcount > 0:
-                total += self.rowcount
-        self.rowcount = total
+            if self.rowcount < 0:
+                unknown = True  # a sub-statement with no known count
+            else:
+                total += self.rowcount  # 0-row statements count too
+        self.rowcount = -1 if unknown else total
         return self
+
+    def _batch_entries(self, sql: str, rows: list[list]) -> list[tuple[int, str]] | None:
+        """Build the wrapped (seq, batch SQL) entries for a batchable
+        executemany, or None when the statement must go row-at-a-time."""
+        connection = self.connection
+        if (
+            not rows
+            or connection.in_transaction
+            or not connection.config.persist_dml_status
+            or max(int(self.attrs[StatementAttr.BATCH_SIZE]), 1) <= 1
+        ):
+            return None
+        statements = parse_script(sql)
+        if len(statements) != 1 or classify(statements[0]) is not StatementClass.DML:
+            return None
+        entries: list[tuple[int, str]] = []
+        for row in rows:
+            stmt = parse_script(sql)[0]  # fresh AST: inlining mutates it
+            bound = list(row)
+            if bound:
+                inline_placeholders(stmt, bound)
+            connection.rewrite(stmt)
+            seq = connection.names.next_seq()
+            entries.append(
+                (seq, build_dml_batch(stmt.sql(), connection.names.status_table, seq))
+            )
+        return entries
 
     # ------------------------------------------------------------- absorb helpers
 
@@ -257,9 +322,10 @@ class PhoenixCursor:
         return out
 
     def fetchall(self) -> list[tuple]:
+        block = max(int(self.attrs[StatementAttr.FETCH_BLOCK_SIZE]), 1)
         out: list[tuple] = []
         while True:
-            chunk = self.fetchmany(1024)
+            chunk = self.fetchmany(block)
             if not chunk:
                 return out
             out.extend(chunk)

@@ -139,6 +139,34 @@ class PhoenixRecovery:
         stats.recoveries += 1
         return True
 
+    def resolve_batch(
+        self, entries: list[tuple[int, str]]
+    ) -> tuple[dict[int, int], list[tuple[int, str]]]:
+        """Partial-batch replay: split a failed batch into landed / resubmit.
+
+        After the session is back, one status-table probe over the batch's
+        seqs decides each sub-statement's fate.  A seq with a status row is
+        evidenced durable (the group force that covered its commit landed —
+        its logged rowcount is final); a seq without one never committed:
+        either the crash hit before its turn, or its commit was still
+        deferred when the server died and the un-forced WAL tail (torn or
+        merely volatile) lost it wholesale.  Resubmitting the un-evidenced
+        suffix therefore cannot double-apply — the paper's probe-after-
+        failure argument, at batch granularity.
+
+        Returns ``(landed {seq: rowcount}, entries to resubmit in order)``.
+        """
+        landed = self.connection.probe_status_many([seq for seq, _sql in entries])
+        remaining = [(seq, sql) for seq, sql in entries if seq not in landed]
+        get_tracer().event(
+            "recovery.resolve_batch",
+            corr=self.connection.correlation_id,
+            statements=len(entries),
+            landed=len(landed),
+            resubmit=len(remaining),
+        )
+        return landed, remaining
+
     # ------------------------------------------------------------------ steps
 
     def _probe_session(self) -> bool:

@@ -18,7 +18,7 @@ from repro.engine.schema import TableSchema
 from repro.engine.storage import StableStorage, TableData
 from repro.engine.table import Table
 from repro.engine.transactions import Transaction, TransactionManager, TxnState
-from repro.engine.wal import LogRecord, RecordType, WriteAheadLog
+from repro.engine.wal import LogRecord, RecordType, WalStats, WriteAheadLog
 
 __all__ = ["Database"]
 
@@ -39,9 +39,10 @@ class Database:
         procedures: dict[str, str] | None = None,
         views: dict[str, str] | None = None,
         txn_seed: int = 0,
+        wal_stats: WalStats | None = None,
     ):
         self.storage = storage
-        self.wal = WriteAheadLog(storage)
+        self.wal = WriteAheadLog(storage, stats=wal_stats)
         self.tables: dict[str, Table] = tables if tables is not None else {}
         #: persistent stored procedures: name -> CREATE PROCEDURE source text
         self.procedures: dict[str, str] = procedures if procedures is not None else {}

@@ -10,7 +10,12 @@ that split *is* the volatile/durable distinction the paper builds on.
 Transaction discipline: with no explicit transaction open, each DML/DDL
 statement runs in its own implicit transaction, committed (and the WAL
 forced) before the reply — matching the autocommit behaviour Phoenix
-assumes when it wraps statements.
+assumes when it wraps statements.  Under a batched request the server puts
+the WAL in deferred-force mode (:meth:`repro.engine.wal.WriteAheadLog
+.begin_deferred`): each sub-statement still commits in order, but the
+commit-time forces coalesce into one group force at the batch boundary —
+the invariant is unchanged, no reply is released before the force covering
+it lands; only *which* force covers a commit moves.
 """
 
 from __future__ import annotations

@@ -35,7 +35,7 @@ from repro.engine.database import (
 )
 from repro.engine.storage import StableStorage, TableData
 from repro.engine.table import Table
-from repro.engine.wal import LogRecord, RecordType, scan_log
+from repro.engine.wal import LogRecord, RecordType, WalStats, scan_log
 from repro.obs.tracer import get_tracer
 
 __all__ = ["recover", "RecoveryReport"]
@@ -64,10 +64,16 @@ class RecoveryReport:
         )
 
 
-def recover(storage: StableStorage) -> tuple[Database, RecoveryReport]:
-    """Build a consistent Database from ``storage``; returns it plus a report."""
+def recover(
+    storage: StableStorage, *, wal_stats: WalStats | None = None
+) -> tuple[Database, RecoveryReport]:
+    """Build a consistent Database from ``storage``; returns it plus a report.
+
+    ``wal_stats`` threads the server's cumulative WAL counters into the new
+    incarnation's log (counters outlive crashes; see :class:`WalStats`).
+    """
     with get_tracer().span("engine.recovery") as span:
-        database, report = _recover(storage)
+        database, report = _recover(storage, wal_stats=wal_stats)
         span.set(
             scanned=report.records_scanned,
             redone=report.records_redone,
@@ -78,7 +84,9 @@ def recover(storage: StableStorage) -> tuple[Database, RecoveryReport]:
         return database, report
 
 
-def _recover(storage: StableStorage) -> tuple[Database, RecoveryReport]:
+def _recover(
+    storage: StableStorage, *, wal_stats: WalStats | None = None
+) -> tuple[Database, RecoveryReport]:
     report = RecoveryReport()
     base = getattr(storage, "log_base", 0)
     raw = storage.read_log()
@@ -124,7 +132,12 @@ def _recover(storage: StableStorage) -> tuple[Database, RecoveryReport]:
     index_snapshot = storage.read_meta(_META_INDEXES, ({}, 0)) or ({}, 0)
 
     database = Database(
-        storage, tables=tables, procedures=procedures, views=views, txn_seed=max_txn_id
+        storage,
+        tables=tables,
+        procedures=procedures,
+        views=views,
+        txn_seed=max_txn_id,
+        wal_stats=wal_stats,
     )
     database.indexes = dict(index_snapshot[0])
     # recovery replays through a fresh WAL object; keep the one Database made

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import (
+    Error,
     OperationalError,
     ProgrammingError,
     ServerCrashedError,
@@ -34,6 +35,7 @@ from repro.engine.recovery import RecoveryReport, recover
 from repro.engine.results import StatementResult
 from repro.engine.session import Session
 from repro.engine.storage import InMemoryStableStorage, StableStorage
+from repro.engine.wal import WalStats
 from repro.obs.tracer import get_tracer
 from repro.sql import ast, parse_script
 
@@ -65,9 +67,14 @@ class DatabaseServer:
         name: str = "server",
         plan_cache: bool = True,
         engine_metrics: EngineMetrics | None = None,
+        wal_stats: WalStats | None = None,
     ):
         self.name = name
         self.storage = storage if storage is not None else InMemoryStableStorage()
+        #: WAL counters threaded through every database incarnation —
+        #: cumulative across crashes (reset semantics: repro.obs.metrics),
+        #: injectable so a MetricsRegistry can adopt the same object
+        self.wal_stats = wal_stats if wal_stats is not None else WalStats()
         self.database: Database | None = None
         self.sessions: dict[int, Session] = {}
         self._executors: dict[int, Executor] = {}
@@ -91,7 +98,7 @@ class DatabaseServer:
         self._boot()
 
     def _boot(self) -> None:
-        self.database, self.last_recovery = recover(self.storage)
+        self.database, self.last_recovery = recover(self.storage, wal_stats=self.wal_stats)
         self._parse_cache = ParseCache() if self.plan_cache_enabled else None
         self.up = True
 
@@ -257,6 +264,65 @@ class DatabaseServer:
             result = last_rows
         result.extra["batch_rowcounts"] = batch_rowcounts
         return result
+
+    def execute_batch(
+        self,
+        session_id: int,
+        statements: list[str],
+        *,
+        stop_after: int | None = None,
+    ) -> tuple[list[StatementResult], Exception | None, int]:
+        """Execute N independent SQL batches as one wire unit under WAL
+        group commit.
+
+        Each entry runs exactly as :meth:`execute` would (own wrapper
+        transaction, own status-table row — per-statement exactly-once is
+        unchanged), but every commit-time WAL force inside the batch is
+        deferred and one group force at the batch boundary covers them all.
+        The caller (the endpoint) releases no reply before this method
+        returns, i.e. before the covering force landed — that is the group
+        commit invariant.
+
+        Returns ``(results, error, error_index)``: on a SQL error the
+        results are the successful prefix and the suffix is not executed
+        (matching the per-statement loop, where the error surfaces at the
+        failing statement).  ``stop_after`` is fault injection's hook: run
+        only that many sub-statements and return *without* the group force,
+        modelling a process kill mid-batch (the deferred commits are lost).
+        """
+        self._require_up()
+        self._session(session_id)  # session errors surface batch-level
+        wal = self.database.wal
+        results: list[StatementResult] = []
+        error: Exception | None = None
+        error_index = -1
+        bound = len(statements) if stop_after is None else min(stop_after, len(statements))
+        wal.begin_deferred()
+        try:
+            for index in range(bound):
+                try:
+                    results.append(self.execute(session_id, statements[index]))
+                except Error as exc:
+                    error = exc
+                    error_index = index
+                    break
+        except BaseException:
+            # a device fault (StorageFault) mid-batch: the server is about
+            # to be crashed by the endpoint — leave the deferred commits
+            # un-forced; they die with the volatile engine
+            wal.end_deferred()
+            raise
+        if stop_after is not None:
+            # simulated kill between sub-statements: no group force, so
+            # every deferred commit stays volatile and the crash loses it
+            wal.end_deferred()
+        else:
+            # the invariant: force before any result is released — this can
+            # itself meet an armed device fault (torn tail under the group
+            # force), which propagates as a StorageFault crash with the
+            # durable prefix deciding which sub-statements survived
+            wal.group_force()
+        return results, error, error_index
 
     def _parse(self, sql: str) -> tuple:
         """Parse a SQL batch through the server-wide parse cache.

@@ -11,6 +11,16 @@ The :class:`WriteAheadLog` buffers records in volatile memory and only moves
 them to stable storage on :meth:`force` — so a crash loses exactly the
 un-forced tail, which is the behaviour commit-time forcing exists to bound.
 
+**Group commit** (classic commit coalescing): between :meth:`begin_deferred`
+and :meth:`group_force`, commit-time :meth:`force` calls buffer instead of
+touching the device, and the single group force at the end covers them all
+with one device write.  The wire batching layer uses this to turn N
+per-statement forces into one force per batch — the caller's obligation is
+the usual one, just at batch granularity: release no reply before the group
+force that covers it lands.  A crash inside the window loses *every*
+deferred commit (nothing was durable), which is exactly what makes the
+deferral safe.
+
 Correctness notes (see DESIGN.md §5):
 
 * **Logical records.** Each data record carries table name, row id, and
@@ -38,6 +48,7 @@ from repro.obs.tracer import get_tracer
 __all__ = [
     "RecordType",
     "LogRecord",
+    "WalStats",
     "WriteAheadLog",
     "encode_record",
     "decode_log",
@@ -143,20 +154,64 @@ def decode_log(raw: bytes, base_offset: int = 0) -> list[LogRecord]:
     return scan_log(raw, base_offset)[0]
 
 
+@dataclass
+class WalStats:
+    """WAL activity counters, separable from the log object itself.
+
+    A crash throws the :class:`WriteAheadLog` away with the rest of the
+    volatile engine, but these counters follow the system-wide reset
+    contract (:mod:`repro.obs.metrics`): cumulative across crash/restart,
+    zeroed only by an explicit observer :meth:`reset`.  The server threads
+    one ``WalStats`` through every database incarnation so
+    ``MetricsRegistry.snapshot()`` can report forces across restarts.
+    """
+
+    records_written: int = 0
+    #: device forces actually performed
+    forces: int = 0
+    #: group forces performed (each counts once in ``forces`` too)
+    group_forces: int = 0
+    #: commit-time forces absorbed by a group force instead of hitting the
+    #: device: ``deferred - 1`` per non-empty group (the batch savings)
+    forces_coalesced: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+    def reset(self) -> None:
+        self.records_written = 0
+        self.forces = 0
+        self.group_forces = 0
+        self.forces_coalesced = 0
+
+
 class WriteAheadLog:
     """Volatile log buffer in front of stable storage.
 
     The engine appends records freely; only :meth:`force` (called at commit,
-    checkpoint, and abort-batch time) moves them to stable storage.
+    checkpoint, and abort-batch time) moves them to stable storage — unless
+    a deferred-force window is open (see :meth:`begin_deferred`).
     """
 
-    def __init__(self, storage: StableStorage):
+    def __init__(self, storage: StableStorage, *, stats: WalStats | None = None):
         self._storage = storage
         self._pending: list[bytes] = []
         self._pending_bytes = 0
-        #: stats for benchmarks
-        self.records_written = 0
-        self.forces = 0
+        #: stats for benchmarks and the metrics registry; injectable so the
+        #: counters survive this (volatile) object across restarts
+        self.stats = stats if stats is not None else WalStats()
+        self._defer_forces = False
+        self._deferred_forces = 0
+
+    # counter views (back-compat with direct ``wal.forces`` readers)
+
+    @property
+    def records_written(self) -> int:
+        return self.stats.records_written
+
+    @property
+    def forces(self) -> int:
+        return self.stats.forces
 
     def _next_lsn(self) -> int:
         """LSN the next appended record will land at.
@@ -174,11 +229,20 @@ class WriteAheadLog:
         frame = encode_record(record)
         self._pending.append(frame)
         self._pending_bytes += len(frame)
-        self.records_written += 1
+        self.stats.records_written += 1
         return record.lsn
 
     def force(self) -> int:
-        """Durably flush buffered records; returns the log size (next LSN)."""
+        """Durably flush buffered records; returns the log size (next LSN).
+
+        Inside a deferred-force window the call is absorbed: the records
+        stay buffered (volatile!) and the closing :meth:`group_force` is
+        what makes them durable — callers must not release any commit
+        acknowledgement before that group force lands.
+        """
+        if self._defer_forces:
+            self._deferred_forces += 1
+            return self._next_lsn()
         if self._pending:
             flushed = len(self._pending)
             payload = b"".join(self._pending)
@@ -186,8 +250,45 @@ class WriteAheadLog:
             self._pending_bytes = 0
             self._storage.append_log(payload)
             get_tracer().event("wal.force", records=flushed, bytes=len(payload))
-        self.forces += 1
+        self.stats.forces += 1
         return self._storage.log_size()
+
+    # -- group commit ---------------------------------------------------------
+
+    def begin_deferred(self) -> None:
+        """Open a deferred-force window (group-commit mode).
+
+        Until :meth:`group_force`, every :meth:`force` buffers instead of
+        writing; :meth:`append_forced` (abort CLR batches, checkpoints)
+        stays immediate — its atomicity contract is per-call, and flushing
+        earlier deferred commits with it is harmless early durability.
+        """
+        self._defer_forces = True
+        self._deferred_forces = 0
+
+    def end_deferred(self) -> int:
+        """Close the window *without* forcing; returns the absorbed count.
+
+        Deferred commits stay volatile — only correct when the caller is
+        about to throw the whole volatile engine away (a simulated process
+        kill mid-batch).
+        """
+        absorbed = self._deferred_forces
+        self._defer_forces = False
+        self._deferred_forces = 0
+        return absorbed
+
+    def group_force(self) -> int:
+        """Close the deferred window with one device force covering every
+        force absorbed inside it; returns the durable log size."""
+        deferred = self.end_deferred()
+        if deferred == 0:
+            return self._storage.log_size()
+        size = self.force()
+        self.stats.group_forces += 1
+        self.stats.forces_coalesced += deferred - 1
+        get_tracer().event("wal.group_force", coalesced=deferred)
+        return size
 
     def append_forced(self, records: list[LogRecord]) -> list[int]:
         """Append ``records`` and force, as one atomic storage append.
@@ -206,8 +307,8 @@ class WriteAheadLog:
         payload = b"".join(self._pending) + b"".join(frames)
         self._pending.clear()
         self._pending_bytes = 0
-        self.records_written += len(records)
-        self.forces += 1
+        self.stats.records_written += len(records)
+        self.stats.forces += 1
         if payload:
             self._storage.append_log(payload)
             get_tracer().event(

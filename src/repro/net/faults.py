@@ -40,7 +40,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.net.protocol import Request
+from repro.net.protocol import BatchExecuteRequest, Request
 
 __all__ = [
     "FaultKind",
@@ -48,6 +48,7 @@ __all__ = [
     "FaultInjector",
     "WIRE_FAULTS",
     "STORAGE_FAULTS",
+    "BATCH_FAULTS",
 ]
 
 
@@ -58,6 +59,13 @@ class FaultKind(enum.Enum):
     DROP_CONNECTION = "drop_connection"  # comm glitch: server stays up
     TORN_WAL_TAIL = "torn_wal_tail"  # storage: partial last append, then crash
     FORCE_FAIL = "force_fail"  # storage: append fails outright, then crash
+    #: the server dies *between* a batch request's sub-statements: the
+    #: scheduled fault's ``arg`` is how many sub-statements execute before
+    #: the kill (default: half).  Their commits were deferred for the group
+    #: force, so the crash loses all of them — the sharpest test of
+    #: partial-batch replay.  On a non-batch request this degenerates to
+    #: CRASH_BEFORE_EXECUTE.
+    CRASH_MID_BATCH = "crash_mid_batch"
 
 
 #: faults that fire on the wire itself (the chaos explorer's request sweep)
@@ -70,6 +78,9 @@ WIRE_FAULTS = (
 
 #: faults that fire at the stable-storage device, below the wire
 STORAGE_FAULTS = (FaultKind.TORN_WAL_TAIL, FaultKind.FORCE_FAIL)
+
+#: faults that target positions *inside* a batched wire request
+BATCH_FAULTS = (FaultKind.CRASH_MID_BATCH,)
 
 
 @dataclass
@@ -95,6 +106,9 @@ class ScheduledFault:
     after: int = 0
     repeat: bool = False
     every: int | None = None
+    #: kind-specific argument — for CRASH_MID_BATCH, the number of
+    #: sub-statements executed before the kill (None = half the batch)
+    arg: int | None = None
     _seen: int = field(default=0, repr=False)
     _fired: int = field(default=0, repr=False)
 
@@ -139,6 +153,13 @@ class FaultInjector:
         #: total requests inspected — the chaos explorer's golden run reads
         #: this to learn how many crash points the trace has.
         self.requests_seen = 0
+        #: (request_index, sub-statement count) of every BatchExecuteRequest
+        #: inspected — the chaos explorer's golden run reads this to learn
+        #: which crash points have *interior* positions to sweep.
+        self.batch_requests: list[tuple[int, int]] = []
+        #: ``arg`` of the most recently fired fault (endpoint reads this to
+        #: position a CRASH_MID_BATCH kill)
+        self.last_fault_arg: int | None = None
 
     def schedule(
         self,
@@ -148,11 +169,12 @@ class FaultInjector:
         after: int = 0,
         repeat: bool = False,
         every: int | None = None,
+        arg: int | None = None,
     ) -> ScheduledFault:
         if every is not None:
             repeat = True
         fault = ScheduledFault(
-            kind=kind, matcher=matcher, after=after, repeat=repeat, every=every
+            kind=kind, matcher=matcher, after=after, repeat=repeat, every=every, arg=arg
         )
         self._faults.append(fault)
         return fault
@@ -171,12 +193,15 @@ class FaultInjector:
 
     def next_fault(self, request: Request) -> FaultKind | None:
         """The fault (if any) that fires for this request."""
+        if isinstance(request, BatchExecuteRequest):
+            self.batch_requests.append((self.requests_seen, len(request.statements)))
         self.requests_seen += 1
         for fault in self._faults:
             if fault.check(request):
                 if not fault.repeat:
                     self._faults.remove(fault)
                 self.fired.append(fault.kind)
+                self.last_fault_arg = fault.arg
                 return fault.kind
         return None
 

@@ -37,6 +37,11 @@ class NetworkMetrics:
     simulated_seconds: float = 0.0
     latency_seconds: float = 0.0
     by_request_type: Counter = field(default_factory=Counter)
+    #: BatchExecuteRequests sent (each is one round trip)
+    batch_requests: int = 0
+    #: statements that travelled inside batch requests — the round trips
+    #: batching saved is ``requests_batched - batch_requests``
+    requests_batched: int = 0
     errors: int = 0
     #: failed round trips broken down by request type — recovery's ping
     #: storms against a down server show up here as PingRequest errors,
@@ -49,6 +54,12 @@ class NetworkMetrics:
         self.bytes_received += received
         self.simulated_seconds += self.latency_seconds
         self.by_request_type[request_type] += 1
+
+    def record_batch(self, statements: int) -> None:
+        """One batch request carrying ``statements`` sub-statements (counted
+        once per send attempt, success or not — the trip happened)."""
+        self.batch_requests += 1
+        self.requests_batched += statements
 
     def record_error(self, request_type: str, sent: int) -> None:
         """A round trip that died in flight still costs a trip out."""
@@ -65,6 +76,8 @@ class NetworkMetrics:
         self.bytes_received += other.bytes_received
         self.simulated_seconds += other.simulated_seconds
         self.by_request_type.update(other.by_request_type)
+        self.batch_requests += other.batch_requests
+        self.requests_batched += other.requests_batched
         self.errors += other.errors
         self.errors_by_request_type.update(other.errors_by_request_type)
 
@@ -74,6 +87,8 @@ class NetworkMetrics:
         self.bytes_received = 0
         self.simulated_seconds = 0.0
         self.by_request_type.clear()
+        self.batch_requests = 0
+        self.requests_batched = 0
         self.errors = 0
         self.errors_by_request_type.clear()
 
@@ -83,6 +98,8 @@ class NetworkMetrics:
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
             "simulated_seconds": self.simulated_seconds,
+            "batch_requests": self.batch_requests,
+            "requests_batched": self.requests_batched,
             "errors": self.errors,
             "by_request_type": dict(self.by_request_type),
             "errors_by_request_type": dict(self.errors_by_request_type),

@@ -23,6 +23,8 @@ __all__ = [
     "Response",
     "ConnectRequest",
     "ExecuteRequest",
+    "BatchExecuteRequest",
+    "BatchExecuteResponse",
     "FetchRequest",
     "AdvanceRequest",
     "CloseCursorRequest",
@@ -70,6 +72,19 @@ class ExecuteRequest(Request):
     sql: str = ""
     placeholders: list = field(default_factory=list)
     cursor_type: str = "default"
+
+
+@dataclass
+class BatchExecuteRequest(Request):
+    """N statement batches in one round trip (wire batching).
+
+    Each entry is an independent SQL batch (for Phoenix: one wrapped DML
+    with its own status-table seq); the server executes them in order as a
+    unit under WAL group commit — one device force covers every
+    sub-statement's commit (see :meth:`DatabaseServer.execute_batch`).
+    """
+
+    statements: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -159,6 +174,24 @@ class ErrorResponse(Response):
 
     error_type: str = "DatabaseError"
     message: str = ""
+
+
+@dataclass
+class BatchExecuteResponse(Response):
+    """Outcome of a :class:`BatchExecuteRequest`.
+
+    ``results`` holds one :class:`ResultResponse` per executed sub-batch,
+    in request order.  On a SQL error, ``results`` is the successful prefix
+    and ``error``/``error_index`` describe the failing sub-batch; the
+    suffix after it was not executed.  Transport-level failures never reach
+    this message — they raise on the wire like any other request.  Every
+    result here is covered by the batch's group force (the server releases
+    no reply before the force that covers it lands).
+    """
+
+    results: list[ResultResponse] = field(default_factory=list)
+    error: ErrorResponse | None = None
+    error_index: int = -1
 
 
 @dataclass

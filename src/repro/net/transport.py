@@ -23,6 +23,8 @@ from repro.net.metrics import NetworkMetrics
 from repro.obs.tracer import get_tracer
 from repro.net.protocol import (
     AdvanceRequest,
+    BatchExecuteRequest,
+    BatchExecuteResponse,
     CloseCursorRequest,
     ConnectRequest,
     ConnectResponse,
@@ -89,6 +91,26 @@ class ServerEndpoint:
                 raise errors.TimeoutError("request timed out (server not responding)")
             if fault is FaultKind.DROP_CONNECTION:
                 raise errors.CommunicationError("connection reset by peer (network glitch)")
+            if fault is FaultKind.CRASH_MID_BATCH:
+                # the server dies *between* a batch's sub-statements: the
+                # fault's arg says how many executed before the kill (their
+                # commits were deferred for the group force, so the crash
+                # loses all of them).  On a non-batch request this is just
+                # CRASH_BEFORE_EXECUTE.
+                if isinstance(request, BatchExecuteRequest) and request.statements:
+                    arg = self.faults.last_fault_arg
+                    executed = len(request.statements) // 2 if arg is None else arg
+                    executed = max(0, min(executed, len(request.statements)))
+                    try:
+                        self.server.execute_batch(
+                            request.session_id, request.statements, stop_after=executed
+                        )
+                    except (errors.Error, StorageFault):
+                        pass  # the kill swallows whatever the prefix raised
+                self.server.crash()
+                raise errors.CommunicationError(
+                    "connection reset by peer (server crashed mid-batch)"
+                )
             if fault is FaultKind.TORN_WAL_TAIL:
                 # armed on the device; fires at this request's first log append
                 # (or a later request's, if this one never appends)
@@ -130,30 +152,23 @@ class ServerEndpoint:
                 placeholders=request.placeholders,
                 cursor_type=request.cursor_type,
             )
-            if result.kind == "rows":
-                if result.cursor_id is not None:
-                    return ResultResponse(
-                        kind="rows",
-                        columns=result.extra["columns"],
-                        cursor_id=result.cursor_id,
-                        effective_cursor_type=result.extra["effective_cursor_type"],
-                    )
-                return ResultResponse(
-                    kind="rows",
-                    columns=result.result_set.columns,
-                    rows=result.result_set.rows,
+            return _result_response(result)
+        if isinstance(request, BatchExecuteRequest):
+            with get_tracer().span(
+                "wire.batch", statements=len(request.statements)
+            ) as span:
+                results, error, error_index = server.execute_batch(
+                    request.session_id, request.statements
                 )
-            if result.kind == "rowcount":
-                return ResultResponse(
-                    kind="rowcount",
-                    rowcount=result.rowcount,
-                    message=result.message,
-                    batch_rowcounts=result.extra.get("batch_rowcounts", []),
-                )
-            return ResultResponse(
-                kind="ok",
-                message=result.message,
-                batch_rowcounts=result.extra.get("batch_rowcounts", []),
+                span.set(executed=len(results), error_index=error_index)
+            return BatchExecuteResponse(
+                results=[_result_response(r) for r in results],
+                error=(
+                    ErrorResponse(error_type=type(error).__name__, message=str(error))
+                    if error is not None
+                    else None
+                ),
+                error_index=error_index,
             )
         if isinstance(request, FetchRequest):
             rows, done = server.fetch(request.session_id, request.cursor_id, request.n)
@@ -175,6 +190,35 @@ class ServerEndpoint:
                 columns=list(schema.columns), primary_key=schema.primary_key
             )
         raise errors.InterfaceError(f"unknown request type {type(request).__name__}")
+
+
+def _result_response(result) -> ResultResponse:
+    """Convert a :class:`StatementResult` into its wire shape."""
+    if result.kind == "rows":
+        if result.cursor_id is not None:
+            return ResultResponse(
+                kind="rows",
+                columns=result.extra["columns"],
+                cursor_id=result.cursor_id,
+                effective_cursor_type=result.extra["effective_cursor_type"],
+            )
+        return ResultResponse(
+            kind="rows",
+            columns=result.result_set.columns,
+            rows=result.result_set.rows,
+        )
+    if result.kind == "rowcount":
+        return ResultResponse(
+            kind="rowcount",
+            rowcount=result.rowcount,
+            message=result.message,
+            batch_rowcounts=result.extra.get("batch_rowcounts", []),
+        )
+    return ResultResponse(
+        kind="ok",
+        message=result.message,
+        batch_rowcounts=result.extra.get("batch_rowcounts", []),
+    )
 
 
 _channel_ids = itertools.count(1)
@@ -205,6 +249,10 @@ class ClientChannel:
             raise errors.CommunicationError("channel is broken (previous failure)")
         raw = encode_message(request)
         request_type = type(request).__name__
+        if isinstance(request, BatchExecuteRequest):
+            # counted per send attempt: the trip happens whether or not the
+            # reply makes it back
+            self.metrics.record_batch(len(request.statements))
         with get_tracer().span(
             "wire.send", request=request_type, channel=self.channel_id
         ) as span:

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Iterable
 if TYPE_CHECKING:  # real imports are deferred: engine/net modules import
     # repro.obs.tracer at module load, so importing them here would cycle
     from repro.engine.plancache import EngineMetrics
+    from repro.engine.wal import WalStats
     from repro.net.metrics import NetworkMetrics
 
 __all__ = ["Histogram", "MetricsRegistry"]
@@ -137,15 +138,20 @@ class MetricsRegistry:
     """
 
     def __init__(self, *, network: NetworkMetrics | None = None,
-                 engine: EngineMetrics | None = None):
+                 engine: EngineMetrics | None = None,
+                 wal: WalStats | None = None):
         if network is None:
             from repro.net.metrics import NetworkMetrics
             network = NetworkMetrics()
         if engine is None:
             from repro.engine.plancache import EngineMetrics
             engine = EngineMetrics()
+        if wal is None:
+            from repro.engine.wal import WalStats
+            wal = WalStats()
         self.network = network
         self.engine = engine
+        self.wal = wal
         self.histograms: dict[str, Histogram] = {}
 
     def histogram(self, name: str, **kwargs) -> Histogram:
@@ -182,6 +188,7 @@ class MetricsRegistry:
         return {
             "network": self.network.snapshot(),
             "engine": self.engine.snapshot(),
+            "wal": self.wal.snapshot(),
             "histograms": {
                 name: hist.snapshot() for name, hist in sorted(self.histograms.items())
             },
@@ -192,4 +199,5 @@ class MetricsRegistry:
         every adopted counter and drops every histogram."""
         self.network.reset()
         self.engine.reset()
+        self.wal.reset()
         self.histograms.clear()

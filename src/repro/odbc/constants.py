@@ -7,7 +7,13 @@ matters to the reproduction, not binary compatibility.
 
 from __future__ import annotations
 
-__all__ = ["CursorType", "StatementAttr", "ReturnCode", "DEFAULT_FETCH_BLOCK"]
+__all__ = [
+    "CursorType",
+    "StatementAttr",
+    "ReturnCode",
+    "DEFAULT_FETCH_BLOCK",
+    "DEFAULT_BATCH_SIZE",
+]
 
 
 class CursorType:
@@ -27,6 +33,9 @@ class StatementAttr:
     CURSOR_TYPE = "cursor_type"
     FETCH_BLOCK_SIZE = "fetch_block_size"
     QUERY_TIMEOUT = "query_timeout"
+    #: statements per wire batch for executemany (the SQL_ATTR_PARAMSET_SIZE
+    #: analog); 1 = one round trip per statement
+    BATCH_SIZE = "batch_size"
 
 
 class ReturnCode:
@@ -41,3 +50,6 @@ class ReturnCode:
 
 #: rows per FETCH round trip for server cursors
 DEFAULT_FETCH_BLOCK = 100
+
+#: statements per BatchExecuteRequest for executemany
+DEFAULT_BATCH_SIZE = 16

@@ -15,6 +15,8 @@ from repro.errors import InterfaceError, SessionLostError
 from repro.net.metrics import NetworkMetrics
 from repro.net.protocol import (
     AdvanceRequest,
+    BatchExecuteRequest,
+    BatchExecuteResponse,
     CloseCursorRequest,
     ConnectRequest,
     DisconnectRequest,
@@ -108,6 +110,22 @@ class DriverConnection:
             )
         )
         assert isinstance(response, ResultResponse)
+        return response
+
+    def execute_batch(self, statements: list[str]) -> BatchExecuteResponse:
+        """Ship N statement batches in one round trip (wire batching).
+
+        The server runs them in order under WAL group commit; a SQL error
+        comes back *in-band* inside the response (``error``/``error_index``
+        with the successful prefix in ``results``) rather than raising, so
+        the caller can account for the landed prefix before surfacing it.
+        Transport failures raise as usual.
+        """
+        self._require_open()
+        response = self.channel.send(
+            BatchExecuteRequest(session_id=self.session_id, statements=list(statements))
+        )
+        assert isinstance(response, BatchExecuteResponse)
         return response
 
     def fetch(self, cursor_id: int, n: int) -> tuple[list[tuple], bool]:

@@ -19,7 +19,12 @@ from typing import Any
 from repro.errors import InterfaceError, ProgrammingError
 from repro.engine.schema import Column
 from repro.net.protocol import ResultResponse
-from repro.odbc.constants import DEFAULT_FETCH_BLOCK, CursorType, StatementAttr
+from repro.odbc.constants import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_FETCH_BLOCK,
+    CursorType,
+    StatementAttr,
+)
 from repro.obs.tracer import get_tracer
 from repro.odbc.driver import DriverConnection, NativeDriver
 
@@ -152,6 +157,9 @@ class Statement:
             StatementAttr.CURSOR_TYPE: CursorType.FORWARD_ONLY,
             StatementAttr.FETCH_BLOCK_SIZE: DEFAULT_FETCH_BLOCK,
             StatementAttr.QUERY_TIMEOUT: None,
+            # accepted for interface parity with PhoenixCursor; the plain
+            # stack has no wire batching, so it never changes behaviour here
+            StatementAttr.BATCH_SIZE: DEFAULT_BATCH_SIZE,
         }
         self.closed = False
         self._reset_result()
@@ -210,14 +218,20 @@ class Statement:
         """DB-API executemany: run ``sql`` once per parameter row.
 
         The statement's ``rowcount`` accumulates across the rows (like most
-        drivers); the last execution's result shape is retained.
+        drivers): the sum of the non-negative per-row counts — a 0-row
+        UPDATE contributes 0, it is not dropped — or -1 when any execution
+        reported an unknown count.  The last execution's result shape is
+        retained.
         """
         total = 0
+        unknown = False
         for row in rows:
             self.execute(sql, list(row))
-            if self.rowcount > 0:
+            if self.rowcount < 0:
+                unknown = True
+            else:
                 total += self.rowcount
-        self.rowcount = total
+        self.rowcount = -1 if unknown else total
         return self
 
     def fetchone(self) -> tuple | None:
@@ -247,9 +261,10 @@ class Statement:
         return out
 
     def fetchall(self) -> list[tuple]:
+        block = max(int(self.attrs[StatementAttr.FETCH_BLOCK_SIZE]), 1)
         out: list[tuple] = []
         while True:
-            chunk = self.fetchmany(1024)
+            chunk = self.fetchmany(block)
             if not chunk:
                 return out
             out.extend(chunk)
