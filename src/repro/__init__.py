@@ -9,19 +9,21 @@ scratch: a SQL engine with WAL restart recovery (:mod:`repro.engine` and
 an ODBC-like client stack (:mod:`repro.odbc`), the TPC-H workload
 (:mod:`repro.workloads.tpch`), and the benchmark harness (:mod:`repro.bench`).
 
-Quickstart::
+Quickstart (PEP 249 front door)::
 
     import repro
 
-    system = repro.make_system()          # server + endpoint + both managers
-    conn = system.phoenix.connect(system.DSN)
-    cur = conn.cursor()
+    repro.make_system(dsn="main")         # server + endpoint + both managers
+    conn = repro.connect("main")          # a Phoenix session (phoenix=False
+    cur = conn.cursor()                   #  for the plain, non-persistent one)
     cur.execute("CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(20))")
-    cur.execute("INSERT INTO t VALUES (1, 'hello')")
-    cur.execute("SELECT * FROM t")
-    system.server.crash()                 # pull the plug mid-session
-    system.endpoint.restart_server()      # database recovery runs
-    print(cur.fetchall())                 # the application never noticed
+    cur.execute("INSERT INTO t VALUES (?, ?)", [1, "hello"])
+    cur.execute("SELECT * FROM t WHERE k = ?", [1])
+    print(cur.fetchall())                 # [(1, 'hello')]
+
+The module is a PEP 249 driver: ``repro.connect(dsn)``, ``repro.apilevel``,
+``repro.threadsafety``, ``repro.paramstyle``, and the full error hierarchy
+live at the top level (also as attributes of every connection class).
 """
 
 from __future__ import annotations
@@ -29,6 +31,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import errors
+from repro.errors import (
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+)
 from repro.core import PhoenixConfig, PhoenixConnection, PhoenixCursor, PhoenixDriverManager
 from repro.engine import DatabaseServer
 from repro.engine.storage import FileStableStorage, InMemoryStableStorage, StableStorage
@@ -38,8 +52,35 @@ from repro.odbc import Connection, DriverManager, NativeDriver, Statement
 
 __version__ = "1.0.0"
 
+# --- PEP 249 module globals ----------------------------------------------------
+#: DB-API 2.0 compliance level
+apilevel = "2.0"
+#: 1 = threads may share the module, but not connections.  Honest: one
+#: connection's state (cursors, txn log, recovery) is not internally locked;
+#: the *server* serves many connections concurrently, so give each thread
+#: its own connection.
+threadsafety = 1
+#: placeholders are ``?`` (qmark), bound positionally
+paramstyle = "qmark"
+
 __all__ = [
     "errors",
+    # PEP 249 surface
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "connect",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+    # the simulated deployment
     "DatabaseServer",
     "ServerEndpoint",
     "FaultInjector",
@@ -58,7 +99,7 @@ __all__ = [
     "InMemoryStableStorage",
     "System",
     "make_system",
-    "connect",
+    "register_system",
 ]
 
 
@@ -115,7 +156,7 @@ def make_system(
     plain.register_dsn(dsn, native)
     phoenix = PhoenixDriverManager(config)
     phoenix.register_dsn(dsn, native)
-    return System(
+    system = System(
         server=server,
         endpoint=endpoint,
         native=native,
@@ -124,16 +165,61 @@ def make_system(
         registry=registry,
         DSN=dsn,
     )
+    register_system(system)
+    return system
+
+
+#: module-level DSN → System registry backing :func:`connect`'s PEP 249
+#: string form.  :func:`make_system` auto-registers each system it builds
+#: (last one wins per DSN — the same overwrite rule every driver manager's
+#: ``register_dsn`` uses).
+_systems: dict[str, System] = {}
+
+
+def register_system(system: System) -> System:
+    """Make ``system`` reachable as ``repro.connect(system.DSN)``."""
+    _systems[system.DSN] = system
+    return system
 
 
 def connect(
-    system: System,
+    dsn: System | str = "main",
     *,
-    persistent: bool = True,
+    phoenix: bool = True,
     user: str = "app",
     options: dict | None = None,
+    config: PhoenixConfig | None = None,
+    persistent: bool | None = None,
 ):
-    """Connect to a system — Phoenix session by default, plain ODBC with
-    ``persistent=False`` (the baseline)."""
-    manager = system.phoenix if persistent else system.plain
+    """Open a database session — the PEP 249 ``connect`` entry point.
+
+    ``dsn`` names a system built by :func:`make_system` (which registers
+    itself under its DSN); passing the :class:`System` object directly also
+    works.  ``phoenix=True`` (default) returns a persistent
+    :class:`PhoenixConnection`; ``phoenix=False`` the plain, crash-exposed
+    :class:`Connection` — the baseline the paper compares against.
+
+    ``persistent`` is the pre-DB-API spelling of the same switch and wins
+    when given (kept for existing callers).
+
+    DB-API deviation (documented, deliberate): sessions start in
+    *autocommit* mode like the ODBC stack the paper wraps; ``commit()`` /
+    ``rollback()`` require an explicit ``begin()`` (or ``BEGIN
+    TRANSACTION``) and raise :class:`~repro.errors.ProgrammingError`
+    otherwise, rather than silently pretending a transaction existed.
+    """
+    if persistent is not None:
+        phoenix = persistent
+    if isinstance(dsn, System):
+        system = dsn
+    else:
+        try:
+            system = _systems[dsn]
+        except KeyError:
+            raise InterfaceError(
+                f"unknown DSN {dsn!r}: build one first with repro.make_system(dsn={dsn!r})"
+            ) from None
+    manager = system.phoenix if phoenix else system.plain
+    if phoenix and config is not None:
+        return manager.connect(system.DSN, user, options, config=config)
     return manager.connect(system.DSN, user, options)

@@ -45,6 +45,10 @@ __all__ = [
     "run_obs_overhead",
     "RecoveryBreakdownRow",
     "run_recovery_breakdown",
+    "ConcurrencyThroughputRow",
+    "ConcurrencyRecoveryRow",
+    "ConcurrencyResult",
+    "run_concurrency",
 ]
 
 
@@ -1090,3 +1094,293 @@ def run_recovery_breakdown(
             )
         )
     return rows
+
+
+# ============================================================== concurrency
+
+
+@dataclass
+class ConcurrencyThroughputRow:
+    """One client-count point of the multi-client throughput experiment."""
+
+    clients: int
+    operations: int
+    seconds: float
+    fingerprint: int
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("nan")
+        return self.operations / self.seconds
+
+
+@dataclass
+class ConcurrencyRecoveryRow:
+    """One (session count, mode) point of the parallel-recovery experiment."""
+
+    sessions: int
+    mode: str  # "serial" | "parallel"
+    workers: int
+    seconds: float
+    rebuilt: int
+    fingerprint: int
+
+
+@dataclass
+class ConcurrencyResult:
+    """Multi-client serving throughput + parallel session recovery."""
+
+    latency: float
+    segments: int
+    ops_per_segment: int
+    throughput: list[ConcurrencyThroughputRow] = field(default_factory=list)
+    recovery: list[ConcurrencyRecoveryRow] = field(default_factory=list)
+
+    def speedup(self, clients: int) -> float:
+        base = next((r for r in self.throughput if r.clients == 1), None)
+        point = next((r for r in self.throughput if r.clients == clients), None)
+        if base is None or point is None or point.seconds <= 0:
+            return float("nan")
+        return base.seconds / point.seconds
+
+    def recovery_ratio(self, sessions: int) -> float:
+        serial = next(
+            (r for r in self.recovery if r.sessions == sessions and r.mode == "serial"),
+            None,
+        )
+        parallel = next(
+            (
+                r
+                for r in self.recovery
+                if r.sessions == sessions and r.mode == "parallel"
+            ),
+            None,
+        )
+        if serial is None or parallel is None or serial.seconds <= 0:
+            return float("nan")
+        return parallel.seconds / serial.seconds
+
+    @property
+    def throughput_fingerprints_match(self) -> bool:
+        prints = {r.fingerprint for r in self.throughput}
+        return len(prints) <= 1
+
+    @property
+    def recovery_fingerprints_match(self) -> bool:
+        by_sessions: dict[int, set] = {}
+        for r in self.recovery:
+            by_sessions.setdefault(r.sessions, set()).add(r.fingerprint)
+        return all(len(prints) <= 1 for prints in by_sessions.values())
+
+
+def _concurrency_segment_ops(segment: int, ops: int) -> list[tuple[str, str]]:
+    """Segment ``segment``'s deterministic op list: ("dml"|"query", sql).
+
+    Ops rotate INSERT / UPDATE / SELECT over the segment's private key
+    range, so the same total op set partitioned across any client count
+    leaves identical durable state.
+    """
+    base = 1000 * (segment + 1)
+    out: list[tuple[str, str]] = []
+    for j in range(ops):
+        k = base + (j // 3) * 3
+        if j % 3 == 0:
+            out.append(("dml", f"INSERT INTO conc_bench VALUES ({k}, {j}.0)"))
+        elif j % 3 == 1:
+            out.append(("dml", f"UPDATE conc_bench SET v = v + 1 WHERE k = {k}"))
+        else:
+            out.append(("query", f"SELECT k, v FROM conc_bench WHERE k = {k}"))
+    return out
+
+
+def run_concurrency(
+    *,
+    client_counts: tuple[int, ...] = (1, 4, 16),
+    segments: int = 16,
+    ops_per_segment: int = 9,
+    session_counts: tuple[int, ...] = (4, 16),
+    latency: float = 0.002,
+    parallel_workers: int = 8,
+) -> ConcurrencyResult:
+    """The concurrent-serving experiment (experiment CC).
+
+    **Throughput** — the same ``segments * ops_per_segment`` operation set
+    (a probe/DML mix over ``segments`` disjoint key ranges of one shared
+    table) is partitioned across k clients for each k in ``client_counts``;
+    every wire request pays ``latency`` seconds of transit, so this
+    measures how much of that transit the threaded dispatcher overlaps.
+    The durable table fingerprint must be identical across client counts
+    (the partition is over disjoint ranges) — a divergence raises
+    ``RuntimeError``.
+
+    **Recovery** — for each N in ``session_counts``, N Phoenix sessions
+    with session state (SET options, committed rows, a half-fetched
+    result) meet a crash+restart, then ``recover_all`` rebuilds the fleet
+    serially (``max_workers=1``) and in parallel
+    (``max_workers=parallel_workers``), each against its own fresh fleet.
+    Both modes must leave identical durable state; the parallel/serial
+    wall-time ratio is the headline number.
+    """
+    import threading
+
+    from repro.core.parallel import recover_all
+
+    result = ConcurrencyResult(
+        latency=latency, segments=segments, ops_per_segment=ops_per_segment
+    )
+
+    # --- throughput ---------------------------------------------------------
+    for clients in client_counts:
+        system = repro.make_system()
+        system.endpoint.latency = latency
+        loader = system.server.connect(user="loader")
+        system.server.execute(
+            loader, "CREATE TABLE conc_bench (k INT PRIMARY KEY, v FLOAT)"
+        )
+        system.server.disconnect(loader)
+
+        plans: list[list[tuple[str, str]]] = [[] for _ in range(clients)]
+        for segment in range(segments):
+            plans[segment % clients].extend(
+                _concurrency_segment_ops(segment, ops_per_segment)
+            )
+
+        connections = [
+            system.phoenix.connect(system.DSN, user=f"bench{i}")
+            for i in range(clients)
+        ]
+        errors_seen: list[str] = []
+
+        def run_client(connection, plan) -> None:
+            try:
+                cursor = connection.cursor()
+                for op, sql in plan:
+                    cursor.execute(sql)
+                    if op == "query":
+                        cursor.fetchall()
+            except Exception as exc:
+                errors_seen.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(
+                target=run_client, args=(connections[i], plans[i]), name=f"bench-{i}"
+            )
+            for i in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - started
+        if errors_seen:
+            raise RuntimeError(
+                f"throughput with {clients} clients failed: {errors_seen}"
+            )
+        for connection in connections:
+            connection.close()
+
+        verifier = system.server.connect(user="verifier")
+        data = system.server.execute(
+            verifier, "SELECT k, v FROM conc_bench ORDER BY k"
+        )
+        system.server.disconnect(verifier)
+        result.throughput.append(
+            ConcurrencyThroughputRow(
+                clients=clients,
+                operations=segments * ops_per_segment,
+                seconds=seconds,
+                fingerprint=_fold_fingerprint(0, "data", data.result_set.rows),
+            )
+        )
+
+    if not result.throughput_fingerprints_match:
+        raise RuntimeError(
+            "concurrency throughput: durable state diverged across client "
+            "counts: "
+            + ", ".join(f"k={r.clients}={r.fingerprint}" for r in result.throughput)
+        )
+
+    # --- parallel recovery --------------------------------------------------
+    for sessions in session_counts:
+        for mode, workers in (("serial", 1), ("parallel", parallel_workers)):
+            system = repro.make_system()
+            system.endpoint.latency = latency
+            loader = system.server.connect(user="loader")
+            system.server.execute(
+                loader, "CREATE TABLE recov_bench (k INT PRIMARY KEY, v FLOAT)"
+            )
+            system.server.disconnect(loader)
+
+            fleet = []
+            cursors = []
+            for i in range(sessions):
+                connection = system.phoenix.connect(system.DSN, user=f"fleet{i}")
+                cursor = connection.cursor()
+                cursor.execute(f"SET app_tag 'fleet-{i}'")
+                base = 10 * (i + 1)
+                cursor.execute(
+                    f"INSERT INTO recov_bench VALUES "
+                    f"({base}, 1.0), ({base + 1}, 2.0), ({base + 2}, 3.0)"
+                )
+                cursor.execute(
+                    f"SELECT k, v FROM recov_bench "
+                    f"WHERE k >= {base} AND k <= {base + 2} ORDER BY k"
+                )
+                cursor.fetchone()  # leave the delivery open mid-result
+                fleet.append(connection)
+                cursors.append(cursor)
+
+            system.server.crash()
+            system.endpoint.restart_server()  # database recovery: not timed
+
+            started = time.perf_counter()
+            outcomes = recover_all(fleet, max_workers=workers)
+            seconds = time.perf_counter() - started
+            rebuilt = sum(1 for o in outcomes if o.rebuilt)
+            failed = [o for o in outcomes if o.error is not None]
+            if failed:
+                raise RuntimeError(
+                    f"recovery {mode}/{sessions}: {len(failed)} session(s) "
+                    f"failed: {failed[0].error}"
+                )
+
+            # the rebuilt sessions must actually work: drain the reopened
+            # delivery from its saved position, then one more committed write
+            for i, (connection, cursor) in enumerate(zip(fleet, cursors)):
+                base = 10 * (i + 1)
+                remainder = cursor.fetchall()
+                if [row[0] for row in remainder] != [base + 1, base + 2]:
+                    raise RuntimeError(
+                        f"recovery {mode}/{sessions}: session {i} repositioned "
+                        f"wrong: {remainder!r}"
+                    )
+                cursor.execute(
+                    f"UPDATE recov_bench SET v = v + 10 WHERE k = {base}"
+                )
+            for connection in fleet:
+                connection.close()
+
+            verifier = system.server.connect(user="verifier")
+            data = system.server.execute(
+                verifier, "SELECT k, v FROM recov_bench ORDER BY k"
+            )
+            system.server.disconnect(verifier)
+            result.recovery.append(
+                ConcurrencyRecoveryRow(
+                    sessions=sessions,
+                    mode=mode,
+                    workers=workers,
+                    seconds=seconds,
+                    rebuilt=rebuilt,
+                    fingerprint=_fold_fingerprint(0, "data", data.result_set.rows),
+                )
+            )
+
+    if not result.recovery_fingerprints_match:
+        raise RuntimeError(
+            "parallel recovery: durable state diverged between serial and "
+            "parallel modes"
+        )
+    return result

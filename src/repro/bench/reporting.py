@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench.reporting wirebatch --json BENCH_wire_batch.json
     python -m repro.bench.reporting obs_overhead --json BENCH_obs_overhead.json
     python -m repro.bench.reporting recovery_breakdown
+    python -m repro.bench.reporting concurrency --json BENCH_concurrency.json
     python -m repro.bench.reporting all
 
 Output mirrors the paper's layout: Table 1's columns are query id, result
@@ -29,6 +30,7 @@ import json
 from repro.bench.harness import (
     AvailabilityResult,
     ChaosResult,
+    ConcurrencyResult,
     Fig2Series,
     ObsOverheadResult,
     PlanCacheRun,
@@ -37,6 +39,7 @@ from repro.bench.harness import (
     WireBatchResult,
     run_availability_experiment,
     run_chaos_experiment,
+    run_concurrency,
     run_fig2_recovery_sweep,
     run_obs_overhead,
     run_plan_cache_ablation,
@@ -54,6 +57,7 @@ __all__ = [
     "render_chaos",
     "render_obs_overhead",
     "render_recovery_breakdown",
+    "render_concurrency",
     "main",
 ]
 
@@ -221,6 +225,93 @@ def render_recovery_breakdown(rows: list[RecoveryBreakdownRow]) -> str:
     return "\n".join(lines)
 
 
+def render_concurrency(result: ConcurrencyResult, chaos: dict | None = None) -> str:
+    """Experiment CC: threaded dispatch throughput + parallel recovery."""
+    lines = [
+        "Experiment CC. Concurrent serving and parallel session recovery",
+        f"{result.segments * result.ops_per_segment} operations over "
+        f"{result.segments} disjoint key ranges; wire transit "
+        f"{result.latency * 1e3:.1f} ms/request",
+        f"{'Clients':>8} {'Ops':>5} {'Seconds':>9} {'Ops/s':>8} {'Speedup':>8}",
+    ]
+    for row in result.throughput:
+        lines.append(
+            f"{row.clients:>8} {row.operations:>5} {row.seconds:>9.3f} "
+            f"{row.ops_per_second:>8.1f} {result.speedup(row.clients):>7.2f}x"
+        )
+    match = "identical" if result.throughput_fingerprints_match else "MISMATCH"
+    lines.append(f"durable state across client counts: {match}")
+    lines.append("")
+    lines.append(
+        f"{'Sessions':>9} {'Mode':10} {'Workers':>8} {'Seconds':>9} {'Rebuilt':>8}"
+    )
+    for row in result.recovery:
+        lines.append(
+            f"{row.sessions:>9} {row.mode:10} {row.workers:>8} "
+            f"{row.seconds:>9.3f} {row.rebuilt:>8}"
+        )
+    for sessions in sorted({row.sessions for row in result.recovery}):
+        lines.append(
+            f"parallel/serial wall-time ratio at {sessions} sessions: "
+            f"{result.recovery_ratio(sessions):.3f}"
+        )
+    match = "identical" if result.recovery_fingerprints_match else "MISMATCH"
+    lines.append(f"durable state serial vs parallel: {match}")
+    if chaos is not None:
+        lines.append("")
+        lines.append("Multi-client crash sweep (per-client exactly-once oracle)")
+        lines.append(
+            f"{'Clients':>8} {'Runs':>5} {'Recovered':>10} {'Recoveries':>11}"
+        )
+        for clients, cell in chaos.items():
+            lines.append(
+                f"{clients:>8} {cell['runs']:>5} "
+                f"{cell['recovered_fraction']:>9.0%} {cell['recoveries']:>11}"
+            )
+            for violation in cell["violations"]:
+                lines.append(f"  VIOLATION: {violation}")
+    return "\n".join(lines)
+
+
+def _concurrency_json(result: ConcurrencyResult, chaos: dict | None = None) -> dict:
+    out: dict[str, object] = {
+        "latency": result.latency,
+        "segments": result.segments,
+        "ops_per_segment": result.ops_per_segment,
+        "throughput_fingerprints_match": result.throughput_fingerprints_match,
+        "recovery_fingerprints_match": result.recovery_fingerprints_match,
+        "throughput": [
+            {
+                "clients": row.clients,
+                "operations": row.operations,
+                "seconds": row.seconds,
+                "ops_per_second": row.ops_per_second,
+                "speedup": result.speedup(row.clients),
+                "fingerprint": row.fingerprint,
+            }
+            for row in result.throughput
+        ],
+        "recovery": [
+            {
+                "sessions": row.sessions,
+                "mode": row.mode,
+                "workers": row.workers,
+                "seconds": row.seconds,
+                "rebuilt": row.rebuilt,
+                "fingerprint": row.fingerprint,
+            }
+            for row in result.recovery
+        ],
+        "recovery_ratios": {
+            str(sessions): result.recovery_ratio(sessions)
+            for sessions in sorted({row.sessions for row in result.recovery})
+        },
+    }
+    if chaos is not None:
+        out["multi_client_chaos"] = {str(k): cell for k, cell in chaos.items()}
+    return out
+
+
 def _obs_overhead_json(result: ObsOverheadResult) -> dict:
     return {
         "baseline_seconds": result.baseline_seconds,
@@ -363,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
             "chaos",
             "obs_overhead",
             "recovery_breakdown",
+            "concurrency",
             "all",
         ],
     )
@@ -424,6 +516,13 @@ def main(argv: list[str] | None = None) -> int:
         breakdown = run_recovery_breakdown(seed=args.seed)
         print(render_recovery_breakdown(breakdown))
         payload["recovery_breakdown"] = _recovery_breakdown_json(breakdown)
+    if args.artifact in ("concurrency", "all"):
+        from repro.chaos.multi import sweep_multi
+
+        concurrency = run_concurrency()
+        chaos_sweep = sweep_multi((1, 4, 16))
+        print(render_concurrency(concurrency, chaos_sweep))
+        payload["concurrency"] = _concurrency_json(concurrency, chaos_sweep)
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -250,7 +250,7 @@ def _run_trace(
 
 def _run_step(record, connection, cursor, index, step) -> None:
     if step.op == "set":
-        connection.set_option(step.name, step.value)
+        connection._set_option(step.name, step.value)
         record.observations.append(("set", index))
         return
     if step.op == "begin":

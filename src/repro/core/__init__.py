@@ -20,10 +20,13 @@ from repro.core.config import PhoenixConfig
 from repro.core.connection import PhoenixConnection
 from repro.core.cursor import PhoenixCursor
 from repro.core.driver_manager import PhoenixDriverManager
+from repro.core.parallel import RecoveryOutcome, recover_all
 
 __all__ = [
     "PhoenixDriverManager",
     "PhoenixConnection",
     "PhoenixCursor",
     "PhoenixConfig",
+    "RecoveryOutcome",
+    "recover_all",
 ]

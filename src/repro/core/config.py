@@ -91,6 +91,17 @@ class PhoenixConfig:
     #: queued statements that trigger an autobatch flush.
     dml_autobatch_size: int = 16
 
+    # --- concurrency --------------------------------------------------------------
+    #: transparent retries of a statement the server aborted as a deadlock
+    #: victim (or of a batch entry that lost a no-wait lock conflict) before
+    #: the error is passed to the application.  A victim's transaction
+    #: committed nothing — the server aborted it whole and its status row
+    #: never landed — so each retry is a fresh exactly-once execution.
+    max_deadlock_retries: int = 8
+    #: worker threads used when recovering many virtual sessions after one
+    #: server restart (see ``repro.core.parallel.recover_all``).
+    recovery_workers: int = 8
+
     # --- misc -------------------------------------------------------------------
     #: rows per block when Phoenix fetches keys / cursor blocks.
     fetch_block_size: int = 100

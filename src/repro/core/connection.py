@@ -20,10 +20,19 @@ paper only protects against *server* failures.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import Error, InterfaceError, ProgrammingError, RecoveryError
+from repro import errors as repro_errors
+from repro.errors import (
+    DeadlockError,
+    Error,
+    InterfaceError,
+    LockError,
+    ProgrammingError,
+    RecoveryError,
+)
 from repro.engine.schema import Column, TableSchema
 from repro.net.protocol import ResultResponse
 from repro.core.config import PhoenixConfig
@@ -56,6 +65,9 @@ class PhoenixStats:
     status_probes: int = 0
     probe_hits: int = 0
     replayed_txns: int = 0
+    #: statements transparently re-run after the server aborted them as a
+    #: deadlock victim (or a batch entry lost its no-wait lock conflict)
+    deadlock_retries: int = 0
     #: failed ping attempts while waiting out a server outage
     recovery_pings: int = 0
     #: orphaned server sessions this connection disconnected best-effort
@@ -73,6 +85,19 @@ class PhoenixStats:
 
 class PhoenixConnection:
     """A persistent database session (drop-in for `repro.odbc.Connection`)."""
+
+    # PEP 249 optional extension: the error hierarchy as connection
+    # attributes (mirrors repro.odbc.Connection)
+    Warning = repro_errors.Warning
+    Error = repro_errors.Error
+    InterfaceError = repro_errors.InterfaceError
+    DatabaseError = repro_errors.DatabaseError
+    DataError = repro_errors.DataError
+    OperationalError = repro_errors.OperationalError
+    IntegrityError = repro_errors.IntegrityError
+    InternalError = repro_errors.InternalError
+    ProgrammingError = repro_errors.ProgrammingError
+    NotSupportedError = repro_errors.NotSupportedError
 
     def __init__(
         self,
@@ -209,6 +234,18 @@ class PhoenixConnection:
         return PhoenixCursor(self)
 
     def set_option(self, name: str, value: Any) -> None:
+        """Deprecated spelling of ``cursor().execute("SET name value")`` —
+        kept because existing applications call it; new code should issue
+        the SQL (it is recorded for replay either way)."""
+        warnings.warn(
+            "PhoenixConnection.set_option is deprecated; "
+            "execute 'SET <name> <value>' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._set_option(name, value)
+
+    def _set_option(self, name: str, value: Any) -> None:
         """Record and forward a connection option (statement 1 of the
         paper's example session: session context Phoenix must replay)."""
         self._require_open()
@@ -443,20 +480,40 @@ class PhoenixConnection:
         volatile anyway) but recorded for wholesale replay.  A failure that
         killed the session replays the lost transaction first; a spurious
         failure (the session survived) just retries the statement.
+
+        A :class:`~repro.errors.DeadlockError` means the server picked this
+        transaction as the deadlock victim and aborted it *whole* — it
+        committed nothing, so the statement log is exactly what is needed to
+        transparently re-run it: replay the transaction so far, then retry
+        the statement (bounded by ``max_deadlock_retries``).
         """
         attempts = max(1, self.config.max_operation_retries)
-        for attempt in range(attempts + 1):
+        failures = 0
+        deadlocks = 0
+        while True:
             try:
                 response = self.app.execute(sql)
                 self.txn_log.record(sql)
                 return response
+            except DeadlockError:
+                deadlocks += 1
+                if deadlocks > max(1, self.config.max_deadlock_retries):
+                    raise
+                self.stats.deadlock_retries += 1
+                get_tracer().event(
+                    "deadlock.retry",
+                    corr=self.correlation_id,
+                    scope="transaction",
+                    attempt=deadlocks,
+                )
+                self._replay_transaction()
             except RECOVERABLE_ERRORS as exc:
-                if attempt >= attempts:
+                failures += 1
+                if failures > attempts:
                     raise
                 rebuilt = self.recovery.recover(exc, replay_txn=False)
                 if rebuilt:
                     self._replay_transaction()
-        raise AssertionError("unreachable")
 
     # --- DML (autocommit) --------------------------------------------------------
 
@@ -480,6 +537,7 @@ class PhoenixConnection:
         seq = self.names.next_seq()
         batch = build_dml_batch(sql, self.names.status_table, seq)
         self.stats.dml_wrapped += 1
+        deadlocks = 0
         while True:
             try:
                 response = self.app.execute(batch)
@@ -498,6 +556,21 @@ class PhoenixConnection:
                     return (seq, logged, None)
                 # not logged → the wrapper transaction never committed;
                 # re-executing cannot double-apply.
+            except DeadlockError:
+                # the wrapper transaction was the deadlock victim: the
+                # server aborted it whole, so the status row never landed
+                # and resubmitting is a fresh exactly-once execution.  No
+                # rollback needed — the abort already released everything.
+                deadlocks += 1
+                if deadlocks > max(1, self.config.max_deadlock_retries):
+                    raise
+                self.stats.deadlock_retries += 1
+                get_tracer().event(
+                    "deadlock.retry",
+                    corr=self.correlation_id,
+                    scope="dml",
+                    attempt=deadlocks,
+                )
             except Error:
                 # a SQL error (duplicate key, missing table, ...) aborted
                 # the batch after its BEGIN: close the wrapper transaction
@@ -578,6 +651,7 @@ class PhoenixConnection:
 
         rowcounts: dict[int, int] = {}
         pending = list(entries)
+        lock_retries = 0
         self.stats.dml_wrapped += len(entries)
         with get_tracer().span(
             "dml.batch", corr=self.correlation_id, statements=len(entries)
@@ -597,7 +671,29 @@ class PhoenixConnection:
                     rowcounts[seq] = counts[0] if len(counts) > 1 else 0
                 if response.error is not None:
                     self._rollback_wrapper_txn()
-                    raise _rebuild_error(response.error)
+                    error = _rebuild_error(response.error)
+                    if (
+                        isinstance(error, LockError)
+                        and lock_retries < max(1, self.config.max_deadlock_retries)
+                    ):
+                        # batches run inside the server's no-wait lock window
+                        # (a wait there would stall the WAL group force that
+                        # covers already-acked commits), so a conflict with
+                        # another session fails fast instead of blocking.
+                        # The landed prefix is durable; resubmit the
+                        # unfinished suffix after a short backoff.
+                        lock_retries += 1
+                        self.stats.deadlock_retries += 1
+                        get_tracer().event(
+                            "deadlock.retry",
+                            corr=self.correlation_id,
+                            scope="batch",
+                            attempt=lock_retries,
+                        )
+                        pending = pending[len(response.results):]
+                        self.config.sleep(0.002 * lock_retries)
+                        continue
+                    raise error
                 pending = []
         return [rowcounts[seq] for seq, _sql in entries]
 

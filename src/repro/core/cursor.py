@@ -18,6 +18,7 @@ A crash during any of this surfaces to the application only as latency.
 
 from __future__ import annotations
 
+import copy
 from typing import Any
 
 from repro.errors import InterfaceError, ProgrammingError
@@ -55,6 +56,8 @@ class PhoenixCursor:
             StatementAttr.QUERY_TIMEOUT: None,
             StatementAttr.BATCH_SIZE: DEFAULT_BATCH_SIZE,
         }
+        #: PEP 249: default size of a no-argument fetchmany()
+        self.arraysize = 1
         self.closed = False
         self._reset_result()
 
@@ -259,9 +262,10 @@ class PhoenixCursor:
         statements = parse_script(sql)
         if len(statements) != 1 or classify(statements[0]) is not StatementClass.DML:
             return None
+        template = statements[0]  # parsed once; inlining mutates, so copy per row
         entries: list[tuple[int, str]] = []
         for row in rows:
-            stmt = parse_script(sql)[0]  # fresh AST: inlining mutates it
+            stmt = copy.deepcopy(template)
             bound = list(row)
             if bound:
                 inline_placeholders(stmt, bound)
@@ -299,8 +303,10 @@ class PhoenixCursor:
         rows = self.fetchmany(1)
         return rows[0] if rows else None
 
-    def fetchmany(self, n: int) -> list[tuple]:
+    def fetchmany(self, n: int | None = None) -> list[tuple]:
         self._require_open()
+        if n is None:
+            n = max(int(self.arraysize), 1)
         tracer = get_tracer()
         if tracer.enabled and self._state is not None:
             with tracer.span(
@@ -408,6 +414,20 @@ class PhoenixCursor:
                 connection.recovery.recover(exc)
                 # recovery re-opened the cursor and re-advanced it to
                 # state.delivered; just fetch again
+
+    # ------------------------------------------------------------- PEP 249 odds and ends
+
+    def setinputsizes(self, sizes) -> None:
+        """DB-API no-op: values are bound with their Python types."""
+
+    def setoutputsize(self, size, column=None) -> None:
+        """DB-API no-op: results carry no size limits."""
+
+    def __enter__(self) -> "PhoenixCursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------- lifecycle
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 
+from repro.errors import ProgrammingError
 from repro.obs.tracer import get_tracer
 from repro.sql import ast, parse_script
 
@@ -326,7 +327,7 @@ def inline_placeholders(stmt: ast.Statement, values: list) -> ast.Statement:
             return None
         if isinstance(node, ast.Placeholder):
             if node.index >= len(values):
-                raise ValueError(
+                raise ProgrammingError(
                     f"statement uses placeholder ?{node.index + 1} but only "
                     f"{len(values)} values were bound"
                 )

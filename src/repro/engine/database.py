@@ -58,6 +58,15 @@ class Database:
         #: see :mod:`repro.engine.plancache`.  Volatile: a restart builds a
         #: fresh Database (and fresh caches), so it starts at zero again.
         self.catalog_version = 0
+        #: set by the server's crash(): a worker thread may still be deep in
+        #: a statement against this object when the crash hits (a lock wait
+        #: wakes into a dead engine) — the flag tells its cleanup path that
+        #: undo is meaningless and, critically, that nothing may be appended
+        #: to the WAL after the crash point.
+        self.dead = False
+
+    def mark_dead(self) -> None:
+        self.dead = True
 
     def bump_catalog_version(self) -> int:
         """Invalidate all version-validated plan caches; returns the new version."""

@@ -24,13 +24,14 @@ from typing import Any, Iterator
 
 from repro.errors import (
     CatalogError,
+    DeadlockError,
     NotSupportedError,
     ProgrammingError,
     TransactionError,
 )
 from repro.engine import functions
 from repro.engine.database import Database
-from repro.engine.expressions import Env, ExpressionCompiler, Scope
+from repro.engine.expressions import Env, ExpressionCompiler, PlaceholderList, Scope
 from repro.engine.plancache import EngineMetrics, PlanCache
 from repro.engine.results import ResultSet, StatementResult
 from repro.engine.schema import Column, schema_from_ast, type_spec_to_sql_type
@@ -129,12 +130,30 @@ class Executor:
 
         # Everything else mutates: run inside a transaction.
         autocommit = self.session.current_txn is None
-        txn = self.database.begin() if autocommit else self.session.current_txn
+        txn = self._begin_txn() if autocommit else self.session.current_txn
         statement_mark = len(txn.records)
         try:
-            result = self._execute_mutation(stmt, txn, params or {}, placeholders or [])
-        except BaseException:
-            if autocommit:
+            bound = PlaceholderList(placeholders or [])
+            result = self._execute_mutation(stmt, txn, params or {}, bound)
+            # a ?-template needing more values than were bound must error
+            # even when no row was touched (e.g. a filter over an empty
+            # table); the raise lands in the rollback path below
+            bound.check_bound()
+        except BaseException as exc:
+            if self.database.dead:
+                # The server crashed out from under this statement (e.g. a
+                # lock wait interrupted by crash()): the volatile engine is
+                # gone, so there is nothing to undo — and above all no WAL
+                # write may happen after the crash point.
+                self.session.current_txn = None
+            elif isinstance(exc, DeadlockError):
+                # Deadlock victim: the *whole* transaction aborts — its
+                # locks must release so the surviving side of the cycle can
+                # proceed.  The client sees a distinguishable, retryable
+                # error (the transaction is gone, so a replay is safe).
+                self.database.abort(txn)
+                self.session.current_txn = None
+            elif autocommit:
                 self.database.abort(txn)
             else:
                 # statement-level atomicity: a failed statement inside an
@@ -161,10 +180,19 @@ class Executor:
 
     # ------------------------------------------------------------ transactions
 
+    def _begin_txn(self):
+        """Start an engine transaction carrying the session's lock-wait
+        budget (``SET lock_timeout <ms>``) into the lock manager."""
+        txn = self.database.begin()
+        timeout_ms = self.session.options.get("lock_timeout")
+        if isinstance(timeout_ms, (int, float)) and not isinstance(timeout_ms, bool):
+            self.database.locks.set_timeout(txn.txn_id, timeout_ms / 1000.0)
+        return txn
+
     def _begin(self) -> StatementResult:
         if self.session.current_txn is not None:
             raise TransactionError("transaction already in progress")
-        self.session.current_txn = self.database.begin()
+        self.session.current_txn = self._begin_txn()
         return StatementResult.ok("BEGIN")
 
     def _commit(self) -> StatementResult:
@@ -472,6 +500,12 @@ class Executor:
             (schema.column_index(col.lower()), compiler.compile(expr))
             for col, expr in stmt.assignments
         ]
+        # Lock before the scan, not per-row: candidate rows and assignment
+        # inputs must never be computed from another transaction's
+        # uncommitted writes — a waiter that pre-computed new values from a
+        # dirty read would apply them verbatim after the holder aborts.
+        if not is_temp:
+            self.database.lock_write(txn, table.name)
         # Snapshot first: assignments must see pre-statement values and the
         # scan must not chase its own writes.
         targets: list[tuple[int, tuple]] = []
@@ -498,6 +532,10 @@ class Executor:
         scope.add_source(stmt.table, table.schema.column_names)
         compiler = ExpressionCompiler(scope, self, params=params, placeholders=placeholders)
         where = compiler.compile_predicate(stmt.where) if stmt.where is not None else None
+        # Same lock-before-scan rule as UPDATE: the candidate set must not
+        # reflect another transaction's uncommitted rows.
+        if not is_temp:
+            self.database.lock_write(txn, table.name)
         targets = [
             rowid
             for rowid, row in self._dml_candidates(table, stmt.where, compiler, scope)
@@ -550,12 +588,22 @@ class Executor:
             # compiled plan (uncorrelated subqueries, derived tables, views)
             # must recompute so intervening DML is visible.
             self._epoch_cell[0] += 1
-            if not params and not placeholders and self._plan_cache is not None:
-                return self._cached_runner(select).run(None)
+            if not params and self._plan_cache is not None:
+                # Placeholder templates are cacheable too: the compiled plan
+                # reads its shared placeholder list at run time, so rebinding
+                # the list re-parameterizes the cached plan without a
+                # recompile (qmark binding keys the cache on the template).
+                runner = self._cached_runner(select)
+                runner.placeholders[:] = placeholders or []
+                runner.placeholders.check_bound()
+                return runner.run(None)
+        bound = PlaceholderList(placeholders or [])
         if isinstance(select, ast.UnionSelect):
-            runner = _UnionRunner(self, select, params or {}, placeholders or [], outer_scope)
+            runner = _UnionRunner(self, select, params or {}, bound, outer_scope)
+            bound.check_bound()
             return runner.run(outer_env)
-        plan = _SelectPlan(self, select, params or {}, placeholders or [], outer_scope)
+        plan = _SelectPlan(self, select, params or {}, bound, outer_scope)
+        bound.check_bound()
         return plan.run(outer_env)
 
     def _cached_runner(self, select: "ast.Select | ast.UnionSelect"):
@@ -569,9 +617,9 @@ class Executor:
         runner = self._plan_cache.lookup(select, versions, self.metrics)
         if runner is None:
             if isinstance(select, ast.UnionSelect):
-                runner = _UnionRunner(self, select, {}, [], None)
+                runner = _UnionRunner(self, select, {}, PlaceholderList(), None)
             else:
-                runner = _SelectPlan(self, select, {}, [], None)
+                runner = _SelectPlan(self, select, {}, PlaceholderList(), None)
             self._plan_cache.store(select, versions, runner)
         return runner
 
@@ -1311,6 +1359,8 @@ class _UnionRunner:
 
     def __init__(self, executor, union, params, placeholders, outer_scope):
         self.union = union
+        #: shared across every part's plan tree; mutated in place on rebind
+        self.placeholders = placeholders
         self.plans = []
         self.correlated = False
         for part in union.parts:

@@ -29,10 +29,44 @@ from repro.engine.values import add_interval, coerce_value, compare, parse_date
 from repro.engine.schema import type_spec_to_sql_type
 from repro.sql import ast
 
-__all__ = ["Scope", "Env", "CompiledExpr", "ExpressionCompiler", "SubqueryRunner", "like_to_regex"]
+__all__ = [
+    "Scope",
+    "Env",
+    "CompiledExpr",
+    "ExpressionCompiler",
+    "PlaceholderList",
+    "SubqueryRunner",
+    "like_to_regex",
+]
 
 #: A compiled expression: env → value.
 CompiledExpr = Callable[["Env"], Any]
+
+
+class PlaceholderList(list):
+    """The shared placeholder container for one plan tree.
+
+    One instance is threaded (by reference) through every compiler and
+    subplan of a plan; compiled placeholder reads resolve against it at run
+    time, so rebinding a cached plan is ``plan.placeholders[:] = values``.
+    Compilation records the template's highest placeholder ordinal in
+    :attr:`required`, letting plan entry validate the bound-value count
+    before any row is evaluated.
+    """
+
+    __slots__ = ("required",)
+
+    def __init__(self, values: Any = ()):
+        super().__init__(values)
+        #: number of values the compiled template needs (max ?-index + 1)
+        self.required = 0
+
+    def check_bound(self) -> None:
+        if len(self) < self.required:
+            raise ProgrammingError(
+                f"statement has placeholder ?{self.required} but only "
+                f"{len(self)} values were bound"
+            )
 
 
 @dataclass
@@ -237,7 +271,10 @@ class ExpressionCompiler:
         self.runner = runner
         self.agg_slots = agg_slots or {}
         self.params = params or {}
-        self.placeholders = placeholders or []
+        # keep the *caller's* list object (even when empty): rebinding a
+        # cached plan mutates that shared list in place, and compiled
+        # placeholder reads must observe it
+        self.placeholders = placeholders if placeholders is not None else []
 
     # -- entry point ----------------------------------------------------------
 
@@ -272,13 +309,27 @@ class ExpressionCompiler:
         return lambda env: value
 
     def _compile_Placeholder(self, expr: ast.Placeholder) -> CompiledExpr:
-        if expr.index >= len(self.placeholders):
-            raise ProgrammingError(
-                f"statement has placeholder ?{expr.index + 1} but only "
-                f"{len(self.placeholders)} values were bound"
-            )
-        value = self.placeholders[expr.index]
-        return lambda env: value
+        # Bind at *run* time through the shared placeholder list: the plan
+        # keeps one list object for its whole subplan tree, and rebinding
+        # (plan-cache reuse of a parameterized template) mutates that list
+        # in place — compiled closures see fresh values with no recompile.
+        values = self.placeholders
+        index = expr.index
+        if isinstance(values, PlaceholderList):
+            # record the template's requirement on the shared container so
+            # plan entry can reject too-few bound values up front (a filter
+            # over an empty table would otherwise never evaluate the read)
+            values.required = max(values.required, index + 1)
+
+        def _read(env: Env) -> Any:
+            if index >= len(values):
+                raise ProgrammingError(
+                    f"statement has placeholder ?{index + 1} but only "
+                    f"{len(values)} values were bound"
+                )
+            return values[index]
+
+        return _read
 
     def _compile_Star(self, expr: ast.Star) -> CompiledExpr:
         raise ProgrammingError("'*' is only valid in a select list or COUNT(*)")

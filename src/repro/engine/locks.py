@@ -1,24 +1,57 @@
-"""Table-granularity lock manager.
+"""Table-granularity lock manager with blocking waits and deadlock detection.
 
-The engine executes one statement at a time (the server is a deterministic
-single-threaded simulation), so locks never *wait*: a conflicting request
-from another transaction fails fast with :class:`~repro.errors.LockError`.
-That is sufficient to enforce two-phase isolation between the interleaved
-transactions that do occur (e.g. Phoenix's private connection working next
-to the application's connection), and keeps tests deterministic.
+The engine used to execute one statement at a time (a deterministic
+single-threaded simulation), so locks never waited: conflicts failed fast.
+With the threaded dispatch layer (:mod:`repro.engine.dispatch`) several
+sessions' statements are genuinely in flight at once, so a conflicting
+request now *waits* on a :class:`threading.Condition` until the holder
+commits or aborts, subject to:
 
-Lock modes: shared (reads) and exclusive (writes), with S→X upgrade when no
-other holder exists.
+* a **timeout** — per-transaction (``SET lock_timeout <ms>`` on the
+  session, threaded through :meth:`set_timeout`) falling back to
+  :attr:`LockManager.default_timeout`.  A ``LockManager()`` constructed
+  standalone keeps the historical fail-fast behaviour
+  (``default_timeout = 0``); the server installs a short wait budget.
+* a **waits-for-graph deadlock detector** — before sleeping (and on every
+  re-check) the requester records the holders blocking it and runs a DFS
+  over the waits-for edges; a cycle means deadlock, the *requester* is the
+  victim, and it raises :class:`~repro.errors.DeadlockError`.  The caller
+  (the executor) aborts the victim's transaction, releasing its locks so
+  the survivors proceed; Phoenix retries the statement transparently.
+* **no-wait windows** — inside a WAL group-commit deferred window
+  (``execute_batch``) the worker must never sleep on a lock: waiting
+  releases the engine mutex, another session's commit would then be
+  acknowledged before the covering group force.  :meth:`no_wait` marks the
+  current thread so acquires fail fast for the window's duration.
+
+The condition variable is built over the engine-wide mutex that
+:class:`~repro.engine.server.DatabaseServer` installs via :meth:`use_mutex`
+— waiting releases the engine, letting other sessions run and eventually
+release the contended lock.  ``threading.Condition`` over an ``RLock``
+fully saves/restores the recursion count across ``wait()``, so waiting
+from inside nested engine calls is sound.
+
+Lock modes: shared (reads) and exclusive (writes).  S→X upgrade semantics
+(pinned by regression tests before waits landed): the upgrade is granted
+iff no *other* transaction holds the table — the upgrader's own re-entrant
+shared acquires never block its own upgrade.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
+import time
 from collections import defaultdict
 
-from repro.errors import LockError
+from repro.errors import DeadlockError, LockError, ServerCrashedError
 
-__all__ = ["LockMode", "LockManager"]
+__all__ = ["LockMode", "LockManager", "LockStats"]
+
+#: Server-installed default wait budget (seconds).  Short enough that the
+#: historical "conflict surfaces as LockError" tests still pass promptly,
+#: long enough that commit-latency-scale contention waits instead of failing.
+DEFAULT_SERVER_WAIT = 0.25
 
 
 class LockMode(enum.Enum):
@@ -26,42 +59,227 @@ class LockMode(enum.Enum):
     EXCLUSIVE = "X"
 
 
+class LockStats:
+    """Observability counters (cumulative; reset semantics follow
+    :mod:`repro.obs.metrics` — they describe the simulation)."""
+
+    def __init__(self) -> None:
+        self.acquires = 0
+        self.waits = 0
+        self.wait_timeouts = 0
+        self.deadlocks = 0
+        self.total_wait_time = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.__dict__)
+
+
 class LockManager:
     """Tracks table locks per transaction (strict two-phase: released only
     at commit/abort via :meth:`release_all`)."""
 
-    def __init__(self):
+    def __init__(self, mutex: threading.RLock | None = None):
         # table -> {txn_id -> LockMode}
         self._locks: dict[str, dict[int, LockMode]] = defaultdict(dict)
+        self._mutex = mutex if mutex is not None else threading.RLock()
+        self._cond = threading.Condition(self._mutex)
+        #: waiting txn -> set of txn_ids it is blocked behind (waits-for graph)
+        self._waits_for: dict[int, set[int]] = {}
+        #: per-transaction wait budget override, seconds (``SET lock_timeout``)
+        self._timeouts: dict[int, float] = {}
+        #: standalone managers keep the historical fail-fast behaviour; the
+        #: server raises this to DEFAULT_SERVER_WAIT when it installs its mutex
+        self.default_timeout = 0.0
+        #: bumped by :meth:`invalidate` (server crash) so sleepers learn the
+        #: engine they were waiting on no longer exists
+        self._generation = 0
+        self._no_wait = threading.local()
+        self.stats = LockStats()
 
-    def acquire(self, txn_id: int, table: str, mode: LockMode) -> None:
-        """Grant or upgrade a lock, or raise LockError on conflict."""
+    # ----------------------------------------------------------- wiring
+
+    def use_mutex(self, mutex: threading.RLock) -> None:
+        """Rebuild the condition over an externally owned mutex (the
+        server's engine-wide lock).  Call only while no waiter sleeps."""
+        self._mutex = mutex
+        self._cond = threading.Condition(mutex)
+
+    def set_timeout(self, txn_id: int, seconds: float | None) -> None:
+        """Install (or clear) a per-transaction wait budget, from the
+        session's ``lock_timeout`` option (milliseconds on the wire)."""
+        if seconds is None:
+            self._timeouts.pop(txn_id, None)
+        else:
+            self._timeouts[txn_id] = seconds
+
+    class _NoWaitWindow:
+        def __init__(self, manager: "LockManager"):
+            self._manager = manager
+
+        def __enter__(self) -> None:
+            local = self._manager._no_wait
+            local.depth = getattr(local, "depth", 0) + 1
+
+        def __exit__(self, *exc) -> None:
+            self._manager._no_wait.depth -= 1
+
+    def no_wait(self) -> "_NoWaitWindow":
+        """Context manager: acquires on the current thread fail fast instead
+        of sleeping.  Used for WAL group-commit deferred windows, where a
+        lock wait would release the engine mutex and let another session's
+        commit be acknowledged before the covering force."""
+        return self._NoWaitWindow(self)
+
+    def invalidate(self) -> None:
+        """Server crash: drop all lock state and wake every sleeper so it
+        raises :class:`ServerCrashedError` instead of waiting on an engine
+        that no longer exists."""
+        with self._cond:
+            self._locks.clear()
+            self._waits_for.clear()
+            self._timeouts.clear()
+            self._generation += 1
+            self._cond.notify_all()
+
+    # ----------------------------------------------------------- acquisition
+
+    def acquire(
+        self,
+        txn_id: int,
+        table: str,
+        mode: LockMode,
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        """Grant or upgrade a lock, waiting if necessary.
+
+        Raises :class:`DeadlockError` when waiting would close a cycle in
+        the waits-for graph (the requester is the victim), plain
+        :class:`LockError` when the wait budget expires, and
+        :class:`ServerCrashedError` when the server dies mid-wait.
+        """
+        with self._cond:
+            self.stats.acquires += 1
+            if self._try_grant(txn_id, table, mode):
+                return
+            budget = timeout
+            if budget is None:
+                budget = self._timeouts.get(txn_id, self.default_timeout)
+            if budget <= 0 or getattr(self._no_wait, "depth", 0):
+                raise self._conflict_error(txn_id, table, mode)
+            generation = self._generation
+            deadline = time.monotonic() + budget
+            self.stats.waits += 1
+            wait_started = time.monotonic()
+            try:
+                while True:
+                    blockers = self._blockers(txn_id, table, mode)
+                    if not blockers:  # freed between checks
+                        break
+                    self._waits_for[txn_id] = blockers
+                    if self._in_cycle(txn_id):
+                        self.stats.deadlocks += 1
+                        raise DeadlockError(
+                            f"transaction {txn_id} deadlocked on {table} "
+                            f"(victim; cycle through {sorted(blockers)})"
+                        )
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats.wait_timeouts += 1
+                        raise self._conflict_error(txn_id, table, mode, waited=True)
+                    self._cond.wait(remaining)
+                    if self._generation != generation:
+                        raise ServerCrashedError(
+                            f"server crashed while transaction {txn_id} "
+                            f"waited for a lock on {table}"
+                        )
+                    if self._try_grant(txn_id, table, mode):
+                        return
+            finally:
+                self._waits_for.pop(txn_id, None)
+                self.stats.total_wait_time += time.monotonic() - wait_started
+            # blockers vanished without a grant racing us — take the lock
+            self._locks[table][txn_id] = self._effective_mode(txn_id, table, mode)
+
+    def _try_grant(self, txn_id: int, table: str, mode: LockMode) -> bool:
         holders = self._locks[table]
         current = holders.get(txn_id)
         if current is LockMode.EXCLUSIVE or current is mode:
-            return
+            return True
+        if self._blockers(txn_id, table, mode):
+            return False
+        holders[txn_id] = self._effective_mode(txn_id, table, mode)
+        return True
+
+    def _effective_mode(self, txn_id: int, table: str, mode: LockMode) -> LockMode:
+        current = self._locks[table].get(txn_id)
+        if current is LockMode.EXCLUSIVE:
+            return LockMode.EXCLUSIVE
+        return mode
+
+    def _blockers(self, txn_id: int, table: str, mode: LockMode) -> set[int]:
+        """Transactions (other than the requester) preventing the grant."""
+        holders = self._locks[table]
+        current = holders.get(txn_id)
+        if current is LockMode.EXCLUSIVE or current is mode:
+            return set()
         others = {t: m for t, m in holders.items() if t != txn_id}
         if mode is LockMode.SHARED:
-            if any(m is LockMode.EXCLUSIVE for m in others.values()):
-                raise LockError(
-                    f"transaction {txn_id} blocked: {table} is exclusively locked"
-                )
-        else:  # EXCLUSIVE (fresh grant or S->X upgrade)
-            if others:
-                raise LockError(
-                    f"transaction {txn_id} blocked: {table} is locked by another transaction"
-                )
-        holders[txn_id] = mode
+            return {t for t, m in others.items() if m is LockMode.EXCLUSIVE}
+        # EXCLUSIVE (fresh grant or S->X upgrade): any other holder blocks;
+        # the requester's own re-entrant shares never block its upgrade
+        return set(others)
+
+    def _in_cycle(self, start: int) -> bool:
+        """DFS over the waits-for graph: does a path from ``start`` return
+        to ``start``?  All edges live under the mutex, so the walk is
+        consistent."""
+        stack = list(self._waits_for.get(start, ()))
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False
+
+    def _conflict_error(
+        self, txn_id: int, table: str, mode: LockMode, *, waited: bool = False
+    ) -> LockError:
+        suffix = " (lock wait timeout)" if waited else ""
+        if mode is LockMode.SHARED:
+            return LockError(
+                f"transaction {txn_id} blocked: {table} is exclusively locked{suffix}"
+            )
+        return LockError(
+            f"transaction {txn_id} blocked: {table} is locked by another transaction{suffix}"
+        )
+
+    # ----------------------------------------------------------- release / introspection
 
     def release_all(self, txn_id: int) -> None:
-        """Drop every lock the transaction holds (commit/abort)."""
-        for table in list(self._locks):
-            self._locks[table].pop(txn_id, None)
-            if not self._locks[table]:
-                del self._locks[table]
+        """Drop every lock the transaction holds (commit/abort) and wake
+        the waiters so they re-check."""
+        with self._cond:
+            for table in list(self._locks):
+                self._locks[table].pop(txn_id, None)
+                if not self._locks[table]:
+                    del self._locks[table]
+            self._timeouts.pop(txn_id, None)
+            self._cond.notify_all()
 
     def held(self, txn_id: int, table: str) -> LockMode | None:
-        return self._locks.get(table, {}).get(txn_id)
+        with self._mutex:
+            return self._locks.get(table, {}).get(txn_id)
 
     def holders(self, table: str) -> dict[int, LockMode]:
-        return dict(self._locks.get(table, {}))
+        with self._mutex:
+            return dict(self._locks.get(table, {}))
+
+    def waiting(self) -> dict[int, set[int]]:
+        """Snapshot of the waits-for graph (observability/tests)."""
+        with self._mutex:
+            return {t: set(b) for t, b in self._waits_for.items()}

@@ -18,6 +18,7 @@ Phoenix/ODBC exists.
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 from repro.errors import (
@@ -29,7 +30,9 @@ from repro.errors import (
 )
 from repro.engine.cursors import CursorType, open_cursor
 from repro.engine.database import Database
+from repro.engine.dispatch import SessionDispatcher
 from repro.engine.executor import Executor
+from repro.engine.locks import DEFAULT_SERVER_WAIT
 from repro.engine.plancache import EngineMetrics, ParseCache
 from repro.engine.recovery import RecoveryReport, recover
 from repro.engine.results import StatementResult
@@ -95,45 +98,76 @@ class DatabaseServer:
         #: restarts (it describes the simulation timeline, like stats).
         self.activity_epoch = 0
         self.up = False
+        #: Engine-wide mutex: every public operation runs under it, so the
+        #: worker threads of the dispatch layer interleave at *statement*
+        #: granularity while engine structures (catalog, WAL, sessions) see
+        #: single-threaded access.  It is an RLock, and the lock manager's
+        #: condition variable is built over it — a session waiting for a
+        #: table lock releases the engine so other sessions can run and
+        #: eventually commit (see :mod:`repro.engine.locks`).  The mutex
+        #: survives crashes: it guards the *server*, not one database
+        #: incarnation.
+        self._engine_mutex = threading.RLock()
+        #: per-session FIFO dispatch over a dynamic worker pool — the wire
+        #: endpoint routes every request through it
+        self.dispatcher = SessionDispatcher()
         self._boot()
 
     def _boot(self) -> None:
         self.database, self.last_recovery = recover(self.storage, wal_stats=self.wal_stats)
+        # the lock manager waits on the engine mutex so blocked statements
+        # release the engine, and the server grants waiters a real budget
+        # (standalone LockManagers keep the historical fail-fast default)
+        self.database.locks.use_mutex(self._engine_mutex)
+        self.database.locks.default_timeout = DEFAULT_SERVER_WAIT
         self._parse_cache = ParseCache() if self.plan_cache_enabled else None
         self.up = True
 
     # ----------------------------------------------------------- lifecycle
 
     def crash(self) -> None:
-        """Kill the server: all volatile state is gone, stable storage stays."""
-        self.up = False
-        self.database = None
-        self.sessions.clear()
-        self._executors.clear()
-        self._parse_cache = None  # caches are volatile: a restart starts cold
-        # a dead server has no pending device fault — the injected torn
-        # write / failed force models the crash moment itself
-        self.storage.clear_append_fault()
-        self.stats.crashes += 1
-        get_tracer().event("server.crash", server=self.name)
+        """Kill the server: all volatile state is gone, stable storage stays.
+
+        Under concurrency a crash can hit while other sessions' statements
+        are mid-flight (most visibly: asleep in a lock wait).  Marking the
+        database dead and invalidating the lock manager wakes every waiter
+        into :class:`~repro.errors.ServerCrashedError` and tells their
+        cleanup paths that no undo — and no post-crash WAL write — may run.
+        """
+        with self._engine_mutex:
+            self.up = False
+            if self.database is not None:
+                self.database.mark_dead()
+                self.database.locks.invalidate()
+            self.database = None
+            self.sessions.clear()
+            self._executors.clear()
+            self._parse_cache = None  # caches are volatile: a restart starts cold
+            # a dead server has no pending device fault — the injected torn
+            # write / failed force models the crash moment itself
+            self.storage.clear_append_fault()
+            self.stats.crashes += 1
+            get_tracer().event("server.crash", server=self.name)
 
     def restart(self) -> RecoveryReport:
         """Run restart recovery and come back up (with zero sessions)."""
-        if self.up:
-            raise OperationalError("server is already up")
-        with get_tracer().span("server.restart", server=self.name):
-            self._boot()
-        self.stats.restarts += 1
-        return self.last_recovery
+        with self._engine_mutex:
+            if self.up:
+                raise OperationalError("server is already up")
+            with get_tracer().span("server.restart", server=self.name):
+                self._boot()
+            self.stats.restarts += 1
+            return self.last_recovery
 
     def shutdown(self) -> None:
         """Clean shutdown: checkpoint, then stop."""
-        self._require_up()
-        for session_id in list(self.sessions):
-            self.disconnect(session_id)
-        self.database.checkpoint()
-        self.up = False
-        self.database = None
+        with self._engine_mutex:
+            self._require_up()
+            for session_id in list(self.sessions):
+                self.disconnect(session_id)
+            self.database.checkpoint()
+            self.up = False
+            self.database = None
 
     def _require_up(self) -> None:
         if not self.up:
@@ -143,30 +177,32 @@ class DatabaseServer:
 
     def connect(self, user: str = "app", options: dict[str, Any] | None = None) -> int:
         """Open a session; returns the session id."""
-        self._require_up()
-        session = Session(user)
-        if options:
-            session.options.update(options)
-        self.sessions[session.session_id] = session
-        self._executors[session.session_id] = Executor(
-            self.database,
-            session,
-            metrics=self.engine_metrics,
-            plan_cache=self.plan_cache_enabled,
-        )
-        self._touch(session)
-        self.stats.connects += 1
-        return session.session_id
+        with self._engine_mutex:
+            self._require_up()
+            session = Session(user)
+            if options:
+                session.options.update(options)
+            self.sessions[session.session_id] = session
+            self._executors[session.session_id] = Executor(
+                self.database,
+                session,
+                metrics=self.engine_metrics,
+                plan_cache=self.plan_cache_enabled,
+            )
+            self._touch(session)
+            self.stats.connects += 1
+            return session.session_id
 
     def disconnect(self, session_id: int) -> None:
-        self._require_up()
-        session = self._session(session_id)
-        if session.current_txn is not None:
-            self.database.abort(session.current_txn)
-            session.current_txn = None
-        session.close()
-        del self.sessions[session_id]
-        del self._executors[session_id]
+        with self._engine_mutex:
+            self._require_up()
+            session = self._session(session_id)
+            if session.current_txn is not None:
+                self.database.abort(session.current_txn)
+                session.current_txn = None
+            session.close()
+            del self.sessions[session_id]
+            del self._executors[session_id]
 
     def _touch(self, session: Session) -> None:
         self.activity_epoch += 1
@@ -180,13 +216,14 @@ class DatabaseServer:
         Phoenix reaps its own orphans best-effort during recovery, and this
         hook is the server-side backstop an operator (or test) can drive.
         Returns the reaped session ids."""
-        self._require_up()
-        reaped = []
-        for session_id, session in list(self.sessions.items()):
-            if session.last_epoch < older_than_epoch:
-                self.disconnect(session_id)
-                reaped.append(session_id)
-        return reaped
+        with self._engine_mutex:
+            self._require_up()
+            reaped = []
+            for session_id, session in list(self.sessions.items()):
+                if session.last_epoch < older_than_epoch:
+                    self.disconnect(session_id)
+                    reaped.append(session_id)
+            return reaped
 
     def _session(self, session_id: int) -> Session:
         try:
@@ -202,12 +239,14 @@ class DatabaseServer:
             ) from None
 
     def executor_for(self, session_id: int) -> Executor:
-        self._require_up()
-        self._session(session_id)
-        return self._executors[session_id]
+        with self._engine_mutex:
+            self._require_up()
+            self._session(session_id)
+            return self._executors[session_id]
 
     def session_exists(self, session_id: int) -> bool:
-        return session_id in self.sessions
+        with self._engine_mutex:
+            return session_id in self.sessions
 
     # ----------------------------------------------------------- execution
 
@@ -226,6 +265,19 @@ class DatabaseServer:
         dynamic open a server cursor and return only metadata +
         ``cursor_id`` — the client then block-fetches.
         """
+        with self._engine_mutex:
+            return self._execute_locked(
+                session_id, sql, placeholders=placeholders, cursor_type=cursor_type
+            )
+
+    def _execute_locked(
+        self,
+        session_id: int,
+        sql: str,
+        *,
+        placeholders: list | None = None,
+        cursor_type: str = CursorType.DEFAULT,
+    ) -> StatementResult:
         self._require_up()
         session = self._session(session_id)
         executor = self._executors[session_id]
@@ -290,6 +342,16 @@ class DatabaseServer:
         only that many sub-statements and return *without* the group force,
         modelling a process kill mid-batch (the deferred commits are lost).
         """
+        with self._engine_mutex:
+            return self._execute_batch_locked(session_id, statements, stop_after=stop_after)
+
+    def _execute_batch_locked(
+        self,
+        session_id: int,
+        statements: list[str],
+        *,
+        stop_after: int | None = None,
+    ) -> tuple[list[StatementResult], Exception | None, int]:
         self._require_up()
         self._session(session_id)  # session errors surface batch-level
         wal = self.database.wal
@@ -299,13 +361,19 @@ class DatabaseServer:
         bound = len(statements) if stop_after is None else min(stop_after, len(statements))
         wal.begin_deferred()
         try:
-            for index in range(bound):
-                try:
-                    results.append(self.execute(session_id, statements[index]))
-                except Error as exc:
-                    error = exc
-                    error_index = index
-                    break
+            # No lock *waits* inside a deferred window: waiting releases the
+            # engine mutex, and another session's commit acknowledged during
+            # the window would ride a force that hasn't happened yet.  Lock
+            # conflicts inside a batch therefore fail fast (and Phoenix's
+            # batch resubmission handles them like any statement error).
+            with self.database.locks.no_wait():
+                for index in range(bound):
+                    try:
+                        results.append(self._execute_locked(session_id, statements[index]))
+                    except Error as exc:
+                        error = exc
+                        error_index = index
+                        break
         except BaseException:
             # a device fault (StorageFault) mid-batch: the server is about
             # to be crashed by the endpoint — leave the deferred commits
@@ -345,39 +413,45 @@ class DatabaseServer:
 
     def fetch(self, session_id: int, cursor_id: int, n: int) -> tuple[list[tuple], bool]:
         """Fetch the next block from an open cursor."""
-        self._require_up()
-        if n <= 0:
-            raise ProgrammingError("fetch count must be positive")
-        session = self._session(session_id)
-        cursor = session.get_cursor(cursor_id)
-        rows, done = cursor.fetch(n)
-        self.stats.rows_returned += len(rows)
-        return rows, done
+        with self._engine_mutex:
+            self._require_up()
+            if n <= 0:
+                raise ProgrammingError("fetch count must be positive")
+            session = self._session(session_id)
+            cursor = session.get_cursor(cursor_id)
+            rows, done = cursor.fetch(n)
+            self.stats.rows_returned += len(rows)
+            return rows, done
 
     def advance(self, session_id: int, cursor_id: int, position: int) -> None:
         """Server-side reposition (no rows cross the wire)."""
-        self._require_up()
-        session = self._session(session_id)
-        session.get_cursor(cursor_id).advance_to(position)
+        with self._engine_mutex:
+            self._require_up()
+            session = self._session(session_id)
+            session.get_cursor(cursor_id).advance_to(position)
 
     def close_cursor(self, session_id: int, cursor_id: int) -> None:
-        self._require_up()
-        self._session(session_id).close_cursor(cursor_id)
+        with self._engine_mutex:
+            self._require_up()
+            self._session(session_id).close_cursor(cursor_id)
 
     # ----------------------------------------------------------- admin helpers
 
     def checkpoint(self) -> int:
-        self._require_up()
-        return self.database.checkpoint()
+        with self._engine_mutex:
+            self._require_up()
+            return self.database.checkpoint()
 
     def table_names(self) -> list[str]:
-        self._require_up()
-        return sorted(self.database.tables)
+        with self._engine_mutex:
+            self._require_up()
+            return sorted(self.database.tables)
 
     def table_schema(self, session_id: int, name: str):
         """Catalog lookup for a table visible to the session (temp tables
         shadow persistent ones, as in name resolution)."""
-        self._require_up()
-        executor = self.executor_for(session_id)
-        table, _ = executor.resolve_table(name)
-        return table.schema
+        with self._engine_mutex:
+            self._require_up()
+            executor = self.executor_for(session_id)
+            table, _ = executor.resolve_table(name)
+            return table.schema

@@ -24,6 +24,7 @@ __all__ = [
     "CatalogError",
     "TransactionError",
     "LockError",
+    "DeadlockError",
     "CommunicationError",
     "TimeoutError",
     "ServerCrashedError",
@@ -91,13 +92,23 @@ class CatalogError(ProgrammingError):
     attempt to create one that already does."""
 
 
-class TransactionError(DatabaseError):
+class TransactionError(ProgrammingError):
     """Invalid transaction state transition (commit with no transaction,
-    nested BEGIN, operating inside an aborted transaction)."""
+    nested BEGIN, operating inside an aborted transaction).  A
+    :class:`ProgrammingError` per DB-API: the application misused the
+    transaction demarcation API."""
 
 
 class LockError(OperationalError):
     """A lock could not be granted (deadlock or timeout)."""
+
+
+class DeadlockError(LockError):
+    """The waits-for graph closed a cycle and this transaction was chosen as
+    the victim.  The victim's transaction has been *aborted* by the server
+    (its locks are released so the survivors can proceed), which makes the
+    statement safely retryable: Phoenix's interceptor replays it as a fresh
+    transaction, exactly like a statement lost to a crash."""
 
 
 class CommunicationError(OperationalError):

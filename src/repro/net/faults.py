@@ -37,6 +37,7 @@ keeps failure tests exact and repeatable.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -109,11 +110,19 @@ class ScheduledFault:
     #: kind-specific argument — for CRASH_MID_BATCH, the number of
     #: sub-statements executed before the kill (None = half the batch)
     arg: int | None = None
+    #: target one virtual session: only requests carrying this
+    #: ``session_id`` match (composes with ``matcher``/``after``).  Under
+    #: concurrent serving this is how a schedule kills the server while
+    #: *client k* is mid-transaction, regardless of how the other clients'
+    #: requests interleave around it.
+    session_id: int | None = None
     _seen: int = field(default=0, repr=False)
     _fired: int = field(default=0, repr=False)
 
     def check(self, request: Request) -> bool:
         """True if this fault fires for ``request`` (consumes one-shot)."""
+        if self.session_id is not None and getattr(request, "session_id", None) != self.session_id:
+            return False
         if self.matcher is not None and not self.matcher(request):
             return False
         self._seen += 1
@@ -149,6 +158,9 @@ class FaultInjector:
 
     def __init__(self):
         self._faults: list[ScheduledFault] = []
+        #: serializes fault decisions under threaded dispatch — the check /
+        #: countdown / remove sequence must be atomic per request
+        self._lock = threading.Lock()
         self.fired: list[FaultKind] = []
         #: total requests inspected — the chaos explorer's golden run reads
         #: this to learn how many crash points the trace has.
@@ -170,13 +182,21 @@ class FaultInjector:
         repeat: bool = False,
         every: int | None = None,
         arg: int | None = None,
+        session_id: int | None = None,
     ) -> ScheduledFault:
         if every is not None:
             repeat = True
         fault = ScheduledFault(
-            kind=kind, matcher=matcher, after=after, repeat=repeat, every=every, arg=arg
+            kind=kind,
+            matcher=matcher,
+            after=after,
+            repeat=repeat,
+            every=every,
+            arg=arg,
+            session_id=session_id,
         )
-        self._faults.append(fault)
+        with self._lock:
+            self._faults.append(fault)
         return fault
 
     def schedule_on_sql(self, kind: FaultKind, needle: str, *, after: int = 0) -> ScheduledFault:
@@ -189,21 +209,32 @@ class FaultInjector:
         return self.schedule(kind, matcher=matcher, after=after)
 
     def cancel_all(self) -> None:
-        self._faults.clear()
+        with self._lock:
+            self._faults.clear()
 
     def next_fault(self, request: Request) -> FaultKind | None:
         """The fault (if any) that fires for this request."""
-        if isinstance(request, BatchExecuteRequest):
-            self.batch_requests.append((self.requests_seen, len(request.statements)))
-        self.requests_seen += 1
-        for fault in self._faults:
-            if fault.check(request):
-                if not fault.repeat:
-                    self._faults.remove(fault)
-                self.fired.append(fault.kind)
-                self.last_fault_arg = fault.arg
-                return fault.kind
-        return None
+        kind, _arg = self.next_fault_with_arg(request)
+        return kind
+
+    def next_fault_with_arg(
+        self, request: Request
+    ) -> tuple[FaultKind | None, int | None]:
+        """Like :meth:`next_fault`, but returns ``(kind, arg)`` atomically —
+        under threaded dispatch another request's fault may fire between a
+        ``next_fault`` call and a later :attr:`last_fault_arg` read."""
+        with self._lock:
+            if isinstance(request, BatchExecuteRequest):
+                self.batch_requests.append((self.requests_seen, len(request.statements)))
+            self.requests_seen += 1
+            for fault in self._faults:
+                if fault.check(request):
+                    if not fault.repeat:
+                        self._faults.remove(fault)
+                    self.fired.append(fault.kind)
+                    self.last_fault_arg = fault.arg
+                    return fault.kind, fault.arg
+        return None, None
 
     @property
     def pending(self) -> int:

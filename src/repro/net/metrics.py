@@ -12,6 +12,7 @@ strategy.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -47,50 +48,61 @@ class NetworkMetrics:
     #: storms against a down server show up here as PingRequest errors,
     #: distinguishable from an application statement dying in flight.
     errors_by_request_type: Counter = field(default_factory=Counter)
+    #: guards the read-modify-write updates — one metrics object is shared
+    #: by every channel of a driver, and under threaded dispatch many client
+    #: threads record concurrently
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, request_type: str, sent: int, received: int) -> None:
-        self.round_trips += 1
-        self.bytes_sent += sent
-        self.bytes_received += received
-        self.simulated_seconds += self.latency_seconds
-        self.by_request_type[request_type] += 1
+        with self._lock:
+            self.round_trips += 1
+            self.bytes_sent += sent
+            self.bytes_received += received
+            self.simulated_seconds += self.latency_seconds
+            self.by_request_type[request_type] += 1
 
     def record_batch(self, statements: int) -> None:
         """One batch request carrying ``statements`` sub-statements (counted
         once per send attempt, success or not — the trip happened)."""
-        self.batch_requests += 1
-        self.requests_batched += statements
+        with self._lock:
+            self.batch_requests += 1
+            self.requests_batched += statements
 
     def record_error(self, request_type: str, sent: int) -> None:
         """A round trip that died in flight still costs a trip out."""
-        self.round_trips += 1
-        self.bytes_sent += sent
-        self.simulated_seconds += self.latency_seconds
-        self.by_request_type[request_type] += 1
-        self.errors += 1
-        self.errors_by_request_type[request_type] += 1
+        with self._lock:
+            self.round_trips += 1
+            self.bytes_sent += sent
+            self.simulated_seconds += self.latency_seconds
+            self.by_request_type[request_type] += 1
+            self.errors += 1
+            self.errors_by_request_type[request_type] += 1
 
     def merge(self, other: "NetworkMetrics") -> None:
-        self.round_trips += other.round_trips
-        self.bytes_sent += other.bytes_sent
-        self.bytes_received += other.bytes_received
-        self.simulated_seconds += other.simulated_seconds
-        self.by_request_type.update(other.by_request_type)
-        self.batch_requests += other.batch_requests
-        self.requests_batched += other.requests_batched
-        self.errors += other.errors
-        self.errors_by_request_type.update(other.errors_by_request_type)
+        with self._lock:
+            self.round_trips += other.round_trips
+            self.bytes_sent += other.bytes_sent
+            self.bytes_received += other.bytes_received
+            self.simulated_seconds += other.simulated_seconds
+            self.by_request_type.update(other.by_request_type)
+            self.batch_requests += other.batch_requests
+            self.requests_batched += other.requests_batched
+            self.errors += other.errors
+            self.errors_by_request_type.update(other.errors_by_request_type)
 
     def reset(self) -> None:
-        self.round_trips = 0
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.simulated_seconds = 0.0
-        self.by_request_type.clear()
-        self.batch_requests = 0
-        self.requests_batched = 0
-        self.errors = 0
-        self.errors_by_request_type.clear()
+        with self._lock:
+            self.round_trips = 0
+            self.bytes_sent = 0
+            self.bytes_received = 0
+            self.simulated_seconds = 0.0
+            self.by_request_type.clear()
+            self.batch_requests = 0
+            self.requests_batched = 0
+            self.errors = 0
+            self.errors_by_request_type.clear()
 
     def snapshot(self) -> dict:
         return {

@@ -14,6 +14,7 @@ even if the server is back.
 from __future__ import annotations
 
 import itertools
+import time
 
 from repro import errors
 from repro.engine.server import DatabaseServer
@@ -49,11 +50,34 @@ __all__ = ["ServerEndpoint", "ClientChannel"]
 
 
 class ServerEndpoint:
-    """The server side of the wire: dispatch + fault injection."""
+    """The server side of the wire: dispatch + fault injection.
 
-    def __init__(self, server: DatabaseServer, faults: FaultInjector | None = None):
+    Requests are routed through the server's
+    :class:`~repro.engine.dispatch.SessionDispatcher`: one session's
+    requests run strictly in order, while different sessions' requests run
+    on worker threads and interleave inside the engine.  The calling client
+    thread blocks for its reply — the wire keeps its synchronous
+    request/response shape, and N concurrent clients simply call in from N
+    threads.
+
+    ``latency`` simulates wire transit by *sleeping* on the client's thread
+    (half outbound, half for the reply).  It defaults to zero — unit tests
+    and the chaos explorer stay instant — and the concurrency bench turns
+    it on, which is exactly where concurrent serving pays: while one
+    client's request is in transit, the server serves everybody else.
+    """
+
+    def __init__(
+        self,
+        server: DatabaseServer,
+        faults: FaultInjector | None = None,
+        *,
+        latency: float = 0.0,
+    ):
         self.server = server
         self.faults = faults if faults is not None else FaultInjector()
+        #: simulated one-way-and-back wire transit per request, seconds
+        self.latency = latency
         #: bumped every restart so clients can see "same server, new life"
         self.epoch = 0
 
@@ -75,13 +99,31 @@ class ServerEndpoint:
         """
         request = decode_message(raw_request)
         assert isinstance(request, Request)
-        tracer = get_tracer()
+        # session-scoped requests serialize per session; connects and pings
+        # carry no session and dispatch independently (unique key)
+        key = getattr(request, "session_id", None)
+        if key is None:
+            key = object()
+        # correlation crosses the thread hop explicitly: the worker's span
+        # stack is its own, so inheritance alone would drop the session chain
+        caller_span = get_tracer().current
+        corr = caller_span.corr if caller_span is not None else None
+        if self.latency:
+            time.sleep(self.latency / 2)
+        try:
+            return self.server.dispatcher.run(key, lambda: self._serve(request, corr))
+        finally:
+            if self.latency:
+                time.sleep(self.latency / 2)
 
-        with tracer.span("server.dispatch", request=type(request).__name__):
+    def _serve(self, request: Request, corr: str | None = None) -> bytes:
+        """The server-side body of one request (runs on a dispatch worker)."""
+        tracer = get_tracer()
+        with tracer.span("server.dispatch", corr=corr, request=type(request).__name__):
             if not self.server.up:
                 raise errors.ServerCrashedError("connection refused: server is down")
 
-            fault = self.faults.next_fault(request)
+            fault, fault_arg = self.faults.next_fault_with_arg(request)
             if fault is not None:
                 tracer.event("fault.fired", fault=fault.value)
             if fault is FaultKind.CRASH_BEFORE_EXECUTE:
@@ -98,8 +140,9 @@ class ServerEndpoint:
                 # loses all of them).  On a non-batch request this is just
                 # CRASH_BEFORE_EXECUTE.
                 if isinstance(request, BatchExecuteRequest) and request.statements:
-                    arg = self.faults.last_fault_arg
-                    executed = len(request.statements) // 2 if arg is None else arg
+                    executed = (
+                        len(request.statements) // 2 if fault_arg is None else fault_arg
+                    )
                     executed = max(0, min(executed, len(request.statements)))
                     try:
                         self.server.execute_batch(

@@ -39,6 +39,7 @@ Record shapes::
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
@@ -143,13 +144,25 @@ class Tracer:
         #: total span/event/correlation ids handed out — the no-op test
         #: asserts this stays 0 while disabled
         self.ids_allocated = 0
-        self._stack: list[Span] = []
+        #: the active-span stack is *per thread*: under threaded dispatch a
+        #: server worker's engine spans must nest under that worker's own
+        #: dispatch span, not under whichever span another thread opened last
+        self._stacks = threading.local()
+        self._id_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
 
     # ------------------------------------------------------------------ ids
 
     def _next_id(self) -> int:
-        self.ids_allocated += 1
-        return self.ids_allocated
+        with self._id_lock:
+            self.ids_allocated += 1
+            return self.ids_allocated
 
     def new_correlation_id(self) -> str | None:
         """A fresh correlation id (one per Phoenix virtual session), or

@@ -14,8 +14,10 @@ demonstrating the paper's "no changes to app, driver, or server" claim.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any
 
+from repro import errors
 from repro.errors import InterfaceError, ProgrammingError
 from repro.engine.schema import Column
 from repro.net.protocol import ResultResponse
@@ -66,6 +68,19 @@ class DriverManager:
 class Connection:
     """An application connection handle."""
 
+    # PEP 249 optional extension: the error hierarchy as connection
+    # attributes, so multi-driver code can write `except conn.Error:`
+    Warning = errors.Warning
+    Error = errors.Error
+    InterfaceError = errors.InterfaceError
+    DatabaseError = errors.DatabaseError
+    DataError = errors.DataError
+    OperationalError = errors.OperationalError
+    IntegrityError = errors.IntegrityError
+    InternalError = errors.InternalError
+    ProgrammingError = errors.ProgrammingError
+    NotSupportedError = errors.NotSupportedError
+
     def __init__(
         self,
         manager: DriverManager,
@@ -89,7 +104,17 @@ class Connection:
         return statement
 
     def set_option(self, name: str, value: Any) -> None:
-        """Set a connection option (recorded and applied server-side)."""
+        """Deprecated spelling of ``cursor().execute("SET name value")`` —
+        kept because existing applications call it; new code should issue
+        the SQL, which travels (and replays) like every other statement."""
+        warnings.warn(
+            "Connection.set_option is deprecated; execute 'SET <name> <value>' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._set_option(name, value)
+
+    def _set_option(self, name: str, value: Any) -> None:
         self._require_open()
         self.options[name] = value
         self._driver_connection.set_option(name, value)
@@ -161,6 +186,8 @@ class Statement:
             # stack has no wire batching, so it never changes behaviour here
             StatementAttr.BATCH_SIZE: DEFAULT_BATCH_SIZE,
         }
+        #: PEP 249: default size of a no-argument fetchmany()
+        self.arraysize = 1
         self.closed = False
         self._reset_result()
 
@@ -238,8 +265,10 @@ class Statement:
         rows = self.fetchmany(1)
         return rows[0] if rows else None
 
-    def fetchmany(self, n: int) -> list[tuple]:
+    def fetchmany(self, n: int | None = None) -> list[tuple]:
         self._require_open()
+        if n is None:
+            n = max(int(self.arraysize), 1)
         out: list[tuple] = []
         while len(out) < n:
             if self._buffer_pos < len(self._buffer):
@@ -273,6 +302,20 @@ class Statement:
     def rows_read(self) -> int:
         """How many rows the application has consumed from this statement."""
         return self._rows_read
+
+    # -- PEP 249 odds and ends ---------------------------------------------------------
+
+    def setinputsizes(self, sizes) -> None:
+        """DB-API no-op: values are bound with their Python types."""
+
+    def setoutputsize(self, size, column=None) -> None:
+        """DB-API no-op: results carry no size limits."""
+
+    def __enter__(self) -> "Statement":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- lifecycle -------------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from repro.core.interceptor import (
     with_false_where,
 )
 from repro.core.naming import NameAllocator, PROXY_TABLE
+from repro.errors import ProgrammingError
 from repro.sql import ast, parse, parse_script
 
 
@@ -160,7 +161,7 @@ def test_inline_placeholders_escapes_strings():
 
 def test_inline_placeholders_missing_value_raises():
     stmt = parse("SELECT a FROM t WHERE k = ?")
-    with pytest.raises(ValueError):
+    with pytest.raises(ProgrammingError):
         inline_placeholders(stmt, [])
 
 

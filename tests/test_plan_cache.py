@@ -123,13 +123,19 @@ def test_view_reference_recomputes_across_executions(server):
     assert rows(server.execute(sid, sql)) == [(3,)]
 
 
-def test_placeholder_statements_bypass_plan_cache(server):
+def test_placeholder_template_hits_plan_cache(server):
+    # qmark templates are cached on the parsed template: re-executing with
+    # different bound values rebinds the compiled plan instead of replanning
     server, sid = server
     metrics = server.engine_metrics
-    before = metrics.plan_hits + metrics.plan_misses
+    misses_before = metrics.plan_misses
+    hits_before = metrics.plan_hits
     result = server.execute(sid, "SELECT v FROM t WHERE k = ?", placeholders=[2])
     assert rows(result) == [("two",)]
-    assert metrics.plan_hits + metrics.plan_misses == before
+    assert metrics.plan_misses == misses_before + 1
+    result = server.execute(sid, "SELECT v FROM t WHERE k = ?", placeholders=[1])
+    assert rows(result) == [("one",)]
+    assert metrics.plan_hits == hits_before + 1
 
 
 # ------------------------------------------------------------- invalidation
