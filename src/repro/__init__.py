@@ -149,6 +149,7 @@ def make_system(
         plan_cache=plan_cache,
         engine_metrics=registry.engine,
         wal_stats=registry.wal,
+        lock_stats=registry.locks,
     )
     endpoint = ServerEndpoint(server)
     native = NativeDriver(endpoint, metrics=registry.network)

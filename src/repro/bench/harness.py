@@ -49,6 +49,11 @@ __all__ = [
     "ConcurrencyRecoveryRow",
     "ConcurrencyResult",
     "run_concurrency",
+    "ContentionRow",
+    "run_contention",
+    "contention_speedup",
+    "RestartBreakdownRow",
+    "run_restart_breakdown",
 ]
 
 
@@ -1128,6 +1133,48 @@ class ConcurrencyRecoveryRow:
 
 
 @dataclass
+class ContentionRow:
+    """One (scenario, client count) point of the lock-contention experiment.
+
+    Scenarios: ``hot_row_locks`` — every client updates its own key of one
+    shared table under row-granularity locking; ``hot_table_locks`` — the
+    identical workload with ``LockManager.row_locking`` forced off (the
+    pre-row-locking whole-table baseline); ``disjoint`` — each client gets
+    its own table (the no-contention upper bound).
+    """
+
+    scenario: str
+    clients: int
+    operations: int
+    seconds: float
+    fingerprint: int
+    lock_waits: int
+    lock_wait_seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("nan")
+        return self.operations / self.seconds
+
+
+def contention_speedup(rows: list[ContentionRow], clients: int) -> float:
+    """hot-table-baseline seconds / hot-row seconds at one client count —
+    how much the row locks buy on the contended workload."""
+    row_locks = next(
+        (r for r in rows if r.scenario == "hot_row_locks" and r.clients == clients),
+        None,
+    )
+    table_locks = next(
+        (r for r in rows if r.scenario == "hot_table_locks" and r.clients == clients),
+        None,
+    )
+    if row_locks is None or table_locks is None or row_locks.seconds <= 0:
+        return float("nan")
+    return table_locks.seconds / row_locks.seconds
+
+
+@dataclass
 class ConcurrencyResult:
     """Multi-client serving throughput + parallel session recovery."""
 
@@ -1136,6 +1183,9 @@ class ConcurrencyResult:
     ops_per_segment: int
     throughput: list[ConcurrencyThroughputRow] = field(default_factory=list)
     recovery: list[ConcurrencyRecoveryRow] = field(default_factory=list)
+    contention_rounds: int = 0
+    contention_ops_per_txn: int = 0
+    contention: list[ContentionRow] = field(default_factory=list)
 
     def speedup(self, clients: int) -> float:
         base = next((r for r in self.throughput if r.clients == 1), None)
@@ -1160,6 +1210,20 @@ class ConcurrencyResult:
         if serial is None or parallel is None or serial.seconds <= 0:
             return float("nan")
         return parallel.seconds / serial.seconds
+
+    def hot_speedup(self, clients: int) -> float:
+        return contention_speedup(self.contention, clients)
+
+    @property
+    def contention_fingerprints_match(self) -> bool:
+        """The identical hot workload under row locks vs table locks must
+        leave identical durable state (disjoint uses different tables and
+        is excluded)."""
+        by_clients: dict[int, set] = {}
+        for r in self.contention:
+            if r.scenario in ("hot_row_locks", "hot_table_locks"):
+                by_clients.setdefault(r.clients, set()).add(r.fingerprint)
+        return all(len(prints) <= 1 for prints in by_clients.values())
 
     @property
     def throughput_fingerprints_match(self) -> bool:
@@ -1194,6 +1258,134 @@ def _concurrency_segment_ops(segment: int, ops: int) -> list[tuple[str, str]]:
     return out
 
 
+def run_contention(
+    *,
+    client_counts: tuple[int, ...] = (1, 16),
+    rounds: int = 6,
+    ops_per_txn: int = 4,
+    latency: float = 0.002,
+    scenarios: tuple[str, ...] = ("hot_row_locks", "hot_table_locks", "disjoint"),
+) -> list[ContentionRow]:
+    """The hot-table lock-contention experiment.
+
+    Every client runs ``rounds`` explicit transactions of ``ops_per_txn``
+    UPDATEs against **its own key** — so there is no logical conflict, only
+    lock-granularity conflict.  The transaction is held open across
+    ``ops_per_txn`` wire round-trips (each paying ``latency``), which is
+    exactly the shape where lock granularity matters: under whole-table
+    locking the first UPDATE takes the table X lock and every other
+    client's transaction queues behind the commit; under row locking the
+    clients hold compatible IX table locks plus X locks on their own rows
+    and overlap fully.  ``disjoint`` (a private table per client) is the
+    no-contention upper bound.
+
+    The hot workload is byte-identical between ``hot_row_locks`` and
+    ``hot_table_locks`` (only ``LockManager.row_locking`` differs), so
+    their durable fingerprints must match — serialization order cannot
+    matter because clients touch disjoint keys.
+    """
+    import threading
+
+    rows_out: list[ContentionRow] = []
+    for clients in client_counts:
+        for scenario in scenarios:
+            system = repro.make_system()
+            system.endpoint.latency = latency
+            loader = system.server.connect(user="loader")
+            if scenario == "disjoint":
+                tables = [f"hot_bench_{i}" for i in range(clients)]
+                for i, table in enumerate(tables):
+                    system.server.execute(
+                        loader, f"CREATE TABLE {table} (k INT PRIMARY KEY, v FLOAT)"
+                    )
+                    system.server.execute(
+                        loader, f"INSERT INTO {table} VALUES ({i}, 0.0)"
+                    )
+            else:
+                tables = ["hot_bench"] * clients
+                system.server.execute(
+                    loader, "CREATE TABLE hot_bench (k INT PRIMARY KEY, v FLOAT)"
+                )
+                for i in range(clients):
+                    system.server.execute(
+                        loader, f"INSERT INTO hot_bench VALUES ({i}, 0.0)"
+                    )
+            system.server.disconnect(loader)
+            if scenario == "hot_table_locks":
+                # the ablation baseline: every row request degrades to its
+                # whole-table lock (the pre-row-locking design)
+                system.server.database.locks.row_locking = False
+
+            connections = [
+                system.phoenix.connect(system.DSN, user=f"hot{i}")
+                for i in range(clients)
+            ]
+            errors_seen: list[str] = []
+            barrier = threading.Barrier(clients)
+
+            def run_client(connection, table, key) -> None:
+                try:
+                    cursor = connection.cursor()
+                    # a 250 ms default budget starves 16 queued clients;
+                    # give waits the room the workload needs
+                    cursor.execute("SET lock_timeout 30000")
+                    barrier.wait()
+                    for _ in range(rounds):
+                        connection.begin()
+                        for _ in range(ops_per_txn):
+                            cursor.execute(
+                                f"UPDATE {table} SET v = v + 1 WHERE k = {key}"
+                            )
+                        connection.commit()
+                except Exception as exc:
+                    errors_seen.append(f"{type(exc).__name__}: {exc}")
+
+            threads = [
+                threading.Thread(
+                    target=run_client,
+                    args=(connections[i], tables[i], i),
+                    name=f"hot-{i}",
+                )
+                for i in range(clients)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            seconds = time.perf_counter() - started
+            if errors_seen:
+                raise RuntimeError(
+                    f"contention {scenario}/{clients} clients failed: {errors_seen}"
+                )
+            for connection in connections:
+                connection.close()
+
+            verifier = system.server.connect(user="verifier")
+            fingerprint = 0
+            for table in dict.fromkeys(tables):
+                data = system.server.execute(
+                    verifier, f"SELECT k, v FROM {table} ORDER BY k"
+                )
+                fingerprint = _fold_fingerprint(
+                    fingerprint, table, data.result_set.rows
+                )
+            system.server.disconnect(verifier)
+            lock_stats = system.registry.locks
+            rows_out.append(
+                ContentionRow(
+                    scenario=scenario,
+                    clients=clients,
+                    operations=clients * rounds * ops_per_txn,
+                    seconds=seconds,
+                    fingerprint=fingerprint,
+                    lock_waits=lock_stats.waits,
+                    lock_wait_seconds=lock_stats.total_wait_time,
+                )
+            )
+    return rows_out
+
+
 def run_concurrency(
     *,
     client_counts: tuple[int, ...] = (1, 4, 16),
@@ -1202,6 +1394,9 @@ def run_concurrency(
     session_counts: tuple[int, ...] = (4, 16),
     latency: float = 0.002,
     parallel_workers: int = 8,
+    contention_clients: tuple[int, ...] = (1, 16),
+    contention_rounds: int = 6,
+    contention_ops_per_txn: int = 4,
 ) -> ConcurrencyResult:
     """The concurrent-serving experiment (experiment CC).
 
@@ -1383,4 +1578,181 @@ def run_concurrency(
             "parallel recovery: durable state diverged between serial and "
             "parallel modes"
         )
+
+    # --- lock contention ----------------------------------------------------
+    result.contention_rounds = contention_rounds
+    result.contention_ops_per_txn = contention_ops_per_txn
+    result.contention = run_contention(
+        client_counts=contention_clients,
+        rounds=contention_rounds,
+        ops_per_txn=contention_ops_per_txn,
+        latency=latency,
+    )
+    if not result.contention_fingerprints_match:
+        raise RuntimeError(
+            "contention: hot-table durable state diverged between row-lock "
+            "and table-lock modes: "
+            + ", ".join(
+                f"{r.scenario}/k={r.clients}={r.fingerprint}"
+                for r in result.contention
+                if r.scenario != "disjoint"
+            )
+        )
     return result
+
+
+# ============================================================ restart breakdown
+
+
+@dataclass
+class RestartBreakdownRow:
+    """One restart configuration: REDO-only vs. undo-walking restart time.
+
+    ``fast_seconds`` / ``undo_seconds`` are best-of-``trials`` wall times for
+    ``recover(..., fast_restart=True/False)`` over byte-identical storage
+    (rebuilt deterministically per trial — recovery appends closing ABORT
+    records, so storage cannot be reused across trials).
+    """
+
+    committed_txns: int
+    losers: int
+    ops_per_txn: int
+    checkpoint: bool
+    log_records: int
+    fast_seconds: float
+    undo_seconds: float
+    fast_skipped: int
+    fingerprint: int
+    fingerprints_match: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.fast_seconds <= 0:
+            return float("nan")
+        return self.undo_seconds / self.fast_seconds
+
+
+def _restart_storage(
+    committed_txns: int, losers: int, ops_per_txn: int, checkpoint: bool
+):
+    """Deterministic stable storage for one restart configuration.
+
+    ``committed_txns`` transactions each insert ``ops_per_txn`` rows into
+    ``restart_bench`` and commit.  Then (optionally) a quiescent checkpoint —
+    quiescent so the undo-walking baseline stays correct (no checkpoint
+    overlaps an active transaction) and the modes stay comparable.  Then
+    ``losers`` transactions each update a disjoint slice of ``ops_per_txn``
+    existing rows and are left open at the crash — the undo work the
+    REDO-only restart never does.
+    """
+    from repro.engine.database import Database
+    from repro.engine.schema import Column, TableSchema
+    from repro.engine.storage import InMemoryStableStorage
+    from repro.engine.values import SqlType
+
+    if losers * ops_per_txn > committed_txns * ops_per_txn:
+        raise ValueError("need at least as many committed txns as losers")
+    database = Database(InMemoryStableStorage())
+    setup = database.begin()
+    database.create_table(
+        setup,
+        TableSchema(
+            "restart_bench",
+            (Column("k", SqlType.INT, not_null=True), Column("v", SqlType.VARCHAR)),
+            primary_key=("k",),
+        ),
+    )
+    database.commit(setup)
+    key = 0
+    for _ in range(committed_txns):
+        txn = database.begin()
+        for _ in range(ops_per_txn):
+            database.insert_row(txn, "restart_bench", [key, f"v{key}"])
+            key += 1
+        database.commit(txn)
+    if checkpoint:
+        database.checkpoint()
+    for loser in range(losers):
+        txn = database.begin()
+        base = loser * ops_per_txn
+        for offset in range(ops_per_txn):
+            rowid = base + offset + 1  # rowids are assigned from 1 in order
+            database.update_row(
+                txn, "restart_bench", rowid, [base + offset, "dirty"]
+            )
+        # left open: this transaction dies with the crash
+    database.wal.force()
+    return database.storage
+
+
+def _restart_fingerprint(database) -> int:
+    table = database.get_table("restart_bench")
+    rows = [table.data.rows[rowid] for rowid in sorted(table.data.rows)]
+    return _fold_fingerprint(0, "restart_bench", rows)
+
+
+def run_restart_breakdown(
+    *,
+    grid: tuple[tuple[int, int, bool], ...] = (
+        (100, 0, False),
+        (100, 16, False),
+        (100, 64, False),
+        (100, 16, True),
+        (100, 64, True),
+    ),
+    ops_per_txn: int = 4,
+    trials: int = 5,
+) -> list[RestartBreakdownRow]:
+    """The REDO-only restart ablation (tentpole benchmark).
+
+    For each ``(committed_txns, losers, checkpoint)`` configuration, time
+    ``recover()`` with ``fast_restart=True`` (REDO-only: winners replayed
+    forward, losers skipped wholesale) against ``fast_restart=False`` (the
+    prior design: redo everything, then walk losers' records backwards
+    applying undo images).  Both modes must produce the same recovered
+    table fingerprint; each timing is the best of ``trials`` runs over
+    freshly rebuilt storage.
+    """
+    from repro.engine.recovery import recover
+
+    rows: list[RestartBreakdownRow] = []
+    for committed, losers, checkpoint in grid:
+        timings: dict[bool, float] = {}
+        fingerprints: dict[bool, int] = {}
+        log_records = 0
+        fast_skipped = 0
+        for fast in (True, False):
+            best = float("inf")
+            for _ in range(trials):
+                storage = _restart_storage(committed, losers, ops_per_txn, checkpoint)
+                started = time.perf_counter()
+                database, report = recover(storage, fast_restart=fast)
+                elapsed = time.perf_counter() - started
+                best = min(best, elapsed)
+                fingerprints[fast] = _restart_fingerprint(database)
+                if fast:
+                    log_records = report.records_scanned
+                    fast_skipped = report.records_skipped
+            timings[fast] = best
+        match = fingerprints[True] == fingerprints[False]
+        if not match:
+            raise RuntimeError(
+                f"restart breakdown ({committed} committed, {losers} losers, "
+                f"checkpoint={checkpoint}): REDO-only and undo-walking "
+                f"recovery diverged: {fingerprints[True]} != {fingerprints[False]}"
+            )
+        rows.append(
+            RestartBreakdownRow(
+                committed_txns=committed,
+                losers=losers,
+                ops_per_txn=ops_per_txn,
+                checkpoint=checkpoint,
+                log_records=log_records,
+                fast_seconds=timings[True],
+                undo_seconds=timings[False],
+                fast_skipped=fast_skipped,
+                fingerprint=fingerprints[True],
+                fingerprints_match=match,
+            )
+        )
+    return rows

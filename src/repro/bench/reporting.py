@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench.reporting obs_overhead --json BENCH_obs_overhead.json
     python -m repro.bench.reporting recovery_breakdown
     python -m repro.bench.reporting concurrency --json BENCH_concurrency.json
+    python -m repro.bench.reporting restart --json BENCH_restart.json
     python -m repro.bench.reporting all
 
 Output mirrors the paper's layout: Table 1's columns are query id, result
@@ -35,6 +36,7 @@ from repro.bench.harness import (
     ObsOverheadResult,
     PlanCacheRun,
     RecoveryBreakdownRow,
+    RestartBreakdownRow,
     Table1Row,
     WireBatchResult,
     run_availability_experiment,
@@ -44,6 +46,7 @@ from repro.bench.harness import (
     run_obs_overhead,
     run_plan_cache_ablation,
     run_recovery_breakdown,
+    run_restart_breakdown,
     run_table1_power_comparison,
     run_wire_batch,
 )
@@ -58,6 +61,7 @@ __all__ = [
     "render_obs_overhead",
     "render_recovery_breakdown",
     "render_concurrency",
+    "render_restart_breakdown",
     "main",
 ]
 
@@ -225,6 +229,29 @@ def render_recovery_breakdown(rows: list[RecoveryBreakdownRow]) -> str:
     return "\n".join(lines)
 
 
+def render_restart_breakdown(rows: list[RestartBreakdownRow]) -> str:
+    """Experiment RS: REDO-only restart vs the undo-walking baseline."""
+    lines = [
+        "Experiment RS. REDO-only restart vs undo-walking recovery",
+        f"{'Committed':>10} {'Losers':>7} {'Ckpt':>5} {'Log recs':>9} "
+        f"{'Skipped':>8} {'Fast (ms)':>10} {'Undo (ms)':>10} {'Speedup':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.committed_txns:>10} {row.losers:>7} "
+            f"{'yes' if row.checkpoint else 'no':>5} {row.log_records:>9} "
+            f"{row.fast_skipped:>8} {row.fast_seconds * 1e3:>10.3f} "
+            f"{row.undo_seconds * 1e3:>10.3f} {row.speedup:>7.2f}x"
+        )
+    match = (
+        "identical"
+        if all(row.fingerprints_match for row in rows)
+        else "MISMATCH"
+    )
+    lines.append(f"recovered state fast vs undo-walking: {match}")
+    return "\n".join(lines)
+
+
 def render_concurrency(result: ConcurrencyResult, chaos: dict | None = None) -> str:
     """Experiment CC: threaded dispatch throughput + parallel recovery."""
     lines = [
@@ -257,6 +284,30 @@ def render_concurrency(result: ConcurrencyResult, chaos: dict | None = None) -> 
         )
     match = "identical" if result.recovery_fingerprints_match else "MISMATCH"
     lines.append(f"durable state serial vs parallel: {match}")
+    if result.contention:
+        lines.append("")
+        lines.append(
+            f"Hot-table lock contention: every client updates its own key in "
+            f"one shared table, {result.contention_rounds} transactions of "
+            f"{result.contention_ops_per_txn} UPDATEs each"
+        )
+        lines.append(
+            f"{'Scenario':17} {'Clients':>8} {'Ops':>5} {'Seconds':>9} "
+            f"{'Ops/s':>8} {'Waits':>6} {'Wait (s)':>9}"
+        )
+        for row in result.contention:
+            lines.append(
+                f"{row.scenario:17} {row.clients:>8} {row.operations:>5} "
+                f"{row.seconds:>9.3f} {row.ops_per_second:>8.1f} "
+                f"{row.lock_waits:>6} {row.lock_wait_seconds:>9.3f}"
+            )
+        for clients in sorted({row.clients for row in result.contention}):
+            lines.append(
+                f"row-lock speedup over table locks at {clients} clients: "
+                f"{result.hot_speedup(clients):.2f}x"
+            )
+        match = "identical" if result.contention_fingerprints_match else "MISMATCH"
+        lines.append(f"durable state row locks vs table locks: {match}")
     if chaos is not None:
         lines.append("")
         lines.append("Multi-client crash sweep (per-client exactly-once oracle)")
@@ -306,10 +357,49 @@ def _concurrency_json(result: ConcurrencyResult, chaos: dict | None = None) -> d
             str(sessions): result.recovery_ratio(sessions)
             for sessions in sorted({row.sessions for row in result.recovery})
         },
+        "contention_rounds": result.contention_rounds,
+        "contention_ops_per_txn": result.contention_ops_per_txn,
+        "contention_fingerprints_match": result.contention_fingerprints_match,
+        "contention": [
+            {
+                "scenario": row.scenario,
+                "clients": row.clients,
+                "operations": row.operations,
+                "seconds": row.seconds,
+                "ops_per_second": row.ops_per_second,
+                "lock_waits": row.lock_waits,
+                "lock_wait_seconds": row.lock_wait_seconds,
+                "fingerprint": row.fingerprint,
+            }
+            for row in result.contention
+        ],
+        "hot_speedups": {
+            str(clients): result.hot_speedup(clients)
+            for clients in sorted({row.clients for row in result.contention})
+        },
     }
     if chaos is not None:
         out["multi_client_chaos"] = {str(k): cell for k, cell in chaos.items()}
     return out
+
+
+def _restart_breakdown_json(rows: list[RestartBreakdownRow]) -> list[dict]:
+    return [
+        {
+            "committed_txns": row.committed_txns,
+            "losers": row.losers,
+            "ops_per_txn": row.ops_per_txn,
+            "checkpoint": row.checkpoint,
+            "log_records": row.log_records,
+            "fast_skipped": row.fast_skipped,
+            "fast_seconds": row.fast_seconds,
+            "undo_seconds": row.undo_seconds,
+            "speedup": row.speedup,
+            "fingerprint": row.fingerprint,
+            "fingerprints_match": row.fingerprints_match,
+        }
+        for row in rows
+    ]
 
 
 def _obs_overhead_json(result: ObsOverheadResult) -> dict:
@@ -455,6 +545,7 @@ def main(argv: list[str] | None = None) -> int:
             "obs_overhead",
             "recovery_breakdown",
             "concurrency",
+            "restart",
             "all",
         ],
     )
@@ -469,6 +560,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--trials", type=int, default=3, help="wirebatch: trials per mode"
+    )
+    parser.add_argument(
+        "--restart-trials",
+        type=int,
+        default=5,
+        help="restart: timing trials per mode and configuration",
+    )
+    parser.add_argument(
+        "--contention-rounds",
+        type=int,
+        default=6,
+        help="concurrency: explicit transactions per client in the "
+        "hot-table contention scenarios",
     )
     parser.add_argument(
         "--json",
@@ -519,10 +623,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.artifact in ("concurrency", "all"):
         from repro.chaos.multi import sweep_multi
 
-        concurrency = run_concurrency()
+        concurrency = run_concurrency(contention_rounds=args.contention_rounds)
         chaos_sweep = sweep_multi((1, 4, 16))
         print(render_concurrency(concurrency, chaos_sweep))
         payload["concurrency"] = _concurrency_json(concurrency, chaos_sweep)
+    if args.artifact in ("restart", "all"):
+        restart = run_restart_breakdown(trials=args.restart_trials)
+        print(render_restart_breakdown(restart))
+        payload["restart"] = _restart_breakdown_json(restart)
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

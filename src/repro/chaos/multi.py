@@ -49,13 +49,17 @@ SHARED_TABLE = "chaos_accounts"
 
 
 def wallet_table(index: int) -> str:
-    """Client ``index``'s private table: locking is table-granular, so an
-    explicit transaction that held the *shared* table's X lock across the
-    barrier would starve every other client (an application-level deadlock
-    between the lock and the barrier).  Explicit transactions therefore run
-    on per-client tables — all k clients can be mid-transaction at the
-    crash instant — while autocommit DML contends on the shared table,
-    where wrapper transactions hold the lock only briefly."""
+    """Client ``index``'s private table.  Historically load-bearing: with
+    table-granular locks an explicit transaction that held the *shared*
+    table's X lock across the barrier would starve every other client (an
+    application-level deadlock between the lock and the barrier).  Row
+    locking has since removed that hazard — clients touch disjoint key
+    ranges, so their explicit transactions would coexist on the shared
+    table under IX — but per-client wallets stay: they keep the oracle's
+    per-client golden traces independent of sibling clients by
+    construction, and preserve the shared-vs-private coverage split (all k
+    clients mid-transaction at the crash instant on wallets, autocommit
+    DML contending on the shared table)."""
     return f"chaos_wallet_{index}"
 
 

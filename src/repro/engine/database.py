@@ -13,7 +13,7 @@ stable storage alone.
 from __future__ import annotations
 
 from repro.errors import CatalogError, TransactionError
-from repro.engine.locks import LockManager, LockMode
+from repro.engine.locks import LockManager, LockMode, LockStats
 from repro.engine.schema import TableSchema
 from repro.engine.storage import StableStorage, TableData
 from repro.engine.table import Table
@@ -40,6 +40,7 @@ class Database:
         views: dict[str, str] | None = None,
         txn_seed: int = 0,
         wal_stats: WalStats | None = None,
+        lock_stats: LockStats | None = None,
     ):
         self.storage = storage
         self.wal = WriteAheadLog(storage, stats=wal_stats)
@@ -50,7 +51,7 @@ class Database:
         self.views: dict[str, str] = views if views is not None else {}
         #: persistent secondary indexes: name -> (table, column)
         self.indexes: dict[str, tuple[str, str]] = {}
-        self.locks = LockManager()
+        self.locks = LockManager(stats=lock_stats)
         self.txns = TransactionManager(seed=txn_seed)
         #: monotonic catalog version: bumped on every persistent DDL
         #: (create/drop of tables, views, procedures, indexes), including
@@ -246,10 +247,35 @@ class Database:
         return record
 
     def lock_read(self, txn: Transaction, table_name: str) -> None:
+        """Whole-table shared lock (non-keyed scans that must be stable)."""
         self.locks.acquire(txn.txn_id, table_name, LockMode.SHARED)
 
     def lock_write(self, txn: Transaction, table_name: str) -> None:
+        """Whole-table exclusive lock (DDL, non-keyed DML scans)."""
         self.locks.acquire(txn.txn_id, table_name, LockMode.EXCLUSIVE)
+
+    def lock_row_read(self, txn: Transaction, table_name: str, rowid: int) -> None:
+        """IS on the table, then S on the row; degrades to the whole-table
+        shared lock when row locking is disabled (ablation baseline)."""
+        if not self.locks.row_locking:
+            self.lock_read(txn, table_name)
+            return
+        self.locks.acquire(txn.txn_id, table_name, LockMode.INTENT_SHARED)
+        self.locks.acquire(txn.txn_id, table_name, LockMode.SHARED, row=rowid)
+
+    def lock_row_write(self, txn: Transaction, table_name: str, rowid: int) -> None:
+        """IX on the table, then X on the row.
+
+        When row locking is disabled this takes the whole-table X lock in
+        one step rather than IX-then-upgrade — two baseline transactions
+        both holding IX and upgrading would deadlock on each other, a
+        conflict the pre-row-locking design never had.
+        """
+        if not self.locks.row_locking:
+            self.lock_write(txn, table_name)
+            return
+        self.locks.acquire(txn.txn_id, table_name, LockMode.INTENT_EXCLUSIVE)
+        self.locks.acquire(txn.txn_id, table_name, LockMode.EXCLUSIVE, row=rowid)
 
     def insert_row(self, txn: Transaction, table_name: str, values: list) -> int:
         """Coerce, lock, log, and insert one row; returns its rowid.
@@ -257,12 +283,25 @@ class Database:
         Validation (PK uniqueness) happens *before* the record is encoded
         into the log buffer, so a failed insert never leaves a phantom
         record behind; the rowid is pre-assigned for the same reason.
+
+        Lock order: table IX first (that acquire may wait), *then* read
+        ``next_rowid`` and take X on it — a fresh rowid has no other
+        holders, so the row acquire only ever waits when it trips
+        escalation into a full table lock; the re-read afterwards picks up
+        any rowids consumed during such a wait (the escalated table X
+        covers whichever rowid we end up using).
         """
         table = self.get_table(table_name)
         row = table.schema.coerce_row(values)
-        self.lock_write(txn, table_name)
+        if self.locks.row_locking:
+            self.locks.acquire(txn.txn_id, table_name, LockMode.INTENT_EXCLUSIVE)
+            rowid = table.data.next_rowid
+            self.locks.acquire(txn.txn_id, table_name, LockMode.EXCLUSIVE, row=rowid)
+            rowid = table.data.next_rowid
+        else:
+            self.lock_write(txn, table_name)
+            rowid = table.data.next_rowid
         table.check_insert(row)
-        rowid = table.data.next_rowid
         record = self._log(
             txn,
             LogRecord(
@@ -276,7 +315,7 @@ class Database:
 
     def delete_row(self, txn: Transaction, table_name: str, rowid: int) -> tuple:
         table = self.get_table(table_name)
-        self.lock_write(txn, table_name)
+        self.lock_row_write(txn, table_name, rowid)
         before = table.get(rowid)
         if before is None:
             raise CatalogError(f"rowid {rowid} not found in {table_name}")
@@ -294,7 +333,7 @@ class Database:
     def update_row(self, txn: Transaction, table_name: str, rowid: int, new_values: list) -> None:
         table = self.get_table(table_name)
         new_row = table.schema.coerce_row(list(new_values))
-        self.lock_write(txn, table_name)
+        self.lock_row_write(txn, table_name, rowid)
         before = table.get(rowid)
         if before is None:
             raise CatalogError(f"rowid {rowid} not found in {table_name}")
@@ -437,29 +476,106 @@ class Database:
 
     # --------------------------------------------------------------- checkpoint
 
+    def _clean_images(
+        self,
+    ) -> tuple[dict[str, TableData], dict[str, str], dict[str, str], dict[str, tuple[str, str]]]:
+        """Copy the tables and catalog with every active transaction's
+        uncommitted effects undone — **clean (no-steal) images**.
+
+        A file written from a clean image contains exactly the effects of
+        transactions that committed before the covering CHECKPOINT record,
+        and nothing else.  That is the invariant REDO-only restart builds
+        on: per table, a winner needs replaying iff its commit LSN is past
+        the image's snapshot LSN — whole transactions are replayed or
+        skipped, never individual records.
+
+        Undo is applied to copies in reverse global LSN order across all
+        active transactions (their in-memory undo trails), leaving the live
+        tables untouched.  ``next_rowid`` is *not* rolled back for undone
+        inserts: rowids are never reused, and keeping the high-water mark in
+        the image means a loser's rowids stay burned even though its rows
+        never reach the file.
+        """
+        images = {
+            name: TableData(
+                schema=table.schema,
+                rows=dict(table.data.rows),
+                next_rowid=table.data.next_rowid,
+            )
+            for name, table in self.tables.items()
+        }
+        procedures = dict(self.procedures)
+        views = dict(self.views)
+        indexes = dict(self.indexes)
+        pending = [
+            record
+            for txn_id in self.txns.active_ids()
+            for record in self.txns.get(txn_id).records
+        ]
+        for record in sorted(pending, key=lambda r: r.lsn, reverse=True):
+            kind = record.type
+            if kind is RecordType.INSERT:
+                images[record.table].rows.pop(record.rowid, None)
+            elif kind is RecordType.DELETE:
+                images[record.table].rows[record.rowid] = record.before
+            elif kind is RecordType.UPDATE:
+                images[record.table].rows[record.rowid] = record.before
+            elif kind is RecordType.CREATE_TABLE:
+                images.pop(record.schema.name, None)
+            elif kind is RecordType.DROP_TABLE:
+                images[record.schema.name] = TableData(
+                    schema=record.schema,
+                    rows=dict(record.dropped_rows or {}),
+                    next_rowid=record.next_rowid or 1,
+                )
+            elif kind is RecordType.CREATE_VIEW:
+                views.pop(record.proc_name, None)
+            elif kind is RecordType.DROP_VIEW:
+                views[record.proc_name] = record.proc_sql
+            elif kind is RecordType.CREATE_PROC:
+                procedures.pop(record.proc_name, None)
+            elif kind is RecordType.DROP_PROC:
+                procedures[record.proc_name] = record.proc_sql
+            elif kind is RecordType.CREATE_INDEX:
+                indexes.pop(record.proc_name, None)
+            elif kind is RecordType.DROP_INDEX:
+                indexes[record.proc_name] = _parse_index_sql(record.proc_sql)
+        return images, procedures, views, indexes
+
     def checkpoint(self) -> int:
-        """Write a fuzzy checkpoint; returns the checkpoint record's LSN.
+        """Write a clean checkpoint; returns the checkpoint record's LSN.
 
         Order (each step safe against a crash after it):
 
-        1. force the WAL (write-ahead rule: every snapshotted effect is logged);
-        2. write every table file and the procedure snapshot;
+        1. force the WAL (write-ahead rule: every image effect is logged);
+        2. build clean images — active transactions' effects undone in the
+           copies (see :meth:`_clean_images`);
         3. append + force a CHECKPOINT record noting in-flight transactions;
-        4. point meta at the new checkpoint;
-        5. if quiescent, drop the log prefix before the checkpoint.
+        4. write every table file from its clean image, stamped with the
+           checkpoint LSN (a transaction committed at or below that LSN is
+           in the file; one committing past it is not — no in-between);
+        5. point meta at the new checkpoint;
+        6. if quiescent, drop the log prefix before the checkpoint.
+
+        A crash between 3 and 5 leaves meta pointing at the *old*
+        checkpoint; files already rewritten in step 4 carry the new stamp
+        and each is self-consistent, so the per-table commit-LSN guard in
+        recovery stays exact even for a torn checkpoint.
         """
         self.wal.force()
-        for name, table in self.tables.items():
-            self.storage.write_table_file(name, table.data)
-        for stale in set(self.storage.list_table_files()) - set(self.tables):
-            self.storage.delete_table_file(stale)
+        images, procedures, views, indexes = self._clean_images()
         active = tuple(self.txns.active_ids())
         (lsn,) = self.wal.append_forced(
             [LogRecord(RecordType.CHECKPOINT, active_txns=active)]
         )
-        self.storage.write_meta(_META_PROCEDURES, (dict(self.procedures), lsn))
-        self.storage.write_meta(_META_VIEWS, (dict(self.views), lsn))
-        self.storage.write_meta(_META_INDEXES, (dict(self.indexes), lsn))
+        for name, data in images.items():
+            data.last_lsn = lsn
+            self.storage.write_table_file(name, data)
+        for stale in set(self.storage.list_table_files()) - set(images):
+            self.storage.delete_table_file(stale)
+        self.storage.write_meta(_META_PROCEDURES, (procedures, lsn))
+        self.storage.write_meta(_META_VIEWS, (views, lsn))
+        self.storage.write_meta(_META_INDEXES, (indexes, lsn))
         self.storage.write_meta(_META_CHECKPOINT, lsn)
         if not active:
             self.storage.truncate_log_prefix(lsn)

@@ -458,6 +458,45 @@ class Executor:
         else:
             self.database.insert_row(txn, table.name, full_row)
 
+    def _dml_lock_candidates(
+        self, txn, table: Table, is_temp: bool, stmt_where, compiler, scope
+    ):
+        """Lock and return the candidate set for an UPDATE/DELETE.
+
+        Point DML resolved by a primary-key probe locks only the touched
+        rows: lock, then re-probe, looping until the candidate set is
+        stable under the held row locks.  The loop is the row-granularity
+        form of the lock-before-scan rule: a candidate computed before a
+        lock wait may be a dirty read (the victim aborted mid-wait; the key
+        now lives in a different row, or nowhere), and values pre-computed
+        from it must never be applied.  Each iteration re-reads after its
+        locks are granted, so the set returned was probed entirely under
+        held locks — committed state only.
+
+        Everything else — full scans, secondary-index probes, row locking
+        disabled — takes the whole-table X lock before scanning, exactly
+        as before row locks existed.
+        """
+        if is_temp:
+            return self._dml_candidates(table, stmt_where, compiler, scope)
+        probe = (
+            _dml_index_probe(table, stmt_where, scope, compiler)
+            if stmt_where is not None
+            else None
+        )
+        if probe is None or probe[2] != "pk" or not self.database.locks.row_locking:
+            self.database.lock_write(txn, table.name)
+            return self._dml_candidates(table, stmt_where, compiler, scope)
+        locked: set[int] = set()
+        while True:
+            candidates = self._dml_candidates(table, stmt_where, compiler, scope)
+            fresh = [rowid for rowid, _row in candidates if rowid not in locked]
+            if not fresh:
+                return candidates
+            for rowid in fresh:
+                self.database.lock_row_write(txn, table.name, rowid)
+            locked.update(fresh)
+
     def _dml_candidates(self, table: Table, stmt_where, compiler, scope):
         """(rowid, row) pairs a DML statement's WHERE might match.
 
@@ -500,16 +539,18 @@ class Executor:
             (schema.column_index(col.lower()), compiler.compile(expr))
             for col, expr in stmt.assignments
         ]
-        # Lock before the scan, not per-row: candidate rows and assignment
-        # inputs must never be computed from another transaction's
-        # uncommitted writes — a waiter that pre-computed new values from a
-        # dirty read would apply them verbatim after the holder aborts.
-        if not is_temp:
-            self.database.lock_write(txn, table.name)
+        # Lock before evaluating anything row-dependent: candidate rows and
+        # assignment inputs must never be computed from another
+        # transaction's uncommitted writes — a waiter that pre-computed new
+        # values from a dirty read would apply them verbatim after the
+        # holder aborts.  Keyed point updates lock just the touched rows
+        # (see _dml_lock_candidates); everything else locks the table.
         # Snapshot first: assignments must see pre-statement values and the
         # scan must not chase its own writes.
         targets: list[tuple[int, tuple]] = []
-        for rowid, row in self._dml_candidates(table, stmt.where, compiler, scope):
+        for rowid, row in self._dml_lock_candidates(
+            txn, table, is_temp, stmt.where, compiler, scope
+        ):
             env = Env(values=list(row))
             if where is None or where(env) is True:
                 targets.append((rowid, row))
@@ -533,12 +574,13 @@ class Executor:
         compiler = ExpressionCompiler(scope, self, params=params, placeholders=placeholders)
         where = compiler.compile_predicate(stmt.where) if stmt.where is not None else None
         # Same lock-before-scan rule as UPDATE: the candidate set must not
-        # reflect another transaction's uncommitted rows.
-        if not is_temp:
-            self.database.lock_write(txn, table.name)
+        # reflect another transaction's uncommitted rows.  Keyed point
+        # deletes lock just the touched rows; the rest lock the table.
         targets = [
             rowid
-            for rowid, row in self._dml_candidates(table, stmt.where, compiler, scope)
+            for rowid, row in self._dml_lock_candidates(
+                txn, table, is_temp, stmt.where, compiler, scope
+            )
             if where is None or where(Env(values=list(row))) is True
         ]
         for rowid in targets:

@@ -1,21 +1,37 @@
 """Restart recovery: rebuild a :class:`~repro.engine.database.Database` from
 stable storage after a crash.
 
-Classic three phases, simplified to our logical log (DESIGN.md §5):
+**REDO-only restart** (DESIGN.md §5/§5b).  Checkpoints write *clean*
+(no-steal) table images — every active transaction's effects are undone in
+the copies before the files go out (:meth:`Database._clean_images`) — so a
+table file contains exactly the effects of transactions that committed at
+or before its snapshot LSN.  That turns restart into two cheap passes:
 
-1. **Analysis** — read the durable log; find the checkpoint the meta pointer
-   names; determine *loser* transactions (a BEGIN with no COMMIT/ABORT in
-   the durable log).
-2. **Redo** — load table files and the procedure snapshot, then re-apply
-   every record after the checkpoint.  Redo is idempotent because each
-   table snapshot carries ``last_lsn`` and records at or below it are
-   skipped (a crash can land between snapshot writes and the checkpoint
-   pointer update, leaving snapshots "newer" than the checkpoint).
-3. **Undo** — roll back losers in reverse LSN order, appending their CLRs
-   and ABORT records as one atomic batch per transaction (a crash during
-   undo leaves the transaction a loser; the next restart redoes the state
-   and undoes it again from scratch — safe because nothing of the partial
-   undo was logged).
+1. **Analysis** — scan the durable log (truncating any torn tail);
+   classify each transaction as *winner* (has a COMMIT), *aborted* (has an
+   ABORT — its effects were already undone in memory and the clean images
+   never saw them), or *loser* (no terminator).
+2. **Redo winners forward** — replay winners' records in log order,
+   whole-transaction-at-a-time: a winner's records are applied iff its
+   *commit* LSN is past the target table's snapshot LSN (catalog records
+   compare against the catalog snapshot LSN).  Losers and aborted
+   transactions are **skipped wholesale** — no undo images are walked, no
+   CLRs are generated per record; each loser is closed with one bare ABORT
+   record so the next restart's analysis sees it ended.
+
+The per-transaction guard is exact because commit is atomic with respect
+to checkpointing (both run under the engine mutex): a transaction either
+committed before the CHECKPOINT record — all of its effects are in the
+clean image — or after it, in which case none are.  A crash *during* a
+checkpoint leaves files with mixed stamps, but each file is individually
+clean as of its own stamp, so the guard still holds per table.
+
+Restart cost therefore scales with the number of winner records past the
+last checkpoint — not with loser count or undo-trail length, which is what
+the ``run_restart_breakdown`` ablation measures against the prior
+undo-walking design (kept here behind ``fast_restart=False`` purely as the
+benchmark baseline; it predates clean images and is only correct when no
+checkpoint overlapped an active transaction).
 
 What is deliberately *not* recovered: sessions, temp tables, temp
 procedures, open cursors, and undelivered result sets.  They were never
@@ -33,6 +49,7 @@ from repro.engine.database import (
     _META_PROCEDURES,
     _META_VIEWS,
 )
+from repro.engine.locks import LockStats
 from repro.engine.storage import StableStorage, TableData
 from repro.engine.table import Table
 from repro.engine.wal import LogRecord, RecordType, WalStats, scan_log
@@ -48,6 +65,9 @@ class RecoveryReport:
         self.checkpoint_lsn: int = 0
         self.records_scanned: int = 0
         self.records_redone: int = 0
+        #: records skipped without inspection because their transaction lost,
+        #: aborted, or committed before the covering snapshot
+        self.records_skipped: int = 0
         self.loser_txns: list[int] = []
         self.committed_txns: list[int] = []
         self.tables_loaded: int = 0
@@ -59,33 +79,52 @@ class RecoveryReport:
         return (
             f"RecoveryReport(checkpoint={self.checkpoint_lsn}, "
             f"scanned={self.records_scanned}, redone={self.records_redone}, "
-            f"losers={self.loser_txns}, tables={self.tables_loaded}, "
-            f"torn_tail={self.torn_tail_bytes})"
+            f"skipped={self.records_skipped}, losers={self.loser_txns}, "
+            f"tables={self.tables_loaded}, torn_tail={self.torn_tail_bytes})"
         )
 
 
 def recover(
-    storage: StableStorage, *, wal_stats: WalStats | None = None
+    storage: StableStorage,
+    *,
+    wal_stats: WalStats | None = None,
+    lock_stats: LockStats | None = None,
+    fast_restart: bool = True,
 ) -> tuple[Database, RecoveryReport]:
     """Build a consistent Database from ``storage``; returns it plus a report.
 
-    ``wal_stats`` threads the server's cumulative WAL counters into the new
-    incarnation's log (counters outlive crashes; see :class:`WalStats`).
+    ``wal_stats``/``lock_stats`` thread the server's cumulative counters
+    into the new incarnation (counters outlive crashes; see
+    :class:`WalStats`).  ``fast_restart=False`` selects the old
+    redo-everything-then-undo-losers pass — retained **only** as the
+    ``run_restart_breakdown`` ablation baseline; it is not correct against
+    clean checkpoint images taken while transactions were active.
     """
     with get_tracer().span("engine.recovery") as span:
-        database, report = _recover(storage, wal_stats=wal_stats)
+        database, report = _recover(
+            storage,
+            wal_stats=wal_stats,
+            lock_stats=lock_stats,
+            fast_restart=fast_restart,
+        )
         span.set(
             scanned=report.records_scanned,
             redone=report.records_redone,
+            skipped=report.records_skipped,
             losers=len(report.loser_txns),
             tables=report.tables_loaded,
             torn_tail_bytes=report.torn_tail_bytes,
+            fast_restart=fast_restart,
         )
         return database, report
 
 
 def _recover(
-    storage: StableStorage, *, wal_stats: WalStats | None = None
+    storage: StableStorage,
+    *,
+    wal_stats: WalStats | None = None,
+    lock_stats: LockStats | None = None,
+    fast_restart: bool = True,
 ) -> tuple[Database, RecoveryReport]:
     report = RecoveryReport()
     base = getattr(storage, "log_base", 0)
@@ -102,20 +141,28 @@ def _recover(
     report.checkpoint_lsn = checkpoint_lsn
 
     # ---- analysis ----------------------------------------------------------
-    ended: set[int] = set()
+    #: winner txn -> LSN of its COMMIT record (the replay guard value)
+    winners: dict[int, int] = {}
+    aborted: set[int] = set()
     seen: set[int] = set()
     max_txn_id = 0
+    #: highest rowid any record (winner or not) names, per table — losers'
+    #: rowids must stay burned even though their rows are never replayed
+    max_rowid: dict[str, int] = {}
     for record in records:
         if record.txn_id:
             seen.add(record.txn_id)
             max_txn_id = max(max_txn_id, record.txn_id)
-        if record.type in (RecordType.COMMIT, RecordType.ABORT):
-            ended.add(record.txn_id)
-    losers = sorted(seen - ended)
+        if record.type is RecordType.COMMIT:
+            winners[record.txn_id] = record.lsn
+        elif record.type is RecordType.ABORT:
+            aborted.add(record.txn_id)
+        if record.rowid is not None and record.table is not None:
+            if record.rowid > max_rowid.get(record.table, 0):
+                max_rowid[record.table] = record.rowid
+    losers = sorted(seen - set(winners) - aborted)
     report.loser_txns = losers
-    report.committed_txns = sorted(
-        r.txn_id for r in records if r.type is RecordType.COMMIT
-    )
+    report.committed_txns = sorted(winners)
 
     # ---- load snapshots -----------------------------------------------------
     tables: dict[str, Table] = {}
@@ -123,6 +170,11 @@ def _recover(
         data: TableData = storage.read_table_file(name)
         tables[name] = Table(data)
     report.tables_loaded = len(tables)
+    #: frozen per-table snapshot LSNs — the replay guard compares *commit*
+    #: LSNs against these, so they must not move as records are applied
+    snapshot_lsn: dict[str, int] = {
+        name: table.data.last_lsn for name, table in tables.items()
+    }
 
     proc_snapshot = storage.read_meta(_META_PROCEDURES, ({}, 0)) or ({}, 0)
     procedures: dict[str, str] = dict(proc_snapshot[0])
@@ -138,43 +190,74 @@ def _recover(
         views=views,
         txn_seed=max_txn_id,
         wal_stats=wal_stats,
+        lock_stats=lock_stats,
     )
     database.indexes = dict(index_snapshot[0])
     # recovery replays through a fresh WAL object; keep the one Database made
     wal = database.wal
 
-    # ---- redo ---------------------------------------------------------------
-    # Every record is offered for redo; idempotence guards inside _redo
-    # (per-table last_lsn, proc snapshot lsn, existence checks) skip effects
-    # already present in the snapshots.
-    loser_records: dict[int, list[LogRecord]] = {txn: [] for txn in losers}
-    compensated: dict[int, set[int]] = {txn: set() for txn in losers}
-    for record in records:
-        if record.txn_id in loser_records:
-            if record.is_clr and record.compensates:
-                compensated[record.txn_id].add(record.compensates)
-            elif not record.is_clr and _is_undoable(record):
-                loser_records[record.txn_id].append(record)
-        _redo(record, database, proc_lsn, report)
+    if fast_restart:
+        # ---- redo winners forward (REDO-only restart) ----------------------
+        # One pass in log order: a record is applied iff its transaction
+        # committed *after* the target's snapshot — whole transactions are
+        # replayed or skipped, never individual records.  Log order across
+        # the surviving records preserves every cross-transaction per-row
+        # ordering 2PL established at run time.
+        for record in records:
+            commit_lsn = winners.get(record.txn_id)
+            if commit_lsn is None:
+                if record.type not in (
+                    RecordType.BEGIN,
+                    RecordType.ABORT,
+                    RecordType.CHECKPOINT,
+                ):
+                    report.records_skipped += 1
+                continue
+            _replay(record, commit_lsn, database, snapshot_lsn, proc_lsn, report)
 
-    # ---- undo losers ----------------------------------------------------------
-    # Records a statement-level rollback already compensated (their CLRs are
-    # in the redo stream) must not be undone a second time.
-    for txn_id in losers:
-        batch: list[LogRecord] = []
-        remaining = [
-            r for r in loser_records[txn_id]
-            if r.rec_id not in compensated[txn_id]
-        ]
-        for record in reversed(remaining):
-            try:
-                batch.append(database._undo_record(record))
-            except Exception as exc:  # inconsistent log — stop loudly
-                raise RecoveryError(
-                    f"undo failed for txn {txn_id} record {record.type}: {exc}"
-                ) from exc
-        batch.append(LogRecord(RecordType.ABORT, txn_id=txn_id))
-        wal.append_forced(batch)
+        # Close every loser with one bare ABORT record — no CLRs, nothing to
+        # undo: the clean images never contained loser effects and the
+        # replay never applied them.  The batch makes the next restart's
+        # analysis see these transactions ended.
+        if losers:
+            wal.append_forced(
+                [LogRecord(RecordType.ABORT, txn_id=txn_id) for txn_id in losers]
+            )
+    else:
+        # ---- ablation baseline: redo everything, then walk undo images -----
+        loser_records: dict[int, list[LogRecord]] = {txn: [] for txn in losers}
+        compensated: dict[int, set[int]] = {txn: set() for txn in losers}
+        for record in records:
+            if record.txn_id in loser_records:
+                if record.is_clr and record.compensates:
+                    compensated[record.txn_id].add(record.compensates)
+                elif not record.is_clr and _is_undoable(record):
+                    loser_records[record.txn_id].append(record)
+            _redo(record, database, proc_lsn, report)
+        for txn_id in losers:
+            batch: list[LogRecord] = []
+            remaining = [
+                r for r in loser_records[txn_id]
+                if r.rec_id not in compensated[txn_id]
+            ]
+            for record in reversed(remaining):
+                try:
+                    batch.append(database._undo_record(record))
+                except Exception as exc:  # inconsistent log — stop loudly
+                    raise RecoveryError(
+                        f"undo failed for txn {txn_id} record {record.type}: {exc}"
+                    ) from exc
+            batch.append(LogRecord(RecordType.ABORT, txn_id=txn_id))
+            wal.append_forced(batch)
+
+    # ---- burn skipped rowids ----------------------------------------------
+    # Rowids are never reused: a fresh insert must not land on a rowid a
+    # skipped loser consumed, or a later replay of this log would be
+    # ambiguous about which row a record names.
+    for name, highest in max_rowid.items():
+        table = database.tables.get(name)
+        if table is not None and table.data.next_rowid <= highest:
+            table.data.next_rowid = highest + 1
 
     # ---- rebuild volatile index structures -------------------------------------
     for name, (table_name, column) in list(database.indexes.items()):
@@ -186,6 +269,97 @@ def _recover(
         table.add_secondary_index(column)
 
     return database, report
+
+
+def _replay(
+    record: LogRecord,
+    commit_lsn: int,
+    database: Database,
+    snapshot_lsn: dict[str, int],
+    proc_lsn: int,
+    report: RecoveryReport,
+) -> None:
+    """Apply one winner record unless its whole transaction predates the
+    target's snapshot.  CLRs from statement-level rollbacks are part of the
+    winner's stream and replay like any other record (a CLR DELETE deletes)."""
+    kind = record.type
+    if kind in (RecordType.BEGIN, RecordType.COMMIT, RecordType.CHECKPOINT):
+        return
+    if kind is RecordType.CREATE_TABLE:
+        if commit_lsn <= snapshot_lsn.get(record.schema.name, 0):
+            report.records_skipped += 1
+            return
+        database.tables[record.schema.name] = Table(
+            TableData(
+                schema=record.schema,
+                rows=dict(record.dropped_rows or {}),
+                next_rowid=record.next_rowid or 1,
+                last_lsn=record.lsn,
+            )
+        )
+        report.records_redone += 1
+        return
+    if kind is RecordType.DROP_TABLE:
+        if commit_lsn <= snapshot_lsn.get(record.schema.name, 0):
+            report.records_skipped += 1
+            return
+        database.tables.pop(record.schema.name, None)
+        database.storage.delete_table_file(record.schema.name)
+        report.records_redone += 1
+        return
+    if kind in _CATALOG_TYPES:
+        if commit_lsn <= proc_lsn:
+            report.records_skipped += 1
+            return
+        if kind is RecordType.CREATE_PROC:
+            database.procedures[record.proc_name] = record.proc_sql
+        elif kind is RecordType.DROP_PROC:
+            database.procedures.pop(record.proc_name, None)
+        elif kind is RecordType.CREATE_VIEW:
+            database.views[record.proc_name] = record.proc_sql
+        elif kind is RecordType.DROP_VIEW:
+            database.views.pop(record.proc_name, None)
+        elif kind is RecordType.CREATE_INDEX:
+            from repro.engine.database import _parse_index_sql
+
+            database.indexes[record.proc_name] = _parse_index_sql(record.proc_sql)
+        elif kind is RecordType.DROP_INDEX:
+            database.indexes.pop(record.proc_name, None)
+        report.records_redone += 1
+        return
+
+    if commit_lsn <= snapshot_lsn.get(record.table, 0):
+        report.records_skipped += 1
+        return
+    table = database.tables.get(record.table)
+    if table is None:
+        # The table was dropped later in the log by another winner (its row
+        # history is moot) — a missing CREATE would mean a truncated-too-far
+        # log, which the quiescent-only truncation rule prevents.
+        report.records_skipped += 1
+        return
+    if kind is RecordType.INSERT:
+        table.insert(record.after, rowid=record.rowid)
+    elif kind is RecordType.DELETE:
+        table.delete(record.rowid)
+    elif kind is RecordType.UPDATE:
+        table.update(record.rowid, record.after)
+    else:
+        raise RecoveryError(f"unexpected record type {kind}")
+    table.data.last_lsn = record.lsn
+    report.records_redone += 1
+
+
+_CATALOG_TYPES = frozenset(
+    (
+        RecordType.CREATE_PROC,
+        RecordType.DROP_PROC,
+        RecordType.CREATE_VIEW,
+        RecordType.DROP_VIEW,
+        RecordType.CREATE_INDEX,
+        RecordType.DROP_INDEX,
+    )
+)
 
 
 def _is_undoable(record: LogRecord) -> bool:
@@ -205,7 +379,8 @@ def _is_undoable(record: LogRecord) -> bool:
 
 
 def _redo(record: LogRecord, database: Database, proc_lsn: int, report: RecoveryReport) -> None:
-    """Re-apply one record if its effect is missing from current state."""
+    """Ablation-baseline redo: re-apply one record if its effect is missing
+    from current state (per-record LSN idempotence guards)."""
     kind = record.type
     if kind in (RecordType.BEGIN, RecordType.COMMIT, RecordType.ABORT, RecordType.CHECKPOINT):
         return

@@ -32,7 +32,7 @@ from repro.engine.cursors import CursorType, open_cursor
 from repro.engine.database import Database
 from repro.engine.dispatch import SessionDispatcher
 from repro.engine.executor import Executor
-from repro.engine.locks import DEFAULT_SERVER_WAIT
+from repro.engine.locks import DEFAULT_SERVER_WAIT, LockStats
 from repro.engine.plancache import EngineMetrics, ParseCache
 from repro.engine.recovery import RecoveryReport, recover
 from repro.engine.results import StatementResult
@@ -71,6 +71,7 @@ class DatabaseServer:
         plan_cache: bool = True,
         engine_metrics: EngineMetrics | None = None,
         wal_stats: WalStats | None = None,
+        lock_stats: LockStats | None = None,
     ):
         self.name = name
         self.storage = storage if storage is not None else InMemoryStableStorage()
@@ -78,6 +79,8 @@ class DatabaseServer:
         #: cumulative across crashes (reset semantics: repro.obs.metrics),
         #: injectable so a MetricsRegistry can adopt the same object
         self.wal_stats = wal_stats if wal_stats is not None else WalStats()
+        #: lock-manager counters, threaded the same way as wal_stats
+        self.lock_stats = lock_stats if lock_stats is not None else LockStats()
         self.database: Database | None = None
         self.sessions: dict[int, Session] = {}
         self._executors: dict[int, Executor] = {}
@@ -114,7 +117,9 @@ class DatabaseServer:
         self._boot()
 
     def _boot(self) -> None:
-        self.database, self.last_recovery = recover(self.storage, wal_stats=self.wal_stats)
+        self.database, self.last_recovery = recover(
+            self.storage, wal_stats=self.wal_stats, lock_stats=self.lock_stats
+        )
         # the lock manager waits on the engine mutex so blocked statements
         # release the engine, and the server grants waiters a real budget
         # (standalone LockManagers keep the historical fail-fast default)

@@ -58,6 +58,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--timeline-only", action="store_true", help="print only the recovery timeline"
     )
+    parser.add_argument(
+        "--locks",
+        action="store_true",
+        help="print the lock-wait section: every lock.wait event with the "
+        "waits-for graph observed while that waiter slept",
+    )
     args = parser.parse_args(argv)
 
     if args.load:
@@ -95,7 +101,30 @@ def main(argv: list[str] | None = None) -> int:
         print(render_tree(records, corr=args.corr, max_depth=args.max_depth))
         print()
     print(timeline.render())
+    if args.locks:
+        print()
+        print(render_lock_waits(records))
     return 0
+
+
+def render_lock_waits(records: list[dict]) -> str:
+    """The lock-wait section: one line per ``lock.wait`` event, with the
+    waits-for graph the waiter observed when it went to sleep (the only
+    moment the graph is live and non-empty)."""
+    waits = [r for r in records if r.get("kind") == "event" and r.get("name") == "lock.wait"]
+    lines = [f"lock waits: {len(waits)}"]
+    for record in waits:
+        attrs = record.get("attrs", {})
+        row = attrs.get("row")
+        resource = attrs.get("table", "?") if row is None else f"{attrs.get('table', '?')} row {row}"
+        lines.append(
+            f"  [{record.get('corr') or '-'}] {resource} "
+            f"{attrs.get('mode', '?')}: waited {attrs.get('wait_seconds', 0.0) * 1000:.2f} ms"
+        )
+        graph = attrs.get("waits_for") or {}
+        for txn, blockers in sorted(graph.items()):
+            lines.append(f"      waits-for: txn {txn} -> {blockers}")
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # real imports are deferred: engine/net modules import
     # repro.obs.tracer at module load, so importing them here would cycle
+    from repro.engine.locks import LockStats
     from repro.engine.plancache import EngineMetrics
     from repro.engine.wal import WalStats
     from repro.net.metrics import NetworkMetrics
@@ -139,7 +140,8 @@ class MetricsRegistry:
 
     def __init__(self, *, network: NetworkMetrics | None = None,
                  engine: EngineMetrics | None = None,
-                 wal: WalStats | None = None):
+                 wal: WalStats | None = None,
+                 locks: LockStats | None = None):
         if network is None:
             from repro.net.metrics import NetworkMetrics
             network = NetworkMetrics()
@@ -149,9 +151,13 @@ class MetricsRegistry:
         if wal is None:
             from repro.engine.wal import WalStats
             wal = WalStats()
+        if locks is None:
+            from repro.engine.locks import LockStats
+            locks = LockStats()
         self.network = network
         self.engine = engine
         self.wal = wal
+        self.locks = locks
         self.histograms: dict[str, Histogram] = {}
 
     def histogram(self, name: str, **kwargs) -> Histogram:
@@ -189,6 +195,7 @@ class MetricsRegistry:
             "network": self.network.snapshot(),
             "engine": self.engine.snapshot(),
             "wal": self.wal.snapshot(),
+            "locks": self.locks.snapshot(),
             "histograms": {
                 name: hist.snapshot() for name, hist in sorted(self.histograms.items())
             },
@@ -200,4 +207,5 @@ class MetricsRegistry:
         self.network.reset()
         self.engine.reset()
         self.wal.reset()
+        self.locks.reset()
         self.histograms.clear()

@@ -218,7 +218,10 @@ def test_create_existing_table_rejected():
         db.create_table(txn, schema())
 
 
-def test_cross_txn_write_conflict():
+def test_cross_txn_inserts_no_longer_conflict():
+    """Row-granularity locking: two transactions inserting different rows
+    into the same table hold compatible IX table locks plus X locks on
+    their own fresh rowids — neither blocks the other."""
     db = make_db()
     setup = db.begin()
     db.create_table(setup, schema())
@@ -226,11 +229,29 @@ def test_cross_txn_write_conflict():
     t1 = db.begin()
     t2 = db.begin()
     db.insert_row(t1, "t", [1, "a"])
-    with pytest.raises(LockError):
-        db.insert_row(t2, "t", [2, "b"])
+    db.insert_row(t2, "t", [2, "b"])  # concurrent insert: IX + IX coexist
     db.commit(t1)
-    db.insert_row(t2, "t", [2, "b"])  # lock released by commit
     db.commit(t2)
+    assert db.get_table("t").row_count() == 2
+
+
+def test_cross_txn_same_row_write_conflict():
+    """The write-write conflict the old table lock caught still exists at
+    row granularity: two transactions updating the *same* row collide."""
+    db = make_db()
+    setup = db.begin()
+    db.create_table(setup, schema())
+    rowid = db.insert_row(setup, "t", [1, "a"])
+    db.commit(setup)
+    t1 = db.begin()
+    t2 = db.begin()
+    db.update_row(t1, "t", rowid, [1, "t1"])
+    with pytest.raises(LockError):
+        db.update_row(t2, "t", rowid, [1, "t2"])
+    db.commit(t1)
+    db.update_row(t2, "t", rowid, [1, "t2"])  # row lock released by commit
+    db.commit(t2)
+    assert db.get_table("t").get(rowid) == (1, "t2")
 
 
 def test_txn_ids_resume_after_recovery():

@@ -70,20 +70,34 @@ def test_both_sessions_survive_one_crash(pair):
     assert a.stats.recoveries == 1
 
 
-def test_interleaved_transactions_conflict_cleanly(pair):
-    """Two writers on the same table: the second hits the lock, not chaos."""
-    from repro.errors import LockError
-
+def test_interleaved_inserts_coexist(pair):
+    """Two writers inserting different rows into the same table no longer
+    conflict: each holds IX on the table plus X on its own fresh rowid."""
     _system, a, b = pair
     a.begin()
     a.cursor().execute("INSERT INTO shared VALUES (10, 'alice')")
-    with pytest.raises(LockError):
-        b.cursor().execute("INSERT INTO shared VALUES (11, 'bob')")
-    a.commit()
     b.cursor().execute("INSERT INTO shared VALUES (11, 'bob')")
+    a.commit()
     check = a.cursor()
     check.execute("SELECT count(*) FROM shared")
     assert check.fetchone() == (2,)
+
+
+def test_interleaved_same_row_writes_conflict_cleanly(pair):
+    """Two writers on the same *row*: the second hits the lock, not chaos."""
+    from repro.errors import LockError
+
+    _system, a, b = pair
+    a.cursor().execute("INSERT INTO shared VALUES (10, 'alice')")
+    a.begin()
+    a.cursor().execute("UPDATE shared SET who = 'alice2' WHERE k = 10")
+    with pytest.raises(LockError):
+        b.cursor().execute("UPDATE shared SET who = 'bob' WHERE k = 10")
+    a.commit()
+    b.cursor().execute("UPDATE shared SET who = 'bob' WHERE k = 10")
+    check = a.cursor()
+    check.execute("SELECT who FROM shared WHERE k = 10")
+    assert check.fetchone() == ("bob",)
 
 
 def test_close_of_one_leaves_other_working(pair):
