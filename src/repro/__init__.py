@@ -44,7 +44,7 @@ from repro.errors import (
     Warning,
 )
 from repro.core import PhoenixConfig, PhoenixConnection, PhoenixCursor, PhoenixDriverManager
-from repro.engine import DatabaseServer
+from repro.engine import DatabaseServer, RestartPolicy
 from repro.engine.storage import FileStableStorage, InMemoryStableStorage, StableStorage
 from repro.net import FaultInjector, FaultKind, NetworkMetrics, ServerEndpoint
 from repro.obs import MetricsRegistry
@@ -82,6 +82,7 @@ __all__ = [
     "NotSupportedError",
     # the simulated deployment
     "DatabaseServer",
+    "RestartPolicy",
     "ServerEndpoint",
     "FaultInjector",
     "FaultKind",
@@ -150,6 +151,7 @@ def make_system(
         engine_metrics=registry.engine,
         wal_stats=registry.wal,
         lock_stats=registry.locks,
+        drain_stats=registry.server,
     )
     endpoint = ServerEndpoint(server)
     native = NativeDriver(endpoint, metrics=registry.network)

@@ -779,6 +779,182 @@ def run_availability_experiment(
     return results
 
 
+# ============================================================ planned restart
+
+
+@dataclass
+class PlannedRestartResult:
+    """Upgrade-under-load availability: planned drain/swap vs. hard crash.
+
+    The same 16-client disjoint-key UPDATE workload runs twice.  In the
+    *planned* phase the operator calls ``drain_and_restart()`` K times
+    mid-workload: clients park behind the drain barrier for the pause and
+    ride through on session recovery — ``client_errors`` must be 0.  In
+    the *crash* phase the server is killed K times instead and clients pay
+    detection + ping backoff before recovery.  Per-operation latencies are
+    collected client-side; the planned p99 staying strictly below the
+    crash p99 is the PR's acceptance line: an advertised pause beats an
+    unannounced death.
+    """
+
+    clients: int
+    restarts: int
+    ops_total: int
+    client_errors: int
+    #: per-op client-observed latency, seconds (the pause shows up here)
+    planned_p50: float
+    planned_p99: float
+    planned_max: float
+    crash_p50: float
+    crash_p99: float
+    crash_max: float
+    #: server-side drain bookkeeping (planned phase)
+    drains_completed: int
+    sessions_ridden_through: int
+    statements_bounced: int
+    max_pause_seconds: float
+    #: recoveries the Phoenix layer performed in each phase
+    planned_recoveries: int
+    crash_recoveries: int
+    #: durable state must be identical between the two phases (the
+    #: workload is deterministic and exactly-once)
+    fingerprints_match: bool
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def run_planned_restart(
+    *,
+    clients: int = 16,
+    ops_per_client: int = 40,
+    restarts: int = 3,
+    latency: float = 0.002,
+    drain_timeout: float = 0.25,
+) -> PlannedRestartResult:
+    """Measure upgrade-under-load availability (see
+    :class:`PlannedRestartResult`)."""
+    import threading
+
+    def run_phase(mode: str) -> tuple[list[float], int, int, int, "repro.System"]:
+        system = repro.make_system()
+        system.endpoint.latency = latency
+        loader = system.server.connect(user="loader")
+        system.server.execute(
+            loader, "CREATE TABLE restart_bench (k INT PRIMARY KEY, v INT)"
+        )
+        for i in range(clients):
+            system.server.execute(loader, f"INSERT INTO restart_bench VALUES ({i}, 0)")
+        system.server.disconnect(loader)
+
+        connections = [
+            system.phoenix.connect(system.DSN, user=f"pr{i}") for i in range(clients)
+        ]
+        if mode == "crash":
+            # the operator's restart, modelled inside the recovery sleep:
+            # the client genuinely waits out its backoff interval (that IS
+            # the crash downtime) and the server is back for the next ping
+            def sleep_hook(seconds: float) -> None:
+                time.sleep(seconds)
+                try:
+                    if not system.server.up:
+                        system.endpoint.restart_server()
+                except Exception:
+                    pass  # another client's hook won the restart race
+
+            system.phoenix.config.sleep = sleep_hook
+
+        errors_seen: list[str] = []
+        latencies: list[float] = []
+        lat_lock = threading.Lock()
+        barrier = threading.Barrier(clients + 1)
+
+        def run_client(connection, key: int) -> None:
+            mine: list[float] = []
+            try:
+                cursor = connection.cursor()
+                barrier.wait()
+                for _ in range(ops_per_client):
+                    started = time.perf_counter()
+                    cursor.execute(f"UPDATE restart_bench SET v = v + 1 WHERE k = {key}")
+                    mine.append(time.perf_counter() - started)
+            except Exception as exc:
+                errors_seen.append(f"{type(exc).__name__}: {exc}")
+            with lat_lock:
+                latencies.extend(mine)
+
+        threads = [
+            threading.Thread(target=run_client, args=(connections[i], i), name=f"pr-{i}")
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        # K restarts spaced through the workload, from the operator thread
+        workload_estimate = ops_per_client * latency
+        gap = max(0.01, workload_estimate / (restarts + 1))
+        for _ in range(restarts):
+            time.sleep(gap)
+            if mode == "planned":
+                system.endpoint.drain_and_restart(
+                    repro.RestartPolicy(mode="deadline", drain_timeout=drain_timeout)
+                )
+            else:
+                system.server.crash()
+        for thread in threads:
+            thread.join()
+        recoveries = sum(c.stats.recoveries for c in connections)
+        if not system.server.up:  # a trailing crash with no traffic after it
+            system.endpoint.restart_server()
+        for connection in connections:
+            try:
+                connection.close()
+            except Exception:
+                pass
+
+        verifier = system.server.connect(user="verifier")
+        data = system.server.execute(verifier, "SELECT k, v FROM restart_bench ORDER BY k")
+        fingerprint = _fold_fingerprint(0, "restart_bench", data.result_set.rows)
+        # exactly-once, checked exactly: every key must have ridden every
+        # one of its client's increments through every restart
+        wrong = [row for row in data.result_set.rows if row[1] != ops_per_client]
+        if wrong:
+            raise RuntimeError(f"{mode} phase lost or doubled updates: {wrong[:4]}")
+        system.server.disconnect(verifier)
+        return latencies, len(errors_seen), recoveries, fingerprint, system
+
+    planned_lat, planned_errors, planned_rec, planned_fp, planned_system = run_phase(
+        "planned"
+    )
+    crash_lat, crash_errors, crash_rec, crash_fp, _crash_system = run_phase("crash")
+
+    drain = planned_system.registry.server
+    return PlannedRestartResult(
+        clients=clients,
+        restarts=restarts,
+        ops_total=clients * ops_per_client,
+        client_errors=planned_errors + crash_errors,
+        planned_p50=_percentile(planned_lat, 0.50),
+        planned_p99=_percentile(planned_lat, 0.99),
+        planned_max=max(planned_lat, default=0.0),
+        crash_p50=_percentile(crash_lat, 0.50),
+        crash_p99=_percentile(crash_lat, 0.99),
+        crash_max=max(crash_lat, default=0.0),
+        drains_completed=drain.drains_completed,
+        sessions_ridden_through=drain.sessions_ridden_through,
+        statements_bounced=drain.statements_bounced,
+        max_pause_seconds=drain.max_pause_seconds,
+        planned_recoveries=planned_rec,
+        crash_recoveries=crash_rec,
+        fingerprints_match=planned_fp == crash_fp,
+    )
+
+
 # ==================================================================== chaos sweep
 
 
@@ -821,18 +997,19 @@ def run_chaos_experiment(
     failure reproduces from the artifact's recorded seed.
     """
     from repro.chaos import ChaosExplorer
-    from repro.net.faults import BATCH_FAULTS, STORAGE_FAULTS, WIRE_FAULTS
+    from repro.net.faults import BATCH_FAULTS, DRAIN_FAULTS, STORAGE_FAULTS, WIRE_FAULTS
 
     explorer = ChaosExplorer(seed=seed)
     started = time.perf_counter()
     report = explorer.sweep_single_faults(stride=stride)
     report.merge(explorer.sweep_storage_faults(stride=stride))
     report.merge(explorer.sweep_batch_faults(stride=stride))
+    report.merge(explorer.sweep_drain_faults(stride=stride))
     report.merge(explorer.sweep_random(random_runs))
     elapsed = time.perf_counter() - started
 
     by_kind: dict[str, dict[str, float]] = {}
-    for kind in WIRE_FAULTS + STORAGE_FAULTS + BATCH_FAULTS:
+    for kind in WIRE_FAULTS + STORAGE_FAULTS + BATCH_FAULTS + DRAIN_FAULTS:
         single = [
             r for r in report.results
             if len(r.schedule) == 1 and r.schedule[0][1] is kind

@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench.reporting recovery_breakdown
     python -m repro.bench.reporting concurrency --json BENCH_concurrency.json
     python -m repro.bench.reporting restart --json BENCH_restart.json
+    python -m repro.bench.reporting plannedrestart --json BENCH_planned_restart.json
     python -m repro.bench.reporting all
 
 Output mirrors the paper's layout: Table 1's columns are query id, result
@@ -35,6 +36,7 @@ from repro.bench.harness import (
     Fig2Series,
     ObsOverheadResult,
     PlanCacheRun,
+    PlannedRestartResult,
     RecoveryBreakdownRow,
     RestartBreakdownRow,
     Table1Row,
@@ -45,6 +47,7 @@ from repro.bench.harness import (
     run_fig2_recovery_sweep,
     run_obs_overhead,
     run_plan_cache_ablation,
+    run_planned_restart,
     run_recovery_breakdown,
     run_restart_breakdown,
     run_table1_power_comparison,
@@ -62,6 +65,7 @@ __all__ = [
     "render_recovery_breakdown",
     "render_concurrency",
     "render_restart_breakdown",
+    "render_planned_restart",
     "main",
 ]
 
@@ -252,6 +256,32 @@ def render_restart_breakdown(rows: list[RestartBreakdownRow]) -> str:
     return "\n".join(lines)
 
 
+def render_planned_restart(result: PlannedRestartResult) -> str:
+    """Experiment PR: planned drain/swap restarts vs hard crashes under load."""
+    lines = [
+        "Experiment PR. Planned restarts (drain + swap) vs hard crashes under load",
+        f"{result.clients} clients x {result.ops_total // result.clients} UPDATEs, "
+        f"{result.restarts} restarts per phase",
+        f"{'Phase':10} {'p50 (ms)':>9} {'p99 (ms)':>9} {'max (ms)':>9} {'Recoveries':>11}",
+        f"{'planned':10} {result.planned_p50 * 1e3:>9.2f} {result.planned_p99 * 1e3:>9.2f} "
+        f"{result.planned_max * 1e3:>9.2f} {result.planned_recoveries:>11}",
+        f"{'crash':10} {result.crash_p50 * 1e3:>9.2f} {result.crash_p99 * 1e3:>9.2f} "
+        f"{result.crash_max * 1e3:>9.2f} {result.crash_recoveries:>11}",
+        f"client-visible errors: {result.client_errors}; drains completed: "
+        f"{result.drains_completed}; sessions ridden through: "
+        f"{result.sessions_ridden_through}; statements bounced: "
+        f"{result.statements_bounced}; max pause {result.max_pause_seconds * 1e3:.2f} ms",
+    ]
+    verdict = (
+        "planned p99 below crash p99"
+        if result.planned_p99 < result.crash_p99
+        else "PLANNED P99 NOT BELOW CRASH BASELINE"
+    )
+    match = "identical" if result.fingerprints_match else "MISMATCH"
+    lines.append(f"{verdict}; durable state planned vs crash: {match}")
+    return "\n".join(lines)
+
+
 def render_concurrency(result: ConcurrencyResult, chaos: dict | None = None) -> str:
     """Experiment CC: threaded dispatch throughput + parallel recovery."""
     lines = [
@@ -381,6 +411,29 @@ def _concurrency_json(result: ConcurrencyResult, chaos: dict | None = None) -> d
     if chaos is not None:
         out["multi_client_chaos"] = {str(k): cell for k, cell in chaos.items()}
     return out
+
+
+def _planned_restart_json(result: PlannedRestartResult) -> dict:
+    return {
+        "clients": result.clients,
+        "restarts": result.restarts,
+        "ops_total": result.ops_total,
+        "client_errors": result.client_errors,
+        "planned_p50": result.planned_p50,
+        "planned_p99": result.planned_p99,
+        "planned_max": result.planned_max,
+        "crash_p50": result.crash_p50,
+        "crash_p99": result.crash_p99,
+        "crash_max": result.crash_max,
+        "drains_completed": result.drains_completed,
+        "sessions_ridden_through": result.sessions_ridden_through,
+        "statements_bounced": result.statements_bounced,
+        "max_pause_seconds": result.max_pause_seconds,
+        "planned_recoveries": result.planned_recoveries,
+        "crash_recoveries": result.crash_recoveries,
+        "planned_p99_below_crash": result.planned_p99 < result.crash_p99,
+        "fingerprints_match": result.fingerprints_match,
+    }
 
 
 def _restart_breakdown_json(rows: list[RestartBreakdownRow]) -> list[dict]:
@@ -546,6 +599,7 @@ def main(argv: list[str] | None = None) -> int:
             "recovery_breakdown",
             "concurrency",
             "restart",
+            "plannedrestart",
             "all",
         ],
     )
@@ -631,6 +685,10 @@ def main(argv: list[str] | None = None) -> int:
         restart = run_restart_breakdown(trials=args.restart_trials)
         print(render_restart_breakdown(restart))
         payload["restart"] = _restart_breakdown_json(restart)
+    if args.artifact in ("plannedrestart", "all"):
+        planned = run_planned_restart()
+        print(render_planned_restart(planned))
+        payload["planned_restart"] = _planned_restart_json(planned)
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -2,7 +2,9 @@
 
 Runs the exhaustive single-fault wire sweep, the storage-fault sweep, the
 mid-batch crash sweep (every interior position of every batched request),
-and a batch of seeded multi-fault schedules, then prints a summary.  Exits 1 on
+the mid-drain crash sweep (a planned restart killed during its drain window
+and during its swap), and a batch of seeded multi-fault schedules, then
+prints a summary.  Exits 1 on
 any oracle violation, printing the seed and the exact failing schedule so
 the run reproduces with ``ChaosExplorer(seed=N).run_schedule(schedule)``.
 With ``--trace-dir DIR`` every failing schedule is re-run under a tracer
@@ -53,6 +55,7 @@ def main(argv: list[str] | None = None) -> int:
     report = explorer.sweep_single_faults(stride=args.stride)
     report.merge(explorer.sweep_storage_faults(stride=args.stride))
     report.merge(explorer.sweep_batch_faults(stride=args.stride))
+    report.merge(explorer.sweep_drain_faults(stride=args.stride))
     report.merge(explorer.sweep_random(args.random_runs))
 
     summary = report.summary()

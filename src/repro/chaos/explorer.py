@@ -18,7 +18,7 @@ from functools import cached_property
 
 from repro.chaos.oracle import check_run
 from repro.chaos.trace import ChaosTrace, TraceRecord, probe_dml_trace, run_trace
-from repro.net.faults import STORAGE_FAULTS, WIRE_FAULTS, FaultKind
+from repro.net.faults import DRAIN_FAULTS, STORAGE_FAULTS, WIRE_FAULTS, FaultKind
 
 __all__ = ["ChaosExplorer", "ChaosReport", "ChaosRunResult"]
 
@@ -180,6 +180,23 @@ class ChaosExplorer:
                 report.results.append(
                     self.run_schedule(((index, FaultKind.CRASH_MID_BATCH, executed),))
                 )
+        return report
+
+    def sweep_drain_faults(self, *, stride: int = 1) -> ChaosReport:
+        """CRASH_MID_DRAIN at every request index, at both kill positions.
+
+        A planned restart begins while the scheduled request is in flight
+        and the process dies inside it: arg 0 kills during the drain window
+        (nothing checkpointed by the drain), arg 1 during the swap (after
+        the checkpoint, before the fresh engine boots).  Both must degrade
+        into the ordinary crash-recovery path with exactly-once outcomes —
+        a planned restart must never be *less* safe than a crash.
+        """
+        report = ChaosReport(golden_requests=self.golden.requests_seen)
+        for kind in DRAIN_FAULTS:
+            for index in range(0, self.golden.requests_seen, stride):
+                for arg in (0, 1):
+                    report.results.append(self.run_schedule(((index, kind, arg),)))
         return report
 
     # -- seeded multi-fault mode --------------------------------------------

@@ -34,6 +34,7 @@ from repro.errors import (
     CatalogError,
     CommunicationError,
     RecoveryError,
+    ServerRestartingError,
     SessionLostError,
     TimeoutError,
 )
@@ -187,6 +188,13 @@ class PhoenixRecovery:
         capped at ``ping_max_interval``, ±``ping_jitter``), and the whole
         wait is bounded both by ``max_ping_attempts`` and by the optional
         ``recovery_deadline`` wall-clock budget.
+
+        A ping answered with RESTARTING (the server is mid *planned*
+        restart and advertises when it expects to be back) proves the
+        server process is alive — the backoff interval resets to the base
+        ``ping_interval`` and does not grow, so a planned pause is polled
+        politely at a flat cadence instead of inheriting crash-tuned
+        exponential intervals that could overshoot the swap by seconds.
         """
         config = self.connection.config
         tracer = get_tracer()
@@ -200,6 +208,16 @@ class PhoenixRecovery:
                     self.connection.driver.ping()
                     tracer.event("recovery.ping", ok=True)
                     return
+                except ServerRestartingError as exc:
+                    tracer.event(
+                        "recovery.ping", ok=False, restarting=True,
+                        state=exc.state, eta_seconds=exc.eta_seconds,
+                    )
+                    self.connection.stats.recovery_pings += 1
+                    if deadline is not None and config.clock() >= deadline:
+                        break
+                    interval = config.ping_interval  # planned pause: flat cadence
+                    config.sleep(self._jittered(interval))
                 except RECOVERABLE_ERRORS:
                     tracer.event("recovery.ping", ok=False)
                     self.connection.stats.recovery_pings += 1

@@ -27,6 +27,7 @@ from repro.errors import (
     DeadlockError,
     NotSupportedError,
     ProgrammingError,
+    ServerRestartingError,
     TransactionError,
 )
 from repro.engine import functions
@@ -146,9 +147,10 @@ class Executor:
                 # gone, so there is nothing to undo — and above all no WAL
                 # write may happen after the crash point.
                 self.session.current_txn = None
-            elif isinstance(exc, DeadlockError):
-                # Deadlock victim: the *whole* transaction aborts — its
-                # locks must release so the surviving side of the cycle can
+            elif isinstance(exc, (DeadlockError, ServerRestartingError)):
+                # Deadlock victim, or a waiter bounced off the planned-restart
+                # drain barrier: the *whole* transaction aborts — its locks
+                # must release so the surviving side (or the drain) can
                 # proceed.  The client sees a distinguishable, retryable
                 # error (the transaction is gone, so a replay is safe).
                 self.database.abort(txn)

@@ -65,7 +65,12 @@ import threading
 import time
 from collections import defaultdict
 
-from repro.errors import DeadlockError, LockError, ServerCrashedError
+from repro.errors import (
+    DeadlockError,
+    LockError,
+    ServerCrashedError,
+    ServerRestartingError,
+)
 from repro.obs.tracer import get_tracer
 
 __all__ = ["LockMode", "LockManager", "LockStats", "DEFAULT_SERVER_WAIT"]
@@ -155,6 +160,8 @@ class LockStats:
         self.deadlocks = 0
         #: row-lock sets traded for a full table lock
         self.escalations = 0
+        #: waiters evicted (or fail-fasted) by a planned-restart drain
+        self.drain_bounces = 0
         self.total_wait_time = 0.0
 
     def snapshot(self) -> dict[str, float]:
@@ -200,6 +207,15 @@ class LockManager:
         #: bumped by :meth:`invalidate` (server crash) so sleepers learn the
         #: engine they were waiting on no longer exists
         self._generation = 0
+        #: bumped by :meth:`bounce_waiters` (planned-restart drain deadline)
+        #: so sleepers raise a retryable ServerRestartingError
+        self._bounce_generation = 0
+        #: set by :meth:`bounce_waiters`: the drain deadline has passed, so
+        #: *new* wait attempts fail fast with ServerRestartingError too (a
+        #: statement still in flight must not park behind a lock held by a
+        #: transaction whose releasing commit is itself parked behind the
+        #: drain barrier).  Never cleared: the swap discards this manager.
+        self._draining = False
         self._no_wait = threading.local()
         #: injectable so the counters survive database incarnations
         self.stats = stats if stats is not None else LockStats()
@@ -251,6 +267,23 @@ class LockManager:
             self._timeouts.clear()
             self._generation += 1
             self._cond.notify_all()
+
+    def bounce_waiters(self) -> int:
+        """Planned-restart drain deadline: wake every sleeping waiter so it
+        raises :class:`ServerRestartingError` instead of blocking the drain.
+
+        Unlike :meth:`invalidate` this keeps all granted lock state — only
+        *waiters* are evicted; each one's transaction is then aborted by the
+        executor exactly like a deadlock victim, so the statement is safely
+        retryable after the swap.  Returns the number of waiters evicted.
+        """
+        with self._cond:
+            bounced = len(self._waits_for)
+            self._bounce_generation += 1
+            self._draining = True
+            self.stats.drain_bounces += bounced
+            self._cond.notify_all()
+            return bounced
 
     # ----------------------------------------------------------- acquisition
 
@@ -334,8 +367,17 @@ class LockManager:
         if budget is None:
             budget = self._timeouts.get(txn_id, self.default_timeout)
         if budget <= 0 or getattr(self._no_wait, "depth", 0):
+            # no-wait (batch) windows keep their LockError contract — the
+            # client's batch resubmission path owns that error shape
             raise self._conflict_error(txn_id, resource, mode)
+        if self._draining:
+            self.stats.drain_bounces += 1
+            raise ServerRestartingError(
+                f"server draining for planned restart: transaction {txn_id} "
+                f"must not wait for a lock on {self._resource_name(resource)}"
+            )
         generation = self._generation
+        bounce_generation = self._bounce_generation
         deadline = time.monotonic() + budget
         self.stats.waits += 1
         wait_started = time.monotonic()
@@ -368,6 +410,12 @@ class LockManager:
                     raise ServerCrashedError(
                         f"server crashed while transaction {txn_id} "
                         f"waited for a lock on {self._resource_name(resource)}"
+                    )
+                if self._bounce_generation != bounce_generation:
+                    raise ServerRestartingError(
+                        f"server draining for planned restart: transaction "
+                        f"{txn_id} bounced off its lock wait on "
+                        f"{self._resource_name(resource)}"
                     )
                 if self._try_grant(txn_id, resource, mode):
                     return

@@ -19,6 +19,8 @@ Phoenix/ODBC exists.
 from __future__ import annotations
 
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import (
@@ -42,7 +44,7 @@ from repro.engine.wal import WalStats
 from repro.obs.tracer import get_tracer
 from repro.sql import ast, parse_script
 
-__all__ = ["DatabaseServer", "ServerStats"]
+__all__ = ["DatabaseServer", "ServerStats", "RestartPolicy", "DrainStats"]
 
 
 class ServerStats:
@@ -60,6 +62,51 @@ class ServerStats:
         return dict(self.__dict__)
 
 
+@dataclass
+class RestartPolicy:
+    """How :meth:`DatabaseServer.drain_and_restart` treats in-flight work.
+
+    * ``graceful`` — wait however long it takes for every in-flight
+      statement to finish; nothing is bounced.
+    * ``deadline`` — wait up to ``drain_timeout`` seconds, then bounce
+      every lock waiter with a retryable
+      :class:`~repro.errors.ServerRestartingError` (their transactions are
+      aborted like deadlock victims) and finish the drain.
+    * ``immediate`` — bounce waiters right away; only statements already
+      past their lock acquisitions run to completion.
+
+    ``bump_catalog`` models a migrated upgrade: the swapped-in engine comes
+    up with a bumped ``catalog_version`` so every cached plan revalidates.
+    """
+
+    mode: str = "deadline"
+    drain_timeout: float = 1.0
+    bump_catalog: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("graceful", "deadline", "immediate"):
+            raise ValueError(f"unknown restart mode: {self.mode!r}")
+
+
+class DrainStats:
+    """Planned-restart counters.  Cumulative across restarts (reset
+    semantics: :mod:`repro.obs.metrics`); injectable so a MetricsRegistry
+    can adopt the same object."""
+
+    def __init__(self) -> None:
+        self.drains_started = 0
+        self.drains_completed = 0
+        self.statements_bounced = 0
+        self.sessions_ridden_through = 0
+        self.max_pause_seconds = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.__dict__)
+
+    def reset(self) -> None:
+        self.__init__()
+
+
 class DatabaseServer:
     """A single-node SQL server over a stable-storage device."""
 
@@ -72,6 +119,7 @@ class DatabaseServer:
         engine_metrics: EngineMetrics | None = None,
         wal_stats: WalStats | None = None,
         lock_stats: LockStats | None = None,
+        drain_stats: DrainStats | None = None,
     ):
         self.name = name
         self.storage = storage if storage is not None else InMemoryStableStorage()
@@ -81,6 +129,8 @@ class DatabaseServer:
         self.wal_stats = wal_stats if wal_stats is not None else WalStats()
         #: lock-manager counters, threaded the same way as wal_stats
         self.lock_stats = lock_stats if lock_stats is not None else LockStats()
+        #: planned-restart counters, threaded the same way as wal_stats
+        self.drain_stats = drain_stats if drain_stats is not None else DrainStats()
         self.database: Database | None = None
         self.sessions: dict[int, Session] = {}
         self._executors: dict[int, Executor] = {}
@@ -101,6 +151,14 @@ class DatabaseServer:
         #: restarts (it describes the simulation timeline, like stats).
         self.activity_epoch = 0
         self.up = False
+        #: planned-restart state machine: ``running`` → ``draining`` →
+        #: ``swapping`` → ``running``.  Orthogonal to :attr:`up`, which stays
+        #: True for the whole planned restart — the server is not *dead*,
+        #: merely pausing; a crash mid-drain resets this to ``running``.
+        self.lifecycle = "running"
+        #: monotonic deadline of the current drain window (None outside a
+        #: planned restart) — what the RESTARTING ping reply advertises
+        self._restart_deadline: float | None = None
         #: Engine-wide mutex: every public operation runs under it, so the
         #: worker threads of the dispatch layer interleave at *statement*
         #: granularity while engine structures (catalog, WAL, sessions) see
@@ -152,6 +210,12 @@ class DatabaseServer:
             # write / failed force models the crash moment itself
             self.storage.clear_append_fault()
             self.stats.crashes += 1
+            # a crash during a planned drain aborts the drain: lift the
+            # barrier so parked requests run, observe the dead server, and
+            # enter the normal (unplanned) recovery path instead of hanging
+            self.lifecycle = "running"
+            self._restart_deadline = None
+            self.dispatcher.resume()
             get_tracer().event("server.crash", server=self.name)
 
     def restart(self) -> RecoveryReport:
@@ -163,6 +227,105 @@ class DatabaseServer:
                 self._boot()
             self.stats.restarts += 1
             return self.last_recovery
+
+    # ------------------------------------------------------ planned restart
+
+    def begin_drain(self, policy: RestartPolicy | None = None) -> None:
+        """Enter the ``draining`` state: the dispatcher stops claiming new
+        work (submissions park inside their wire threads), pings start
+        answering RESTARTING.  Split out of :meth:`drain_and_restart` so
+        fault injection can crash the server *inside* the drain window."""
+        policy = policy if policy is not None else RestartPolicy()
+        with self._engine_mutex:
+            self._require_up()
+            if self.lifecycle != "running":
+                raise OperationalError("a planned restart is already in progress")
+            self.lifecycle = "draining"
+            # graceful mode has no bound, but the advertised ETA still uses
+            # drain_timeout as the operator's estimate of the pause
+            self._restart_deadline = time.monotonic() + policy.drain_timeout
+            self.drain_stats.drains_started += 1
+        self.dispatcher.pause()
+
+    def restart_eta_seconds(self) -> float:
+        """Remaining seconds of the advertised drain window (0 when past
+        the deadline or when no planned restart is in progress)."""
+        deadline = self._restart_deadline
+        if deadline is None:
+            return 0.0
+        return max(0.0, deadline - time.monotonic())
+
+    def drain_and_restart(self, policy: RestartPolicy | None = None) -> RecoveryReport:
+        """Planned restart: drain in-flight work, checkpoint, swap in a
+        fresh engine instance, resume — without ever going *down*.
+
+        New wire requests park behind the dispatcher's drain barrier for
+        the duration (their clients see a bounded pause, not an error);
+        in-flight statements run to completion, or — past the policy's
+        drain deadline — lock waiters are bounced with a retryable
+        :class:`~repro.errors.ServerRestartingError`.  All sessions are
+        then disconnected (open transactions abort cleanly), the database
+        checkpoints, and a fresh engine boots from stable storage: every
+        Phoenix client rides through on the existing recovery path, which
+        finds the server up, its session gone, and rebuilds it.
+
+        Must be called from an administrative thread, never from a
+        dispatcher worker (the quiesce would wait on itself).
+        """
+        policy = policy if policy is not None else RestartPolicy()
+        tracer = get_tracer()
+        start = time.monotonic()
+        bounced_before = self.lock_stats.drain_bounces
+        with tracer.span(
+            "server.drain", server=self.name, mode=policy.mode,
+            drain_timeout=policy.drain_timeout,
+        ):
+            self.begin_drain(policy)
+            try:
+                if policy.mode == "graceful":
+                    self.dispatcher.quiesce(None)
+                else:
+                    timeout = policy.drain_timeout if policy.mode == "deadline" else 0.0
+                    if not self.dispatcher.quiesce(timeout):
+                        # deadline passed: evict lock waiters (their txns
+                        # abort like deadlock victims) and wait out the
+                        # statements that are genuinely executing
+                        self.database.locks.bounce_waiters()
+                        self.dispatcher.quiesce(None)
+            except BaseException:
+                # drain failed (e.g. a concurrent crash() raced us): lift
+                # the barrier rather than leave parked requests hanging
+                self.lifecycle = "running"
+                self._restart_deadline = None
+                self.dispatcher.resume()
+                raise
+        with tracer.span("server.swap", server=self.name, bump_catalog=policy.bump_catalog):
+            with self._engine_mutex:
+                try:
+                    self._require_up()  # a mid-drain crash beat us to the swap
+                    self.lifecycle = "swapping"
+                    ridden = len(self.sessions)
+                    for session_id in list(self.sessions):
+                        self.disconnect(session_id)
+                    self.database.checkpoint()
+                    self._boot()
+                    if policy.bump_catalog:
+                        self.database.bump_catalog_version()
+                    self.stats.restarts += 1
+                    self.drain_stats.drains_completed += 1
+                    self.drain_stats.sessions_ridden_through += ridden
+                finally:
+                    self.lifecycle = "running"
+                    self._restart_deadline = None
+                    self.dispatcher.resume()
+        pause = time.monotonic() - start
+        self.drain_stats.statements_bounced += (
+            self.lock_stats.drain_bounces - bounced_before
+        )
+        self.drain_stats.max_pause_seconds = max(
+            self.drain_stats.max_pause_seconds, pause
+        )
+        return self.last_recovery
 
     def shutdown(self) -> None:
         """Clean shutdown: checkpoint, then stop."""
@@ -223,9 +386,14 @@ class DatabaseServer:
         Returns the reaped session ids."""
         with self._engine_mutex:
             self._require_up()
+            # A session parked behind the drain barrier looks idle (its last
+            # request is queued, not stamped) but its client is alive and
+            # blocked mid-request — reaping it would turn a planned pause
+            # into a lost session.
+            parked = self.dispatcher.keys_with_pending()
             reaped = []
             for session_id, session in list(self.sessions.items()):
-                if session.last_epoch < older_than_epoch:
+                if session.last_epoch < older_than_epoch and session_id not in parked:
                     self.disconnect(session_id)
                     reaped.append(session_id)
             return reaped

@@ -28,6 +28,7 @@ __all__ = [
     "CommunicationError",
     "TimeoutError",
     "ServerCrashedError",
+    "ServerRestartingError",
     "SessionLostError",
     "RecoveryError",
 ]
@@ -128,6 +129,20 @@ class TimeoutError(CommunicationError):  # noqa: A001 - intentional shadow
 class ServerCrashedError(CommunicationError):
     """Raised inside the transport when the request's server has crashed and
     not yet been restarted."""
+
+
+class ServerRestartingError(CommunicationError):
+    """The server is executing a *planned* restart (drain/swap) rather than
+    having crashed.  Statements bounced off the drain barrier had their
+    transaction aborted server-side first (like a deadlock victim), so they
+    are safely retryable; pings answered with this error carry the advertised
+    restart state and expected remaining pause so the client can wait
+    politely instead of backing off on crash-tuned intervals."""
+
+    def __init__(self, message: str, *, state: str = "draining", eta_seconds: float = 0.0):
+        super().__init__(message)
+        self.state = state
+        self.eta_seconds = eta_seconds
 
 
 class SessionLostError(OperationalError):

@@ -50,6 +50,7 @@ __all__ = [
     "WIRE_FAULTS",
     "STORAGE_FAULTS",
     "BATCH_FAULTS",
+    "DRAIN_FAULTS",
 ]
 
 
@@ -67,6 +68,13 @@ class FaultKind(enum.Enum):
     #: partial-batch replay.  On a non-batch request this degenerates to
     #: CRASH_BEFORE_EXECUTE.
     CRASH_MID_BATCH = "crash_mid_batch"
+    #: a planned restart (drain + swap) begins at this request and the
+    #: process is killed inside it: ``arg`` 0 dies in the drain window
+    #: (nothing checkpointed), ``arg`` 1 during the swap (after the
+    #: checkpoint, before the fresh engine boots).  Either way the planned
+    #: restart must degrade into the ordinary crash-recovery path with
+    #: exactly-once outcomes intact.
+    CRASH_MID_DRAIN = "crash_mid_drain"
 
 
 #: faults that fire on the wire itself (the chaos explorer's request sweep)
@@ -82,6 +90,9 @@ STORAGE_FAULTS = (FaultKind.TORN_WAL_TAIL, FaultKind.FORCE_FAIL)
 
 #: faults that target positions *inside* a batched wire request
 BATCH_FAULTS = (FaultKind.CRASH_MID_BATCH,)
+
+#: faults that kill the server inside a *planned* restart (drain/swap)
+DRAIN_FAULTS = (FaultKind.CRASH_MID_DRAIN,)
 
 
 @dataclass

@@ -38,6 +38,7 @@ __all__ = [
     "OkResponse",
     "ErrorResponse",
     "PongResponse",
+    "RestartingResponse",
     "encode_message",
     "decode_message",
 ]
@@ -198,6 +199,21 @@ class BatchExecuteResponse(Response):
 class PongResponse(Response):
     server_epoch: int = 0
     up_sessions: int = 0
+
+
+@dataclass
+class RestartingResponse(Response):
+    """Ping reply while a *planned* restart is in progress.
+
+    The server is alive (this reply proves it) but paused: ``state`` is the
+    lifecycle phase (``draining``/``swapping``) and ``eta_seconds`` the
+    advertised remaining pause, so the client waits politely at a flat
+    interval instead of applying crash-tuned exponential backoff.
+    """
+
+    state: str = "draining"
+    eta_seconds: float = 0.0
+    server_epoch: int = 0
 
 
 @dataclass

@@ -39,6 +39,7 @@ from repro.net.protocol import (
     PongResponse,
     Request,
     Response,
+    RestartingResponse,
     ResultResponse,
     TableSchemaRequest,
     TableSchemaResponse,
@@ -87,6 +88,12 @@ class ServerEndpoint:
         self.epoch += 1
         return report
 
+    def drain_and_restart(self, policy=None):
+        """Planned restart (drain + engine swap) and bump the epoch."""
+        report = self.server.drain_and_restart(policy)
+        self.epoch += 1
+        return report
+
     # -- the wire ------------------------------------------------------------
 
     def handle(self, raw_request: bytes) -> bytes:
@@ -111,6 +118,22 @@ class ServerEndpoint:
         if self.latency:
             time.sleep(self.latency / 2)
         try:
+            # Pings bypass the dispatcher while a *planned* restart is in
+            # progress: parked behind the drain barrier they could tell the
+            # client nothing until the swap is over — answered here, they
+            # advertise RESTARTING + the expected remaining pause, which is
+            # what lets the driver back off politely instead of treating
+            # the pause as a crash.
+            if isinstance(request, PingRequest) and self.server.up:
+                state = self.server.lifecycle
+                if state != "running":
+                    return encode_message(
+                        RestartingResponse(
+                            state=state,
+                            eta_seconds=self.server.restart_eta_seconds(),
+                            server_epoch=self.epoch,
+                        )
+                    )
             return self.server.dispatcher.run(key, lambda: self._serve(request, corr))
         finally:
             if self.latency:
@@ -153,6 +176,27 @@ class ServerEndpoint:
                 self.server.crash()
                 raise errors.CommunicationError(
                     "connection reset by peer (server crashed mid-batch)"
+                )
+            if fault is FaultKind.CRASH_MID_DRAIN:
+                # A planned restart begins while this request is already on
+                # a worker, and the process is killed inside it: arg 0 dies
+                # in the drain window (before the checkpoint), arg 1 during
+                # the swap (after the checkpoint, before the fresh engine
+                # boots).  Either way the planned restart degrades into the
+                # unplanned crash path — crash() lifts the drain barrier so
+                # parked requests observe the dead server and recover.
+                try:
+                    self.server.begin_drain()
+                except errors.OperationalError:
+                    pass  # already draining/down — the kill below still lands
+                if fault_arg:
+                    try:
+                        self.server.checkpoint()
+                    except errors.Error:
+                        pass
+                self.server.crash()
+                raise errors.CommunicationError(
+                    "connection reset by peer (server crashed mid-drain)"
                 )
             if fault is FaultKind.TORN_WAL_TAIL:
                 # armed on the device; fires at this request's first log append

@@ -64,6 +64,12 @@ def main(argv: list[str] | None = None) -> int:
         help="print the lock-wait section: every lock.wait event with the "
         "waits-for graph observed while that waiter slept",
     )
+    parser.add_argument(
+        "--restarts",
+        action="store_true",
+        help="print the planned-restart section: every server.drain / "
+        "server.swap span with its mode and duration",
+    )
     args = parser.parse_args(argv)
 
     if args.load:
@@ -104,6 +110,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.locks:
         print()
         print(render_lock_waits(records))
+    if args.restarts:
+        print()
+        print(render_restarts(records))
     return 0
 
 
@@ -124,6 +133,34 @@ def render_lock_waits(records: list[dict]) -> str:
         graph = attrs.get("waits_for") or {}
         for txn, blockers in sorted(graph.items()):
             lines.append(f"      waits-for: txn {txn} -> {blockers}")
+    return "\n".join(lines)
+
+
+def render_restarts(records: list[dict]) -> str:
+    """The planned-restart section: one line per ``server.drain`` /
+    ``server.swap`` span (mode, catalog bump, duration), in trace order —
+    the operator's view of how long each pause actually was."""
+    spans = [
+        r
+        for r in records
+        if r.get("kind") == "span" and r.get("name") in ("server.drain", "server.swap")
+    ]
+    spans.sort(key=lambda r: r.get("start", 0.0))
+    lines = [f"planned restarts: {sum(1 for r in spans if r['name'] == 'server.drain')}"]
+    for record in spans:
+        attrs = record.get("attrs", {})
+        duration_ms = (record.get("end", 0.0) - record.get("start", 0.0)) * 1000
+        if record["name"] == "server.drain":
+            detail = f"mode={attrs.get('mode', '?')}"
+            timeout = attrs.get("drain_timeout")
+            if timeout is not None:
+                detail += f" drain_timeout={timeout}s"
+        else:
+            detail = f"bump_catalog={attrs.get('bump_catalog', False)}"
+        lines.append(
+            f"  {record['name']} [{attrs.get('server', '?')}] "
+            f"{detail}: {duration_ms:.2f} ms"
+        )
     return "\n".join(lines)
 
 

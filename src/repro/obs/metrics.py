@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # real imports are deferred: engine/net modules import
     # repro.obs.tracer at module load, so importing them here would cycle
     from repro.engine.locks import LockStats
     from repro.engine.plancache import EngineMetrics
+    from repro.engine.server import DrainStats
     from repro.engine.wal import WalStats
     from repro.net.metrics import NetworkMetrics
 
@@ -125,6 +126,8 @@ _SPAN_HISTOGRAMS = {
     "recovery.phase1.virtual_session": "recovery.phase1",
     "recovery.phase2.sql_state": "recovery.phase2",
     "engine.recovery": "engine.recovery",
+    "server.drain": "server.drain",
+    "server.swap": "server.swap",
 }
 
 
@@ -141,7 +144,8 @@ class MetricsRegistry:
     def __init__(self, *, network: NetworkMetrics | None = None,
                  engine: EngineMetrics | None = None,
                  wal: WalStats | None = None,
-                 locks: LockStats | None = None):
+                 locks: LockStats | None = None,
+                 server: DrainStats | None = None):
         if network is None:
             from repro.net.metrics import NetworkMetrics
             network = NetworkMetrics()
@@ -154,10 +158,14 @@ class MetricsRegistry:
         if locks is None:
             from repro.engine.locks import LockStats
             locks = LockStats()
+        if server is None:
+            from repro.engine.server import DrainStats
+            server = DrainStats()
         self.network = network
         self.engine = engine
         self.wal = wal
         self.locks = locks
+        self.server = server
         self.histograms: dict[str, Histogram] = {}
 
     def histogram(self, name: str, **kwargs) -> Histogram:
@@ -196,6 +204,7 @@ class MetricsRegistry:
             "engine": self.engine.snapshot(),
             "wal": self.wal.snapshot(),
             "locks": self.locks.snapshot(),
+            "server": self.server.snapshot(),
             "histograms": {
                 name: hist.snapshot() for name, hist in sorted(self.histograms.items())
             },
@@ -208,4 +217,5 @@ class MetricsRegistry:
         self.engine.reset()
         self.wal.reset()
         self.locks.reset()
+        self.server.reset()
         self.histograms.clear()

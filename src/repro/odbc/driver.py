@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import InterfaceError, SessionLostError
+from repro.errors import InterfaceError, ServerRestartingError, SessionLostError
 from repro.net.metrics import NetworkMetrics
 from repro.net.protocol import (
     AdvanceRequest,
@@ -24,6 +24,7 @@ from repro.net.protocol import (
     FetchRequest,
     PingRequest,
     PongResponse,
+    RestartingResponse,
     ResultResponse,
     TableSchemaRequest,
     TableSchemaResponse,
@@ -51,9 +52,22 @@ class NativeDriver:
 
     def ping(self) -> PongResponse:
         """Liveness probe on a throwaway channel (so a dead server does not
-        break any long-lived connection state)."""
+        break any long-lived connection state).
+
+        A server mid-planned-restart answers with
+        :class:`~repro.net.protocol.RestartingResponse`; that surfaces as
+        :class:`~repro.errors.ServerRestartingError` carrying the advertised
+        state and remaining pause, so the caller's backoff can distinguish
+        a polite wait from a crash."""
         channel = ClientChannel(self.endpoint, metrics=self.metrics)
         response = channel.send(PingRequest())
+        if isinstance(response, RestartingResponse):
+            raise ServerRestartingError(
+                f"server restarting ({response.state}), "
+                f"expected back in {response.eta_seconds:.3f}s",
+                state=response.state,
+                eta_seconds=response.eta_seconds,
+            )
         assert isinstance(response, PongResponse)
         return response
 

@@ -382,6 +382,149 @@ def test_autobatch_off_by_default():
     assert repro.PhoenixConfig().dml_autobatch is False
 
 
+# ------------------------------------------------------- drain x batch straddle
+
+
+def test_inflight_batch_group_forces_before_drain_swap():
+    """A batch already executing when a graceful drain begins must run to
+    completion — group force included — before the engine swap, never be
+    split by it."""
+    import threading
+    import time
+
+    from repro.engine.server import RestartPolicy
+
+    system = repro.make_system()
+    _create_table(system)
+    connection = system.phoenix.connect(system.DSN)
+    _auto_restart(system, connection)
+    cursor = connection.cursor()
+    cursor.set_attr(StatementAttr.BATCH_SIZE, 3)
+
+    entered, release = threading.Event(), threading.Event()
+    original = system.server.execute_batch
+
+    def slow_batch(session_id, statements, **kwargs):
+        entered.set()
+        release.wait(5.0)
+        return original(session_id, statements, **kwargs)
+
+    system.server.execute_batch = slow_batch
+    failures: list[str] = []
+
+    def run_batch() -> None:
+        try:
+            cursor.executemany(
+                "INSERT INTO t VALUES (?, ?)", [[k, float(k)] for k in (1, 2, 3)]
+            )
+        except Exception as exc:  # noqa: BLE001 — reported via the assertion
+            failures.append(f"{type(exc).__name__}: {exc}")
+
+    client = threading.Thread(target=run_batch)
+    client.start()
+    assert entered.wait(5.0)
+    drainer = threading.Thread(
+        target=system.endpoint.drain_and_restart,
+        args=(RestartPolicy(mode="graceful"),),
+    )
+    drainer.start()
+    time.sleep(0.05)
+    # the swap must be parked behind the in-flight batch
+    assert drainer.is_alive()
+    assert system.registry.server.drains_completed == 0
+    group_forces_before = system.registry.wal.group_forces
+
+    release.set()
+    client.join(5.0)
+    drainer.join(5.0)
+    assert not client.is_alive() and not drainer.is_alive()
+    assert failures == []
+    assert cursor.rowcount == 3
+    # the batch's one group force happened (before the checkpoint), and the
+    # swapped-in engine carries every row exactly once
+    assert system.registry.wal.group_forces == group_forces_before + 1
+    assert _table_rows(system) == [(1, 1.0), (2, 2.0), (3, 3.0)]
+    connection.close()
+
+
+def test_batch_parked_behind_drain_resolves_exactly_once_after_swap():
+    """A batch submitted *during* the drain parks behind the barrier, runs
+    against the swapped-in engine, loses its session, and is resolved by
+    ``resolve_batch`` on recovery — every statement lands exactly once,
+    none twice, none dropped."""
+    import threading
+    import time
+
+    from repro.engine.server import RestartPolicy
+
+    system = repro.make_system()
+    _create_table(system)
+    blocker = system.phoenix.connect(system.DSN)
+    _auto_restart(system, blocker)
+    batcher = system.phoenix.connect(system.DSN)
+    _auto_restart(system, batcher)
+    cursor = batcher.cursor()
+    cursor.set_attr(StatementAttr.BATCH_SIZE, 3)
+
+    entered, release = threading.Event(), threading.Event()
+    original = system.server.execute
+
+    def slow_execute(session_id, sql, **kwargs):
+        # Phoenix re-renders the predicate with explicit parens
+        if "k = 999" in sql:
+            entered.set()
+            release.wait(5.0)
+        return original(session_id, sql, **kwargs)
+
+    system.server.execute = slow_execute
+    failures: list[str] = []
+
+    def run_blocker() -> None:
+        try:
+            blocker.cursor().execute("UPDATE t SET v = 9.0 WHERE k = 999")
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"blocker {type(exc).__name__}: {exc}")
+
+    def run_batch() -> None:
+        try:
+            cursor.executemany(
+                "INSERT INTO t VALUES (?, ?)", [[k, float(k)] for k in (1, 2, 3)]
+            )
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"batch {type(exc).__name__}: {exc}")
+
+    blocker_thread = threading.Thread(target=run_blocker)
+    blocker_thread.start()
+    assert entered.wait(5.0)  # the blocker holds the drain open
+    drainer = threading.Thread(
+        target=system.endpoint.drain_and_restart,
+        args=(RestartPolicy(mode="graceful"),),
+    )
+    drainer.start()
+    deadline = time.monotonic() + 5.0
+    while system.server.lifecycle != "draining":
+        assert time.monotonic() < deadline
+        time.sleep(0.001)
+
+    batch_thread = threading.Thread(target=run_batch)
+    batch_thread.start()
+    deadline = time.monotonic() + 5.0
+    while batcher.app.session_id not in system.server.dispatcher.keys_with_pending():
+        assert time.monotonic() < deadline, "the batch never parked behind the barrier"
+        time.sleep(0.001)
+
+    release.set()
+    for thread in (blocker_thread, drainer, batch_thread):
+        thread.join(5.0)
+        assert not thread.is_alive()
+    assert failures == []
+    assert cursor.rowcount == 3
+    assert batcher.stats.recoveries >= 1  # the parked batch rode through
+    assert _table_rows(system) == [(1, 1.0), (2, 2.0), (3, 3.0)]
+    blocker.close()
+    batcher.close()
+
+
 # ------------------------------------------------------------ chaos batch sweep
 
 
