@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links or anchors in the repo's markdown docs.
+
+Scans ``README.md`` and every ``*.md`` under ``docs/`` for markdown links.
+External links (``http(s)://``, ``mailto:``) are ignored; everything else
+must resolve:
+
+* a relative path link must point at an existing file or directory
+  (resolved against the file containing the link);
+* a ``#fragment`` — bare or appended to a path — must match a heading
+  anchor in the target file, using GitHub's slug rules (lowercase, spaces
+  to dashes, punctuation dropped).
+
+Exit status 0 = clean, 1 = dead links (each printed as
+``file: link — reason``).  Stdlib only, so CI can run it with no install
+step beyond the checkout.
+
+Usage::
+
+    python scripts/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links: [text](target) — images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ATX headings, the only heading style the repo's docs use
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm: strip markup, lowercase, drop
+    punctuation, spaces to dashes."""
+    text = re.sub(r"[`*]|\[|\]|\(.*?\)", "", heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor in a markdown file (fenced code skipped)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    # strip fenced code blocks so example links aren't checked
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw_path, _, fragment = target.partition("#")
+        if raw_path:
+            resolved = (path.parent / raw_path).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(root)}: {target} — missing file")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                problems.append(
+                    f"{path.relative_to(root)}: {target} — anchor on a non-markdown target"
+                )
+            elif fragment.lower() not in anchors_of(resolved):
+                problems.append(f"{path.relative_to(root)}: {target} — missing anchor")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    problems: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            continue
+        checked += 1
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem)
+    print(f"checked {checked} file(s): {len(problems)} dead link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

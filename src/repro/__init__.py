@@ -152,6 +152,7 @@ def make_system(
         wal_stats=registry.wal,
         lock_stats=registry.locks,
         drain_stats=registry.server,
+        time_travel_stats=registry.timetravel,
     )
     endpoint = ServerEndpoint(server)
     native = NativeDriver(endpoint, metrics=registry.network)

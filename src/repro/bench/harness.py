@@ -54,6 +54,11 @@ __all__ = [
     "contention_speedup",
     "RestartBreakdownRow",
     "run_restart_breakdown",
+    "PlannedRestartResult",
+    "run_planned_restart",
+    "TimeTravelReconstructRow",
+    "TimeTravelResult",
+    "run_time_travel",
 ]
 
 
@@ -1933,3 +1938,223 @@ def run_restart_breakdown(
             )
         )
     return rows
+
+
+# ================================================================== time travel
+
+
+@dataclass
+class TimeTravelReconstructRow:
+    """One point of the reconstruction-cost sweep: rebuild the latest cut
+    from a cold snapshot cache over a log of the given length."""
+
+    commits: int
+    log_records: int
+    cut_lsn: int
+    records_replayed: int
+    reconstruct_seconds: float
+
+
+@dataclass
+class TimeTravelResult:
+    """Experiment TT: what point-in-time queries cost and whether they tell
+    the truth.
+
+    Four measurements share the artifact.  *Reconstruction vs log length*
+    rebuilds the newest cut cold at several workload sizes (the cost is
+    linear in log records — there is no snapshot shortcut by design).
+    *AS OF latency* compares a live ``SELECT`` against the same query
+    ``AS OF`` a historical cut, cold (first touch pays a reconstruction)
+    and warm (the LRU snapshot answers).  The *fingerprint sweep* is the
+    correctness guard: a timestamp is pinned after **every** commit of the
+    largest workload — spanning a mid-run checkpoint truncation — and every
+    pinned cut must reproduce its live fingerprint exactly
+    (``fingerprints_match``).  The *ride-through* phase runs 16 Phoenix
+    clients through one ``restore_to`` (to now) mid-workload:
+    ``client_errors`` must be 0, every increment must survive exactly once,
+    and a cut pinned before the restore must still reconstruct after it.
+    """
+
+    # reconstruction cost vs log length
+    reconstruct: list[TimeTravelReconstructRow]
+    # AS OF latency vs a live read (same query, same table)
+    live_select_seconds: float
+    as_of_cold_seconds: float
+    as_of_warm_seconds: float
+    snapshot_hits: int
+    # the sweep guard: AS OF must reproduce every pinned cut exactly
+    cuts_pinned: int
+    cuts_matched: int
+    fingerprints_match: bool
+    # restore_to ride-through under load
+    clients: int
+    ops_total: int
+    client_errors: int
+    restore_seconds: float
+    restore_sessions_ridden: int
+    restore_commits_discarded: int
+    ride_through_exactly_once: bool
+    pre_restore_cut_ok: bool
+
+
+def _time_travel_statement(i: int) -> str:
+    """Deterministic insert/update/delete mix, one commit per statement."""
+    if i % 7 == 3 and i > 8:
+        return f"DELETE FROM tt_bench WHERE k = {i - 7}"
+    if i % 3 == 0 and i > 3:
+        return f"UPDATE tt_bench SET v = v + {i} WHERE k = {i - 3}"
+    return f"INSERT INTO tt_bench VALUES ({i}, {i * 10})"
+
+
+def run_time_travel(
+    *,
+    sizes: tuple[int, ...] = (16, 64, 128),
+    latency_trials: int = 20,
+    clients: int = 16,
+    ops_per_client: int = 30,
+    latency: float = 0.002,
+    drain_timeout: float = 0.25,
+) -> TimeTravelResult:
+    """Measure time-travel cost and verify it end to end (see
+    :class:`TimeTravelResult`)."""
+    import threading
+
+    reconstruct_rows: list[TimeTravelReconstructRow] = []
+    cuts_pinned = cuts_matched = 0
+    live_seconds = cold_seconds = warm_seconds = 0.0
+    snapshot_hits = 0
+
+    for size in sizes:
+        system = repro.make_system()
+        manager = system.server.time_travel
+        session = system.server.connect(user="tt_bench")
+        system.server.execute(
+            session, "CREATE TABLE tt_bench (k INT PRIMARY KEY, v INT)"
+        )
+        pins: list[tuple[float, tuple]] = []
+        for i in range(size):
+            system.server.execute(session, _time_travel_statement(i))
+            if i == size // 2:
+                # a checkpoint truncates the live log mid-sweep: every cut
+                # pinned before it must survive via the log archive
+                system.server.database.checkpoint()
+            ts = manager.clock.now()
+            data = system.server.execute(session, "SELECT * FROM tt_bench")
+            pins.append((ts, tuple(sorted(data.result_set.rows))))
+
+        # (a) cold reconstruction of the newest cut over the whole history
+        manager._snapshots.clear()
+        started = time.perf_counter()
+        snapshot = manager.snapshot_at(pins[-1][0])
+        reconstruct_rows.append(
+            TimeTravelReconstructRow(
+                commits=size,
+                log_records=snapshot.info.records_scanned,
+                cut_lsn=snapshot.cut_lsn,
+                records_replayed=snapshot.info.records_replayed,
+                reconstruct_seconds=time.perf_counter() - started,
+            )
+        )
+
+        # (c) the sweep guard: every pinned cut must reproduce exactly
+        for ts, expected in pins:
+            data = system.server.execute(
+                session, f"SELECT * FROM tt_bench AS OF {ts!r}"
+            )
+            cuts_pinned += 1
+            if tuple(sorted(data.result_set.rows)) == expected:
+                cuts_matched += 1
+
+        if size == max(sizes):
+            # (b) AS OF latency on the largest history, against a mid cut
+            mid_ts = pins[len(pins) // 2][0]
+            started = time.perf_counter()
+            for _ in range(latency_trials):
+                system.server.execute(session, "SELECT * FROM tt_bench")
+            live_seconds = (time.perf_counter() - started) / latency_trials
+            manager._snapshots.clear()
+            started = time.perf_counter()
+            system.server.execute(session, f"SELECT * FROM tt_bench AS OF {mid_ts!r}")
+            cold_seconds = time.perf_counter() - started
+            hits_before = manager.stats.snapshot_hits
+            started = time.perf_counter()
+            for _ in range(latency_trials):
+                system.server.execute(
+                    session, f"SELECT * FROM tt_bench AS OF {mid_ts!r}"
+                )
+            warm_seconds = (time.perf_counter() - started) / latency_trials
+            snapshot_hits = manager.stats.snapshot_hits - hits_before
+        system.server.disconnect(session)
+
+    # (d) restore_to ride-through: 16 Phoenix clients, one restore-to-now
+    # mid-workload; nothing committed is discarded, so exactly-once holds
+    system = repro.make_system()
+    system.endpoint.latency = latency
+    loader = system.server.connect(user="loader")
+    system.server.execute(loader, "CREATE TABLE tt_ride (k INT PRIMARY KEY, v INT)")
+    for i in range(clients):
+        system.server.execute(loader, f"INSERT INTO tt_ride VALUES ({i}, 0)")
+    pre_ts = system.server.time_travel.clock.now()
+    data = system.server.execute(loader, "SELECT * FROM tt_ride")
+    pre_fingerprint = tuple(sorted(data.result_set.rows))
+    system.server.disconnect(loader)
+
+    connections = [
+        system.phoenix.connect(system.DSN, user=f"tt{i}") for i in range(clients)
+    ]
+    errors_seen: list[str] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def run_client(connection, key: int) -> None:
+        try:
+            cursor = connection.cursor()
+            barrier.wait()
+            for _ in range(ops_per_client):
+                cursor.execute(f"UPDATE tt_ride SET v = v + 1 WHERE k = {key}")
+        except Exception as exc:
+            errors_seen.append(f"{type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=run_client, args=(connections[i], i), name=f"tt-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    time.sleep(max(0.01, ops_per_client * latency / 2))
+    report = system.endpoint.restore_to(
+        None, policy=repro.RestartPolicy(mode="deadline", drain_timeout=drain_timeout)
+    )
+    for thread in threads:
+        thread.join()
+    for connection in connections:
+        try:
+            connection.close()
+        except Exception:
+            pass
+
+    verifier = system.server.connect(user="verifier")
+    data = system.server.execute(verifier, "SELECT k, v FROM tt_ride ORDER BY k")
+    exactly_once = all(row[1] == ops_per_client for row in data.result_set.rows)
+    data = system.server.execute(verifier, f"SELECT * FROM tt_ride AS OF {pre_ts!r}")
+    pre_cut_ok = tuple(sorted(data.result_set.rows)) == pre_fingerprint
+    system.server.disconnect(verifier)
+
+    return TimeTravelResult(
+        reconstruct=reconstruct_rows,
+        live_select_seconds=live_seconds,
+        as_of_cold_seconds=cold_seconds,
+        as_of_warm_seconds=warm_seconds,
+        snapshot_hits=snapshot_hits,
+        cuts_pinned=cuts_pinned,
+        cuts_matched=cuts_matched,
+        fingerprints_match=cuts_matched == cuts_pinned,
+        clients=clients,
+        ops_total=clients * ops_per_client,
+        client_errors=len(errors_seen),
+        restore_seconds=report.seconds,
+        restore_sessions_ridden=report.sessions_ridden,
+        restore_commits_discarded=report.commits_discarded,
+        ride_through_exactly_once=exactly_once,
+        pre_restore_cut_ok=pre_cut_ok,
+    )

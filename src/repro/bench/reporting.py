@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench.reporting concurrency --json BENCH_concurrency.json
     python -m repro.bench.reporting restart --json BENCH_restart.json
     python -m repro.bench.reporting plannedrestart --json BENCH_planned_restart.json
+    python -m repro.bench.reporting timetravel --json BENCH_time_travel.json
     python -m repro.bench.reporting all
 
 Output mirrors the paper's layout: Table 1's columns are query id, result
@@ -40,6 +41,7 @@ from repro.bench.harness import (
     RecoveryBreakdownRow,
     RestartBreakdownRow,
     Table1Row,
+    TimeTravelResult,
     WireBatchResult,
     run_availability_experiment,
     run_chaos_experiment,
@@ -51,6 +53,7 @@ from repro.bench.harness import (
     run_recovery_breakdown,
     run_restart_breakdown,
     run_table1_power_comparison,
+    run_time_travel,
     run_wire_batch,
 )
 
@@ -66,6 +69,7 @@ __all__ = [
     "render_concurrency",
     "render_restart_breakdown",
     "render_planned_restart",
+    "render_time_travel",
     "main",
 ]
 
@@ -282,6 +286,43 @@ def render_planned_restart(result: PlannedRestartResult) -> str:
     return "\n".join(lines)
 
 
+def render_time_travel(result: TimeTravelResult) -> str:
+    """Experiment TT: AS OF cost, the fingerprint sweep guard, and the
+    restore_to ride-through."""
+    lines = [
+        "Experiment TT. Time travel from the WAL: AS OF queries and restore_to",
+        f"{'Commits':>8} {'Log recs':>9} {'Replayed':>9} {'Cut LSN':>9} {'Reconstruct (ms)':>17}",
+    ]
+    for row in result.reconstruct:
+        lines.append(
+            f"{row.commits:>8} {row.log_records:>9} {row.records_replayed:>9} "
+            f"{row.cut_lsn:>9} {row.reconstruct_seconds * 1e3:>17.3f}"
+        )
+    lines.append(
+        f"AS OF latency vs live read: live {result.live_select_seconds * 1e3:.3f} ms, "
+        f"cold {result.as_of_cold_seconds * 1e3:.3f} ms, "
+        f"warm {result.as_of_warm_seconds * 1e3:.3f} ms "
+        f"({result.snapshot_hits} snapshot hits)"
+    )
+    guard = "exact" if result.fingerprints_match else "MISMATCH"
+    lines.append(
+        f"fingerprint sweep: {result.cuts_matched}/{result.cuts_pinned} "
+        f"pinned cuts reproduced — {guard}"
+    )
+    once = "exactly once" if result.ride_through_exactly_once else "LOST OR DOUBLED"
+    pre = "still exact" if result.pre_restore_cut_ok else "DIVERGED"
+    lines.append(
+        f"restore_to ride-through: {result.clients} clients x "
+        f"{result.ops_total // result.clients} UPDATEs, restore in "
+        f"{result.restore_seconds * 1e3:.2f} ms, "
+        f"{result.restore_sessions_ridden} sessions ridden, "
+        f"{result.restore_commits_discarded} commits discarded, "
+        f"{result.client_errors} client errors; updates applied {once}; "
+        f"pre-restore cut {pre}"
+    )
+    return "\n".join(lines)
+
+
 def render_concurrency(result: ConcurrencyResult, chaos: dict | None = None) -> str:
     """Experiment CC: threaded dispatch throughput + parallel recovery."""
     lines = [
@@ -433,6 +474,36 @@ def _planned_restart_json(result: PlannedRestartResult) -> dict:
         "crash_recoveries": result.crash_recoveries,
         "planned_p99_below_crash": result.planned_p99 < result.crash_p99,
         "fingerprints_match": result.fingerprints_match,
+    }
+
+
+def _time_travel_json(result: TimeTravelResult) -> dict:
+    return {
+        "reconstruct": [
+            {
+                "commits": row.commits,
+                "log_records": row.log_records,
+                "records_replayed": row.records_replayed,
+                "cut_lsn": row.cut_lsn,
+                "reconstruct_seconds": row.reconstruct_seconds,
+            }
+            for row in result.reconstruct
+        ],
+        "live_select_seconds": result.live_select_seconds,
+        "as_of_cold_seconds": result.as_of_cold_seconds,
+        "as_of_warm_seconds": result.as_of_warm_seconds,
+        "snapshot_hits": result.snapshot_hits,
+        "cuts_pinned": result.cuts_pinned,
+        "cuts_matched": result.cuts_matched,
+        "fingerprints_match": result.fingerprints_match,
+        "clients": result.clients,
+        "ops_total": result.ops_total,
+        "client_errors": result.client_errors,
+        "restore_seconds": result.restore_seconds,
+        "restore_sessions_ridden": result.restore_sessions_ridden,
+        "restore_commits_discarded": result.restore_commits_discarded,
+        "ride_through_exactly_once": result.ride_through_exactly_once,
+        "pre_restore_cut_ok": result.pre_restore_cut_ok,
     }
 
 
@@ -600,6 +671,7 @@ def main(argv: list[str] | None = None) -> int:
             "concurrency",
             "restart",
             "plannedrestart",
+            "timetravel",
             "all",
         ],
     )
@@ -689,6 +761,10 @@ def main(argv: list[str] | None = None) -> int:
         planned = run_planned_restart()
         print(render_planned_restart(planned))
         payload["planned_restart"] = _planned_restart_json(planned)
+    if args.artifact in ("timetravel", "all"):
+        time_travel = run_time_travel()
+        print(render_time_travel(time_travel))
+        payload["time_travel"] = _time_travel_json(time_travel)
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -18,7 +18,13 @@ from functools import cached_property
 
 from repro.chaos.oracle import check_run
 from repro.chaos.trace import ChaosTrace, TraceRecord, probe_dml_trace, run_trace
-from repro.net.faults import DRAIN_FAULTS, STORAGE_FAULTS, WIRE_FAULTS, FaultKind
+from repro.net.faults import (
+    DRAIN_FAULTS,
+    RESTORE_FAULTS,
+    STORAGE_FAULTS,
+    WIRE_FAULTS,
+    FaultKind,
+)
 
 __all__ = ["ChaosExplorer", "ChaosReport", "ChaosRunResult"]
 
@@ -194,6 +200,24 @@ class ChaosExplorer:
         """
         report = ChaosReport(golden_requests=self.golden.requests_seen)
         for kind in DRAIN_FAULTS:
+            for index in range(0, self.golden.requests_seen, stride):
+                for arg in (0, 1):
+                    report.results.append(self.run_schedule(((index, kind, arg),)))
+        return report
+
+    def sweep_restore_faults(self, *, stride: int = 1) -> ChaosReport:
+        """CRASH_MID_RESTORE at every request index, at both kill positions.
+
+        A ``restore_to`` begins while the scheduled request is in flight and
+        the process dies inside it: arg 0 kills during the drain window
+        (storage untouched), arg 1 after the storage rewrite — a restore *to
+        now*, which preserves every committed transaction, so the golden
+        comparison stays valid — but before the fresh engine boots.  Both
+        must degrade into ordinary crash recovery with exactly-once
+        outcomes: a restore must never be *less* safe than a crash.
+        """
+        report = ChaosReport(golden_requests=self.golden.requests_seen)
+        for kind in RESTORE_FAULTS:
             for index in range(0, self.golden.requests_seen, stride):
                 for arg in (0, 1):
                     report.results.append(self.run_schedule(((index, kind, arg),)))

@@ -16,6 +16,10 @@ Each check maps to one of the paper's guarantees:
   caught.
 * **hygiene** — after a clean close the server must hold no orphaned
   sessions or cursors and no leftover ``phx_*`` objects.
+* **time travel** — moments pinned between steps while the run executed
+  must still reconstruct (``AS OF``) to the fingerprints captured live,
+  across every crash, recovery, and checkpoint truncation in between
+  (the run carries its violations in ``time_travel_violations``).
 """
 
 from __future__ import annotations
@@ -47,6 +51,8 @@ def check_run(golden: TraceRecord, run: TraceRecord) -> list[str]:
                 f"{'<absent>' if actual is None else len(actual)} "
                 f"(first diff: {_first_row_diff(expected, actual)})"
             )
+
+    violations.extend(run.time_travel_violations)
 
     if run.orphan_sessions:
         violations.append(

@@ -156,6 +156,11 @@ class TraceRecord:
     recovery_pings: int = 0
     virtual_session_seconds: float = 0.0
     sql_state_seconds: float = 0.0
+    #: (step_index, ts) moments pinned between steps while the run executed
+    time_travel_cuts: tuple = ()
+    #: end-of-run ``AS OF`` replay failures: each pinned moment must
+    #: reproduce the table fingerprints captured when it was pinned
+    time_travel_violations: tuple[str, ...] = ()
 
 
 def run_trace(
@@ -204,11 +209,13 @@ def _run_trace(
 
     record = TraceRecord()
     connection = None
+    tt_cuts: list[tuple[int, float, dict[str, tuple]]] = []
     try:
         connection = system.phoenix.connect(system.DSN)
         cursor = connection.cursor()
         for index, step in enumerate(trace.steps):
             _run_step(record, connection, cursor, index, step)
+            _pin_time_travel_cut(system, connection, trace, index, tt_cuts)
         record.completed = True
     except Exception as exc:  # the oracle reports it; nothing may escape
         record.error = f"{type(exc).__name__}: {exc}"
@@ -219,6 +226,8 @@ def _run_trace(
         record.status_rows = _read_status(system, connection.names.status_table)
     for table in trace.tables:
         record.fingerprints[table] = _fingerprint(system, table)
+    record.time_travel_cuts = tuple((index, ts) for index, ts, _ in tt_cuts)
+    record.time_travel_violations = tuple(_replay_time_travel_cuts(system, tt_cuts))
 
     # --- clean close, then post-close hygiene ------------------------------
     if connection is not None:
@@ -288,6 +297,59 @@ def _run_step(record, connection, cursor, index, step) -> None:
     cursor.set_attr(StatementAttr.CURSOR_TYPE, CursorType.FORWARD_ONLY)
     cursor.execute(step.sql)
     record.observations.append((step.op, index, cursor.rowcount))
+
+
+def _pin_time_travel_cut(system, connection, trace, index, cuts) -> None:
+    """Stamp a moment strictly between this step's commits and the next
+    step's (the commit clock is shared and strictly monotonic, so the stamp
+    is a guaranteed-valid cut) and fingerprint every user table server-side.
+    At the end of the run ``AS OF <stamp>`` must reproduce each fingerprint
+    exactly — the log is the time machine (docs/TIME_TRAVEL.md).  Best
+    effort: a server that is down or mid-drain pins nothing, and neither
+    does a step inside an open application transaction — the live
+    fingerprint would see that transaction's uncommitted rows, which no
+    cut may ever show (``AS OF`` reads committed state only)."""
+    if not system.server.up:
+        return
+    if connection.in_transaction:
+        return
+    try:
+        ts = system.server.time_travel.clock.now()
+        fps = {table: _fingerprint(system, table) for table in trace.tables}
+    except errors.Error:
+        return  # crashed/draining under a fault: no cut to pin
+    cuts.append((index, ts, fps))
+
+
+def _replay_time_travel_cuts(system, cuts) -> list[str]:
+    """End-of-run check: every pinned moment must still reconstruct to the
+    fingerprints captured live — across every crash, recovery, checkpoint
+    truncation, and restore the run performed in between."""
+    violations: list[str] = []
+    for index, ts, fps in cuts:
+        for table, expected in fps.items():
+            session_id = _server_session(system)
+            try:
+                result = system.server.execute(
+                    session_id, f"SELECT * FROM {table} AS OF {ts!r}"
+                )
+                actual = tuple(sorted(result.result_set.rows))
+            except errors.CatalogError:
+                actual = ("<missing>",)
+            except errors.Error as exc:
+                violations.append(
+                    f"cut after step {index} not reconstructible for "
+                    f"{table}: {type(exc).__name__}: {exc}"
+                )
+                continue
+            finally:
+                system.server.disconnect(session_id)
+            if actual != expected:
+                violations.append(
+                    f"cut after step {index} diverged for {table}: "
+                    f"expected {len(expected)} rows, got {len(actual)}"
+                )
+    return violations
 
 
 def _ensure_up(system) -> None:

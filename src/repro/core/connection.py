@@ -915,6 +915,9 @@ class PhoenixConnection:
             or select.distinct
             or select.limit is not None
             or select.into is not None
+            # AS OF rows live in a frozen snapshot the key cursor could not
+            # re-fetch from the live table; use default materialization
+            or getattr(select, "as_of", None) is not None
             or not isinstance(select.from_, ast.TableName)
         ):
             return None

@@ -92,6 +92,9 @@ def with_false_where(select: "ast.Select | ast.UnionSelect") -> "ast.Select | as
         return ast.UnionSelect(
             parts=[with_false_where(part) for part in select.parts],
             all_flags=list(select.all_flags),
+            # the probe must see the same moment: an AS OF query's tables
+            # may exist only in the snapshot (e.g. after a live DROP)
+            as_of=getattr(select, "as_of", None),
         )
     false = ast.Binary("=", ast.Literal(0), ast.Literal(1))
     where = false if select.where is None else ast.Binary("AND", select.where, false)
@@ -103,6 +106,7 @@ def with_false_where(select: "ast.Select | ast.UnionSelect") -> "ast.Select | as
         having=select.having,
         order_by=[],
         distinct=select.distinct,
+        as_of=getattr(select, "as_of", None),
     )
 
 

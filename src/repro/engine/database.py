@@ -26,6 +26,17 @@ _META_CHECKPOINT = "checkpoint_lsn"
 _META_PROCEDURES = "procedures"  # (dict name -> CREATE PROCEDURE sql, snapshot lsn)
 _META_VIEWS = "views"  # (dict name -> CREATE VIEW sql, snapshot lsn)
 _META_INDEXES = "indexes"  # (dict name -> (table, column), snapshot lsn)
+#: time-travel log archive: a list of ``(start_lsn, end_lsn, raw_bytes)``
+#: segments, ascending and non-overlapping.  Truncating the log prefix
+#: would destroy the ability to replay history up to any past cut, so the
+#: truncating (quiescent) checkpoint first copies the bytes it is about to
+#: discard into this archive — extending the last segment when it joins the
+#: live log's base, else opening a new segment.  Reconstruction scans every
+#: segment plus the live log as one record stream; a *gap* between segments
+#: (``end < next start``) is legitimate — it marks history erased by a
+#: ``restore_to`` below the log base — while an *overlap* means the meta is
+#: corrupt (:class:`~repro.errors.TimeTravelError`).
+_META_TT_ARCHIVE = "timetravel_log_archive"
 
 
 class Database:
@@ -59,6 +70,10 @@ class Database:
         #: see :mod:`repro.engine.plancache`.  Volatile: a restart builds a
         #: fresh Database (and fresh caches), so it starts at zero again.
         self.catalog_version = 0
+        #: the server's :class:`~repro.engine.timetravel.TimeTravelManager`,
+        #: attached by ``DatabaseServer._boot`` (None on bare databases).
+        #: ``Executor`` routes ``SELECT ... AS OF`` through it.
+        self.time_travel = None
         #: set by the server's crash(): a worker thread may still be deep in
         #: a statement against this object when the crash hits (a lock wait
         #: wakes into a dead engine) — the flag tells its cleanup path that
@@ -578,8 +593,29 @@ class Database:
         self.storage.write_meta(_META_INDEXES, (indexes, lsn))
         self.storage.write_meta(_META_CHECKPOINT, lsn)
         if not active:
+            self._archive_log_prefix(lsn)
             self.storage.truncate_log_prefix(lsn)
         return lsn
+
+    def _archive_log_prefix(self, lsn: int) -> None:
+        """Copy the log bytes below ``lsn`` into the time-travel archive
+        before :meth:`checkpoint` truncates them (see ``_META_TT_ARCHIVE``).
+        Restart recovery never reads the archive — only point-in-time
+        reconstruction does — so a crash anywhere in here is harmless."""
+        base = getattr(self.storage, "log_base", 0)
+        if lsn <= base:
+            return
+        segments = list(self.storage.read_meta(_META_TT_ARCHIVE, []) or [])
+        chunk = bytes(self.storage.read_log()[: lsn - base])
+        if segments and segments[-1][1] == base:
+            start, _end, blob = segments[-1]
+            segments[-1] = (start, lsn, blob + chunk)
+        else:
+            # The archive does not join the live log (a restore_to erased
+            # history below ``base``, or the log was truncated before this
+            # feature existed): open a new segment and keep the gap.
+            segments.append((base, lsn, chunk))
+        self.storage.write_meta(_META_TT_ARCHIVE, segments)
 
 
 def _parse_index_sql(sql_text: str) -> tuple[str, str]:

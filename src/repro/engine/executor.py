@@ -44,6 +44,30 @@ from repro.sql import ast, parse_script
 __all__ = ["Executor"]
 
 
+def _as_of_timestamp(expr: "ast.Expr") -> float:
+    """The timestamp an ``AS OF`` clause names.
+
+    Only literals qualify: a placeholder would make the cut vary per
+    execution while plan caches and Phoenix's statement log key on SQL
+    text, so the moment must be spelled out in the statement itself.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if isinstance(value, bool):
+            pass  # bools are ints in Python; fall through to the error
+        elif isinstance(value, (int, float)):
+            return float(value)
+        elif isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                pass
+    raise ProgrammingError(
+        "AS OF expects a literal numeric timestamp (placeholders and "
+        "expressions are not supported)"
+    )
+
+
 class Executor:
     """Executes AST statements for one session against one database."""
 
@@ -125,9 +149,17 @@ class Executor:
                     rows=[(line,) for line in lines],
                 )
             )
-        if isinstance(stmt, (ast.Select, ast.UnionSelect)) and stmt.into is None:
-            result_set = self.execute_select(stmt, params=params, placeholders=placeholders)
-            return StatementResult.rows(result_set)
+        if isinstance(stmt, (ast.Select, ast.UnionSelect)):
+            if stmt.into is None:
+                result_set = self.execute_select(
+                    stmt, params=params, placeholders=placeholders
+                )
+                return StatementResult.rows(result_set)
+            if getattr(stmt, "as_of", None) is not None:
+                raise NotSupportedError(
+                    "SELECT ... INTO cannot run AS OF: snapshots are "
+                    "read-only and INTO writes the live database"
+                )
 
         # Everything else mutates: run inside a transaction.
         autocommit = self.session.current_txn is None
@@ -627,6 +659,17 @@ class Executor:
     ) -> ResultSet:
         """Run the full SELECT pipeline and return a materialized result."""
         top_level = outer_scope is None and outer_env is None
+        if (
+            top_level
+            and getattr(select, "as_of", None) is not None
+            and getattr(self, "as_of_cut", None) is None
+        ):
+            # Point-in-time query: route to the snapshot executor for the
+            # cut.  Snapshot executors carry ``as_of_cut`` — they already
+            # *are* the requested moment, so they fall through and run the
+            # same AST normally (the as_of field is resolved, not recursed
+            # on).
+            return self._execute_as_of(select, params=params, placeholders=placeholders)
         if top_level:
             # new statement epoch: per-statement memos inside any reused
             # compiled plan (uncorrelated subqueries, derived tables, views)
@@ -649,6 +692,28 @@ class Executor:
         plan = _SelectPlan(self, select, params or {}, bound, outer_scope)
         bound.check_bound()
         return plan.run(outer_env)
+
+    def _execute_as_of(
+        self,
+        select: "ast.Select | ast.UnionSelect",
+        *,
+        params: dict[str, Any] | None = None,
+        placeholders: list | None = None,
+    ) -> ResultSet:
+        """Run ``select`` against the committed state at its ``AS OF``
+        timestamp (see :mod:`repro.engine.timetravel`)."""
+        manager = self.database.time_travel
+        if manager is None:
+            raise NotSupportedError(
+                "AS OF queries need a server-managed database "
+                "(no time-travel manager is attached)"
+            )
+        ts = _as_of_timestamp(select.as_of)
+        manager.stats.as_of_queries += 1
+        snapshot = manager.snapshot_at(ts)
+        return snapshot.executor.execute_select(
+            select, params=params, placeholders=placeholders
+        )
 
     def _cached_runner(self, select: "ast.Select | ast.UnionSelect"):
         """Compiled plan for a cacheable top-level SELECT, reused across

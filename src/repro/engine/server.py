@@ -40,11 +40,18 @@ from repro.engine.recovery import RecoveryReport, recover
 from repro.engine.results import StatementResult
 from repro.engine.session import Session
 from repro.engine.storage import InMemoryStableStorage, StableStorage
+from repro.engine.timetravel import TimeTravelManager, TimeTravelStats
 from repro.engine.wal import WalStats
 from repro.obs.tracer import get_tracer
 from repro.sql import ast, parse_script
 
-__all__ = ["DatabaseServer", "ServerStats", "RestartPolicy", "DrainStats"]
+__all__ = [
+    "DatabaseServer",
+    "ServerStats",
+    "RestartPolicy",
+    "DrainStats",
+    "RestoreReport",
+]
 
 
 class ServerStats:
@@ -107,6 +114,23 @@ class DrainStats:
         self.__init__()
 
 
+@dataclass
+class RestoreReport:
+    """What one :meth:`DatabaseServer.restore_to` did."""
+
+    ts: float
+    cut_lsn: int
+    cut_end: int
+    #: committed transactions whose effects the restore erased (post-cut)
+    commits_discarded: int = 0
+    records_replayed: int = 0
+    tables: int = 0
+    #: Phoenix sessions disconnected by the swap (they ride through on the
+    #: ordinary recovery path, exactly like a planned restart)
+    sessions_ridden: int = 0
+    seconds: float = 0.0
+
+
 class DatabaseServer:
     """A single-node SQL server over a stable-storage device."""
 
@@ -120,6 +144,7 @@ class DatabaseServer:
         wal_stats: WalStats | None = None,
         lock_stats: LockStats | None = None,
         drain_stats: DrainStats | None = None,
+        time_travel_stats: TimeTravelStats | None = None,
     ):
         self.name = name
         self.storage = storage if storage is not None else InMemoryStableStorage()
@@ -172,6 +197,14 @@ class DatabaseServer:
         #: per-session FIFO dispatch over a dynamic worker pool — the wire
         #: endpoint routes every request through it
         self.dispatcher = SessionDispatcher()
+        #: time-travel surface (AS OF snapshots + restore_to) — one manager
+        #: per server, spanning every database incarnation like the stats
+        #: objects, so its commit clock stays monotonic across restarts
+        self.time_travel = TimeTravelManager(
+            self.storage,
+            stats=time_travel_stats,
+            engine_metrics=self.engine_metrics,
+        )
         self._boot()
 
     def _boot(self) -> None:
@@ -184,6 +217,11 @@ class DatabaseServer:
         self.database.locks.use_mutex(self._engine_mutex)
         self.database.locks.default_timeout = DEFAULT_SERVER_WAIT
         self._parse_cache = ParseCache() if self.plan_cache_enabled else None
+        # wire the new incarnation into time travel: the WAL stamps commits
+        # with the manager's (restart-spanning) clock and publishes them to
+        # its index, which is rebuilt here from the durable history
+        self.time_travel.attach(self.database)
+        self.time_travel.rebuild()
         self.up = True
 
     # ----------------------------------------------------------- lifecycle
@@ -276,29 +314,7 @@ class DatabaseServer:
         tracer = get_tracer()
         start = time.monotonic()
         bounced_before = self.lock_stats.drain_bounces
-        with tracer.span(
-            "server.drain", server=self.name, mode=policy.mode,
-            drain_timeout=policy.drain_timeout,
-        ):
-            self.begin_drain(policy)
-            try:
-                if policy.mode == "graceful":
-                    self.dispatcher.quiesce(None)
-                else:
-                    timeout = policy.drain_timeout if policy.mode == "deadline" else 0.0
-                    if not self.dispatcher.quiesce(timeout):
-                        # deadline passed: evict lock waiters (their txns
-                        # abort like deadlock victims) and wait out the
-                        # statements that are genuinely executing
-                        self.database.locks.bounce_waiters()
-                        self.dispatcher.quiesce(None)
-            except BaseException:
-                # drain failed (e.g. a concurrent crash() raced us): lift
-                # the barrier rather than leave parked requests hanging
-                self.lifecycle = "running"
-                self._restart_deadline = None
-                self.dispatcher.resume()
-                raise
+        self._drain_in_flight(policy, tracer)
         with tracer.span("server.swap", server=self.name, bump_catalog=policy.bump_catalog):
             with self._engine_mutex:
                 try:
@@ -326,6 +342,147 @@ class DatabaseServer:
             self.drain_stats.max_pause_seconds, pause
         )
         return self.last_recovery
+
+    def _drain_in_flight(self, policy: RestartPolicy, tracer) -> None:
+        """The drain half of a planned restart/restore: enter ``draining``,
+        quiesce the dispatcher per the policy, bounce lock waiters past the
+        deadline.  On failure the barrier is lifted before re-raising."""
+        with tracer.span(
+            "server.drain", server=self.name, mode=policy.mode,
+            drain_timeout=policy.drain_timeout,
+        ):
+            self.begin_drain(policy)
+            try:
+                if policy.mode == "graceful":
+                    self.dispatcher.quiesce(None)
+                else:
+                    timeout = policy.drain_timeout if policy.mode == "deadline" else 0.0
+                    if not self.dispatcher.quiesce(timeout):
+                        # deadline passed: evict lock waiters (their txns
+                        # abort like deadlock victims) and wait out the
+                        # statements that are genuinely executing
+                        self.database.locks.bounce_waiters()
+                        self.dispatcher.quiesce(None)
+            except BaseException:
+                # drain failed (e.g. a concurrent crash() raced us): lift
+                # the barrier rather than leave parked requests hanging
+                self.lifecycle = "running"
+                self._restart_deadline = None
+                self.dispatcher.resume()
+                raise
+
+    # ------------------------------------------------------------ time travel
+
+    def restore_storage_to(self, ts: float | None = None) -> RestoreReport:
+        """The destructive half of :meth:`restore_to`: rewrite stable
+        storage so its durable state is exactly the cut for ``ts``.
+
+        Order is fail-safe: the cut is reconstructed (read-only) *before*
+        anything is discarded, then post-cut log bytes are truncated and
+        the reconstructed state is checkpointed onto the device — after
+        which an ordinary boot (or crash recovery, if the process dies
+        right here: see CRASH_MID_RESTORE) comes up at the cut.  ``ts``
+        None means "now": the latest committed state, which discards no
+        commits — the no-op restore chaos exploits.
+
+        Callers must hold the engine quiet (drained or about to crash);
+        the in-memory engine still reflects *pre*-restore state afterwards
+        and must be thrown away (:meth:`_boot` or :meth:`crash`).
+        """
+        with self._engine_mutex:
+            self._require_up()
+            if ts is None:
+                ts = self.time_travel.clock.now()
+            self.time_travel.stats.restores_started += 1
+            cut = self.time_travel.resolve_cut(ts)
+            cut_end = self.time_travel.cut_end(cut)
+            # reconstruct first — any failure here leaves storage untouched
+            snapshot = self.time_travel.snapshot_at_cut(cut)
+            info = snapshot.info
+            base = getattr(self.storage, "log_base", 0)
+            if cut_end >= base:
+                self.storage.truncate_log_suffix(cut_end)
+            else:
+                # the cut predates the live log: drop the live log entirely
+                # and trim the archive segments back to the cut (the gap
+                # between archive end and live base is erased history)
+                self.storage.truncate_log_suffix(base)
+                from repro.engine.database import _META_TT_ARCHIVE
+
+                segments = list(self.storage.read_meta(_META_TT_ARCHIVE, []) or [])
+                kept = []
+                for start, end, blob in segments:
+                    if start >= cut_end:
+                        break
+                    if end > cut_end:
+                        end, blob = cut_end, blob[: cut_end - start]
+                    kept.append((start, end, blob))
+                self.storage.write_meta(_META_TT_ARCHIVE, kept)
+            discarded = self.time_travel.log_index.truncate_to(cut)
+            restored = Database(
+                self.storage,
+                tables=snapshot.database.tables,
+                procedures=snapshot.database.procedures,
+                views=snapshot.database.views,
+                txn_seed=info.max_txn_id,
+                wal_stats=self.wal_stats,
+                lock_stats=self.lock_stats,
+            )
+            restored.indexes = dict(snapshot.database.indexes)
+            self.time_travel.attach(restored)
+            restored.checkpoint()
+            self.time_travel.stats.commits_discarded += discarded
+            return RestoreReport(
+                ts=ts,
+                cut_lsn=cut,
+                cut_end=cut_end,
+                commits_discarded=discarded,
+                records_replayed=info.records_replayed,
+                tables=info.tables,
+            )
+
+    def restore_to(
+        self, ts: float, policy: RestartPolicy | None = None
+    ) -> RestoreReport:
+        """Restore the database to its state as of ``ts`` — application
+        error recovery from the log (Talius et al.; docs/TIME_TRAVEL.md).
+
+        The choreography is a planned restart with the engine swap replaced
+        by a storage rewrite: drain in-flight work behind the dispatcher
+        barrier, disconnect every session (open transactions abort), rewrite
+        stable storage to the cut via :meth:`restore_storage_to`, boot a
+        fresh engine from it, resume.  Every Phoenix session rides through
+        on the ordinary recovery path.  Commits after the cut are *erased*
+        — that is the point — so the caller chooses ``ts`` with care.
+
+        Must be called from an administrative thread, never a dispatcher
+        worker (the quiesce would wait on itself).
+        """
+        policy = policy if policy is not None else RestartPolicy()
+        tracer = get_tracer()
+        start = time.monotonic()
+        self._drain_in_flight(policy, tracer)
+        with tracer.span("server.restore", server=self.name, ts=ts):
+            with self._engine_mutex:
+                try:
+                    self._require_up()  # a mid-drain crash beat us here
+                    self.lifecycle = "swapping"
+                    ridden = len(self.sessions)
+                    for session_id in list(self.sessions):
+                        self.disconnect(session_id)
+                    report = self.restore_storage_to(ts)
+                    self._boot()
+                    self.stats.restarts += 1
+                    self.drain_stats.drains_completed += 1
+                    self.drain_stats.sessions_ridden_through += ridden
+                    self.time_travel.stats.restores_completed += 1
+                    report.sessions_ridden = ridden
+                finally:
+                    self.lifecycle = "running"
+                    self._restart_deadline = None
+                    self.dispatcher.resume()
+        report.seconds = time.monotonic() - start
+        return report
 
     def shutdown(self) -> None:
         """Clean shutdown: checkpoint, then stop."""

@@ -38,6 +38,7 @@ from __future__ import annotations
 import enum
 import pickle
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 
@@ -49,6 +50,7 @@ __all__ = [
     "RecordType",
     "LogRecord",
     "WalStats",
+    "CommitClock",
     "WriteAheadLog",
     "encode_record",
     "decode_log",
@@ -111,6 +113,11 @@ class LogRecord:
     #: skips compensated records — that is what makes statement-level
     #: rollback (partial undo inside a live transaction) crash-safe.
     compensates: int | None = None
+    #: COMMIT records only: the wall-clock instant the commit became
+    #: durable, stamped at *device-force* time so every commit covered by
+    #: one group force shares one instant (a batch is all-or-none under
+    #: ``AS OF``).  The time-travel LogIndex maps these to cut LSNs.
+    commit_ts: float | None = None
     lsn: int = field(default=-1, compare=False)  # assigned when appended
 
 
@@ -185,6 +192,32 @@ class WalStats:
         self.forces_coalesced = 0
 
 
+class CommitClock:
+    """Strictly monotonic commit-timestamp source.
+
+    ``now()`` never returns the same value twice and never goes backwards,
+    even if the wall clock does — each commit timestamp is a unique,
+    ordered cut point for ``AS OF``.  :meth:`advance_past` lets a restart
+    re-seed the clock past every timestamp already in the log, so commits
+    of a new incarnation always stamp after recovered history.
+    """
+
+    def __init__(self, time_source=time.time):
+        self._time = time_source
+        self._last = 0.0
+
+    def now(self) -> float:
+        value = self._time()
+        if value <= self._last:
+            value = self._last + 1e-6
+        self._last = value
+        return value
+
+    def advance_past(self, ts: float) -> None:
+        if ts > self._last:
+            self._last = ts
+
+
 class WriteAheadLog:
     """Volatile log buffer in front of stable storage.
 
@@ -193,7 +226,8 @@ class WriteAheadLog:
     a deferred-force window is open (see :meth:`begin_deferred`).
     """
 
-    def __init__(self, storage: StableStorage, *, stats: WalStats | None = None):
+    def __init__(self, storage: StableStorage, *, stats: WalStats | None = None,
+                 clock: CommitClock | None = None):
         self._storage = storage
         self._pending: list[bytes] = []
         self._pending_bytes = 0
@@ -202,6 +236,17 @@ class WriteAheadLog:
         self.stats = stats if stats is not None else WalStats()
         self._defer_forces = False
         self._deferred_forces = 0
+        #: commit-timestamp source; injectable so one clock spans every
+        #: database incarnation (timestamps must stay monotonic across
+        #: restarts even when the wall clock regresses)
+        self.clock = clock if clock is not None else CommitClock()
+        #: (buffer index, record) of each buffered COMMIT, so the flush can
+        #: re-stamp them all with the force instant (see _flush_commits)
+        self._pending_commits: list[tuple[int, LogRecord]] = []
+        #: time-travel hook: any object with ``note_commit(lsn, end, ts)``;
+        #: called after each successful device force, once per commit record
+        #: it covered
+        self.log_index = None
 
     # counter views (back-compat with direct ``wal.forces`` readers)
 
@@ -226,11 +271,51 @@ class WriteAheadLog:
     def append(self, record: LogRecord) -> int:
         """Buffer one record (volatile until the next force); returns its LSN."""
         record.lsn = self._next_lsn()
+        if record.type is RecordType.COMMIT:
+            # provisional stamp: a float *now* so the frame length is final
+            # (pickled floats are fixed-size); the flush re-stamps it with
+            # the shared force instant without moving any LSN
+            record.commit_ts = self.clock.now()
         frame = encode_record(record)
         self._pending.append(frame)
+        if record.type is RecordType.COMMIT:
+            self._pending_commits.append((len(self._pending) - 1, record))
         self._pending_bytes += len(frame)
         self.stats.records_written += 1
         return record.lsn
+
+    def _flush_commits(self) -> list[tuple[int, int, float]]:
+        """Re-stamp every buffered COMMIT with one shared force instant.
+
+        Returns ``(lsn, end_offset, ts)`` per commit for the log-index
+        publish that follows a successful device append.  Re-encoding with
+        a new float timestamp cannot change the frame length (floats pickle
+        fixed-size); if it somehow did, the provisional stamp is kept —
+        LSN-as-byte-offset arithmetic must never shift.
+        """
+        if not self._pending_commits:
+            return []
+        ts = self.clock.now()
+        published: list[tuple[int, int, float]] = []
+        for index, record in self._pending_commits:
+            old_frame = self._pending[index]
+            provisional = record.commit_ts
+            record.commit_ts = ts
+            frame = encode_record(record)
+            if len(frame) == len(old_frame):
+                self._pending[index] = frame
+            else:  # pragma: no cover - float stamps are fixed-size
+                record.commit_ts = provisional
+                frame = old_frame
+            published.append((record.lsn, record.lsn + len(frame), record.commit_ts))
+        self._pending_commits.clear()
+        return published
+
+    def _publish_commits(self, published: list[tuple[int, int, float]]) -> None:
+        if self.log_index is None:
+            return
+        for lsn, end, ts in published:
+            self.log_index.note_commit(lsn, end, ts)
 
     def force(self) -> int:
         """Durably flush buffered records; returns the log size (next LSN).
@@ -245,10 +330,12 @@ class WriteAheadLog:
             return self._next_lsn()
         if self._pending:
             flushed = len(self._pending)
+            published = self._flush_commits()
             payload = b"".join(self._pending)
             self._pending.clear()
             self._pending_bytes = 0
             self._storage.append_log(payload)
+            self._publish_commits(published)
             get_tracer().event("wal.force", records=flushed, bytes=len(payload))
         self.stats.forces += 1
         return self._storage.log_size()
@@ -304,6 +391,7 @@ class WriteAheadLog:
             frames.append(frame)
             self._pending_bytes += len(frame)
             lsns.append(record.lsn)
+        published = self._flush_commits()
         payload = b"".join(self._pending) + b"".join(frames)
         self._pending.clear()
         self._pending_bytes = 0
@@ -311,6 +399,7 @@ class WriteAheadLog:
         self.stats.forces += 1
         if payload:
             self._storage.append_log(payload)
+            self._publish_commits(published)
             get_tracer().event(
                 "wal.force", records=len(records), bytes=len(payload), atomic_batch=True
             )

@@ -31,6 +31,7 @@ __all__ = [
     "ServerRestartingError",
     "SessionLostError",
     "RecoveryError",
+    "TimeTravelError",
 ]
 
 
@@ -153,3 +154,10 @@ class SessionLostError(OperationalError):
 class RecoveryError(Error):
     """Phoenix could not rebuild the session (e.g. materialized state missing
     after database recovery, or reconnect retries exhausted)."""
+
+
+class TimeTravelError(OperationalError):
+    """A point-in-time request (``AS OF`` / ``restore_to``) names a moment
+    the log can no longer reconstruct — typically a timestamp older than
+    the time-travel horizon established when a quiescent checkpoint
+    truncated the log prefix (see docs/TIME_TRAVEL.md)."""

@@ -51,6 +51,7 @@ __all__ = [
     "STORAGE_FAULTS",
     "BATCH_FAULTS",
     "DRAIN_FAULTS",
+    "RESTORE_FAULTS",
 ]
 
 
@@ -75,6 +76,13 @@ class FaultKind(enum.Enum):
     #: restart must degrade into the ordinary crash-recovery path with
     #: exactly-once outcomes intact.
     CRASH_MID_DRAIN = "crash_mid_drain"
+    #: a ``restore_to`` begins at this request and the process is killed
+    #: inside it: ``arg`` 0 dies in the drain window (storage untouched),
+    #: ``arg`` 1 after the storage rewrite (a restore *to now*, preserving
+    #: all committed state) but before the fresh engine boots.  Either way
+    #: the restore must degrade into ordinary crash recovery with
+    #: exactly-once outcomes intact.
+    CRASH_MID_RESTORE = "crash_mid_restore"
 
 
 #: faults that fire on the wire itself (the chaos explorer's request sweep)
@@ -93,6 +101,9 @@ BATCH_FAULTS = (FaultKind.CRASH_MID_BATCH,)
 
 #: faults that kill the server inside a *planned* restart (drain/swap)
 DRAIN_FAULTS = (FaultKind.CRASH_MID_DRAIN,)
+
+#: faults that kill the server inside a ``restore_to`` (drain/rewrite/boot)
+RESTORE_FAULTS = (FaultKind.CRASH_MID_RESTORE,)
 
 
 @dataclass

@@ -94,6 +94,14 @@ class ServerEndpoint:
         self.epoch += 1
         return report
 
+    def restore_to(self, ts=None, policy=None):
+        """Restore the database to its state as of ``ts`` (drain + storage
+        rewrite + fresh boot; see ``DatabaseServer.restore_to``) and bump
+        the epoch — to clients this is a planned restart they ride through."""
+        report = self.server.restore_to(ts, policy=policy)
+        self.epoch += 1
+        return report
+
     # -- the wire ------------------------------------------------------------
 
     def handle(self, raw_request: bytes) -> bytes:
@@ -197,6 +205,27 @@ class ServerEndpoint:
                 self.server.crash()
                 raise errors.CommunicationError(
                     "connection reset by peer (server crashed mid-drain)"
+                )
+            if fault is FaultKind.CRASH_MID_RESTORE:
+                # A restore_to begins while this request is already on a
+                # worker, and the process is killed inside it: arg 0 dies in
+                # the drain window (storage untouched), arg 1 after the
+                # storage rewrite — a restore *to now*, so every committed
+                # transaction survives and the exactly-once oracle still
+                # applies — but before the fresh engine boots.  Either way
+                # the restore degrades into the unplanned crash path.
+                try:
+                    self.server.begin_drain()
+                except errors.OperationalError:
+                    pass  # already draining/down — the kill below still lands
+                if fault_arg:
+                    try:
+                        self.server.restore_storage_to(None)
+                    except errors.Error:
+                        pass
+                self.server.crash()
+                raise errors.CommunicationError(
+                    "connection reset by peer (server crashed mid-restore)"
                 )
             if fault is FaultKind.TORN_WAL_TAIL:
                 # armed on the device; fires at this request's first log append

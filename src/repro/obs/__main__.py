@@ -70,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
         help="print the planned-restart section: every server.drain / "
         "server.swap span with its mode and duration",
     )
+    parser.add_argument(
+        "--restores",
+        action="store_true",
+        help="print the time-travel section: every timetravel.reconstruct / "
+        "server.restore span with its cut and duration",
+    )
     args = parser.parse_args(argv)
 
     if args.load:
@@ -113,6 +119,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.restarts:
         print()
         print(render_restarts(records))
+    if args.restores:
+        print()
+        print(render_restores(records))
     return 0
 
 
@@ -161,6 +170,38 @@ def render_restarts(records: list[dict]) -> str:
             f"  {record['name']} [{attrs.get('server', '?')}] "
             f"{detail}: {duration_ms:.2f} ms"
         )
+    return "\n".join(lines)
+
+
+def render_restores(records: list[dict]) -> str:
+    """The time-travel section: one line per ``timetravel.reconstruct`` /
+    ``server.restore`` span (cut, replay volume, duration), in trace order
+    — the operator's view of what each AS OF / restore actually cost."""
+    spans = [
+        r
+        for r in records
+        if r.get("kind") == "span"
+        and r.get("name") in ("timetravel.reconstruct", "server.restore")
+    ]
+    spans.sort(key=lambda r: r.get("start", 0.0))
+    lines = [
+        f"restores: {sum(1 for r in spans if r['name'] == 'server.restore')}, "
+        f"reconstructions: "
+        f"{sum(1 for r in spans if r['name'] == 'timetravel.reconstruct')}"
+    ]
+    for record in spans:
+        attrs = record.get("attrs", {})
+        duration_ms = (record.get("end", 0.0) - record.get("start", 0.0)) * 1000
+        if record["name"] == "timetravel.reconstruct":
+            detail = (
+                f"cut={attrs.get('cut', '?')} replayed="
+                f"{attrs.get('replayed', '?')}/{attrs.get('scanned', '?')} "
+                f"tables={attrs.get('tables', '?')}"
+            )
+        else:
+            ts = attrs.get("ts")
+            detail = f"[{attrs.get('server', '?')}] ts={'now' if ts is None else ts}"
+        lines.append(f"  {record['name']} {detail}: {duration_ms:.2f} ms")
     return "\n".join(lines)
 
 

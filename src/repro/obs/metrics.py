@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # real imports are deferred: engine/net modules import
     from repro.engine.locks import LockStats
     from repro.engine.plancache import EngineMetrics
     from repro.engine.server import DrainStats
+    from repro.engine.timetravel import TimeTravelStats
     from repro.engine.wal import WalStats
     from repro.net.metrics import NetworkMetrics
 
@@ -128,6 +129,8 @@ _SPAN_HISTOGRAMS = {
     "engine.recovery": "engine.recovery",
     "server.drain": "server.drain",
     "server.swap": "server.swap",
+    "server.restore": "server.restore",
+    "timetravel.reconstruct": "timetravel.reconstruct",
 }
 
 
@@ -145,7 +148,8 @@ class MetricsRegistry:
                  engine: EngineMetrics | None = None,
                  wal: WalStats | None = None,
                  locks: LockStats | None = None,
-                 server: DrainStats | None = None):
+                 server: DrainStats | None = None,
+                 timetravel: TimeTravelStats | None = None):
         if network is None:
             from repro.net.metrics import NetworkMetrics
             network = NetworkMetrics()
@@ -161,11 +165,15 @@ class MetricsRegistry:
         if server is None:
             from repro.engine.server import DrainStats
             server = DrainStats()
+        if timetravel is None:
+            from repro.engine.timetravel import TimeTravelStats
+            timetravel = TimeTravelStats()
         self.network = network
         self.engine = engine
         self.wal = wal
         self.locks = locks
         self.server = server
+        self.timetravel = timetravel
         self.histograms: dict[str, Histogram] = {}
 
     def histogram(self, name: str, **kwargs) -> Histogram:
@@ -205,6 +213,7 @@ class MetricsRegistry:
             "wal": self.wal.snapshot(),
             "locks": self.locks.snapshot(),
             "server": self.server.snapshot(),
+            "timetravel": self.timetravel.snapshot(),
             "histograms": {
                 name: hist.snapshot() for name, hist in sorted(self.histograms.items())
             },
@@ -218,4 +227,5 @@ class MetricsRegistry:
         self.wal.reset()
         self.locks.reset()
         self.server.reset()
+        self.timetravel.reset()
         self.histograms.clear()

@@ -473,6 +473,9 @@ class Select(Statement):
     offset: int | None = None
     distinct: bool = False
     into: str | None = None  # SELECT ... INTO t (SQL Server materialize form)
+    #: point-in-time query: ``SELECT ... AS OF <ts>`` runs against the
+    #: committed state at timestamp ``ts`` (a literal, never a placeholder)
+    as_of: Expr | None = None
 
     def sql(self) -> str:
         parts = ["SELECT"]
@@ -495,6 +498,8 @@ class Select(Statement):
             parts.append(f"LIMIT {self.limit}")
         if self.offset is not None:
             parts.append(f"OFFSET {self.offset}")
+        if self.as_of is not None:
+            parts.append(f"AS OF {self.as_of.sql()}")
         return " ".join(parts)
 
 
@@ -514,6 +519,8 @@ class UnionSelect(Statement):
     offset: int | None = None
     #: parity with Select so generic SELECT handling can check `.into`
     into: None = None
+    #: point-in-time query over the whole union (see :class:`Select`)
+    as_of: Expr | None = None
 
     def sql(self) -> str:
         chunks = [self.parts[0].sql()]
@@ -527,6 +534,8 @@ class UnionSelect(Statement):
             text += f" LIMIT {self.limit}"
         if self.offset is not None:
             text += f" OFFSET {self.offset}"
+        if self.as_of is not None:
+            text += f" AS OF {self.as_of.sql()}"
         return text
 
 

@@ -55,6 +55,7 @@ KEYWORDS = frozenset(
     BEGIN COMMIT ROLLBACK TRANSACTION WORK
     PROCEDURE PROC EXEC EXECUTE RETURN DECLARE
     CHECKPOINT SHUTDOWN EXPLAIN VIEW INDEX
+    OF
     """.split()
 )
 

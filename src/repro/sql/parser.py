@@ -176,7 +176,7 @@ class Parser:
             raise self.error("expected a statement keyword")
         word = token.value
         if word == "SELECT":
-            return self.parse_select()
+            return self.parse_select(allow_as_of=True)
         if word == "INSERT":
             return self.parse_insert()
         if word == "UPDATE":
@@ -208,14 +208,16 @@ class Parser:
             return ast.Checkpoint()
         if word == "EXPLAIN":
             self.advance()
-            return ast.Explain(self.parse_select())
+            return ast.Explain(self.parse_select(allow_as_of=True))
         raise self.error(f"unsupported statement {word}")
 
     # SELECT ----------------------------------------------------------------
 
-    def parse_select(self) -> "ast.Select | ast.UnionSelect":
+    def parse_select(self, allow_as_of: bool = False) -> "ast.Select | ast.UnionSelect":
         """A full selectable: SELECT core, optional UNION chain, then
-        ORDER BY / LIMIT / OFFSET applying to the whole."""
+        ORDER BY / LIMIT / OFFSET applying to the whole, then an optional
+        trailing ``AS OF <ts>`` (top-level statements only — a snapshot
+        cut applies to a whole query, never to one subquery of it)."""
         first = self.parse_select_core()
         parts = [first]
         all_flags: list[bool] = []
@@ -232,12 +234,24 @@ class Parser:
         limit = self._expect_int("LIMIT count") if self.accept_keyword("LIMIT") else None
         offset = self._expect_int("OFFSET count") if self.accept_keyword("OFFSET") else None
 
+        as_of: ast.Expr | None = None
+        if self._at_as_of():
+            if not allow_as_of:
+                raise self.error(
+                    "AS OF is only allowed on a whole SELECT statement "
+                    "(or an INSERT source), not in subqueries or views"
+                )
+            self.advance()  # AS
+            self.advance()  # OF
+            as_of = self.parse_expr()
+
         if len(parts) == 1:
             select = first
             select.order_by = order_by
             if limit is not None:
                 select.limit = limit  # TOP n already parsed in the core
             select.offset = offset
+            select.as_of = as_of
             return select
         return ast.UnionSelect(
             parts=parts,
@@ -245,6 +259,14 @@ class Parser:
             order_by=order_by,
             limit=limit,
             offset=offset,
+            as_of=as_of,
+        )
+
+    def _at_as_of(self) -> bool:
+        """True when the next two tokens are the ``AS OF`` keywords — the
+        lookahead that keeps ``AS`` usable as the alias introducer."""
+        return self.peek().matches(TokenType.KEYWORD, "AS") and self.peek(1).matches(
+            TokenType.KEYWORD, "OF"
         )
 
     def parse_select_core(self) -> ast.Select:
@@ -311,7 +333,9 @@ class Parser:
             return ast.SelectItem(ast.Star(table=table))
         expr = self.parse_expr()
         alias = None
-        if self.accept_keyword("AS"):
+        if self._at_as_of():
+            pass  # trailing AS OF <ts>, not an alias — parse_select owns it
+        elif self.accept_keyword("AS"):
             # after AS any word is unambiguous — even reserved ones like
             # "count" (result metadata frequently aliases back to such names)
             token = self.peek()
@@ -373,7 +397,9 @@ class Parser:
             return ast.SubquerySource(select, alias)
         name = self.expect_ident("table name")
         alias = None
-        if self.accept_keyword("AS"):
+        if self._at_as_of():
+            pass  # trailing AS OF <ts>, not an alias — parse_select owns it
+        elif self.accept_keyword("AS"):
             alias = self.expect_ident("alias")
         elif self.peek().type is TokenType.IDENT:
             alias = self.advance().value
@@ -401,7 +427,10 @@ class Parser:
             TokenType.PUNCT, "("
         ):
             self.accept_punct("(")
-            select = self.parse_select()
+            # AS OF is legal here: the source select reads a snapshot while
+            # the insert writes live — Phoenix's fill batch materializes
+            # point-in-time results exactly this way.
+            select = self.parse_select(allow_as_of=True)
             # tolerate a closing paren if we consumed an opening one
             self.accept_punct(")")
             return ast.Insert(table, columns=columns, select=select)
