@@ -131,6 +131,7 @@ def make_system(
     dsn: str = "main",
     config: PhoenixConfig | None = None,
     plan_cache: bool = True,
+    executor: str = "compiled",
     registry: MetricsRegistry | None = None,
 ) -> System:
     """Build server + wire + driver + both driver managers, ready to use.
@@ -138,6 +139,10 @@ def make_system(
     ``storage`` defaults to in-memory stable storage (instant crashes); pass
     a :class:`FileStableStorage` for on-disk durability.  ``plan_cache``
     toggles the server's parse/plan caches (the bench ablation's knob).
+    ``executor`` selects the SELECT pipeline: ``"compiled"`` (default) runs
+    the vectorized executor — row-closure pipeline, range-aware index
+    probes, index-ordered top-k — while ``"interpreted"`` keeps the
+    per-row-environment baseline (the executor ablation's knob).
     ``registry`` lets a caller supply its own :class:`MetricsRegistry`; by
     default each system gets a fresh one adopting the server's engine
     counters and the driver's network counters, so
@@ -148,7 +153,9 @@ def make_system(
     server = DatabaseServer(
         storage,
         plan_cache=plan_cache,
+        executor=executor,
         engine_metrics=registry.engine,
+        executor_stats=registry.executor,
         wal_stats=registry.wal,
         lock_stats=registry.locks,
         drain_stats=registry.server,

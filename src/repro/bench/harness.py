@@ -36,6 +36,9 @@ __all__ = [
     "run_availability_experiment",
     "PlanCacheRun",
     "run_plan_cache_ablation",
+    "ExecutorRun",
+    "executor_speedup",
+    "run_executor_ablation",
     "WireBatchRun",
     "WireBatchResult",
     "run_wire_batch",
@@ -534,6 +537,212 @@ def run_plan_cache_ablation(
             PlanCacheRun(
                 "phoenix_trace", "on" if cache_on else "off", cell["seconds"],
                 cell["statements"], cell["fingerprint"], cell["metrics"],
+            )
+        )
+    return runs
+
+
+# ========================================================= executor ablation
+
+
+@dataclass
+class ExecutorRun:
+    """One (workload, executor mode) cell of the executor ablation."""
+
+    workload: str  # "range_topk" | "tpch_power"
+    executor: str  # "compiled" | "interpreted"
+    seconds: float
+    statements: int
+    #: order-sensitive hash over every result set — identical across
+    #: executor modes iff the vectorized path changed nothing observable
+    fingerprint: int
+    #: ExecutorStats.snapshot() taken after the workload
+    counters: dict[str, int]
+
+    @property
+    def statements_per_second(self) -> float:
+        return self.statements / self.seconds if self.seconds > 0 else float("inf")
+
+
+def executor_speedup(runs: list[ExecutorRun], workload: str) -> float:
+    """interpreted seconds / compiled seconds for one workload (∞ if absent)."""
+    by_mode = {r.executor: r for r in runs if r.workload == workload}
+    compiled, interpreted = by_mode.get("compiled"), by_mode.get("interpreted")
+    if compiled is None or interpreted is None or compiled.seconds <= 0:
+        return float("inf")
+    return interpreted.seconds / compiled.seconds
+
+
+def run_executor_ablation(
+    *,
+    sf: float = 0.001,
+    repetitions: int = 3,
+    seed: int = 42,
+    rows: int = 2000,
+    loops: int = 3,
+    timing_trials: int = 4,
+    queries: list[str] | None = None,
+) -> list[ExecutorRun]:
+    """The executor ablation: identical workloads under the compiled
+    (vectorized) executor vs the interpreted per-row baseline.
+
+    Two workloads, matching how the vectorized executor earns its keep:
+
+    * ``range_topk`` — the access-path workload: narrow range selections,
+      BETWEEN, and ORDER BY ... LIMIT over an indexed column of a
+      ``rows``-row table.  The compiled side serves these via ordered-index
+      range probes and index-ordered top-k streaming; the interpreted side
+      full-scans and materialize-then-sorts.  This is where the ordered
+      indexes themselves are the speedup.
+    * ``tpch_power`` — the Table 1 power loop re-run per executor mode,
+      with ordered indexes on the date columns the selected queries filter
+      by (``l_shipdate``, ``o_orderdate`` — same DDL on both sides; the
+      interpreted baseline only ever uses equality probes, so the indexes
+      sit idle there, exactly the PR-8 state).  This is where the compiled
+      row pipeline shows up on analytic SQL.
+
+    Both workloads are read-only, so they use the same interleaved ABBA
+    best-of-``timing_trials`` discipline as :func:`run_plan_cache_ablation`
+    (adjacent trials, per-side minimum) to cancel process drift.  The
+    fingerprints double as the correctness guard: if the two modes ever
+    disagree on a single row, the speedup is meaningless — callers (and
+    CI's bench-smoke) must check ``fingerprint`` equality per workload.
+
+    Returns one :class:`ExecutorRun` per (workload, mode) cell.
+    """
+    from repro.workloads.tpch.queries import query_sql
+
+    selected = queries if queries is not None else ["Q1", "Q3", "Q6", "Q12", "Q14"]
+    modes = ("compiled", "interpreted")
+    runs: list[ExecutorRun] = []
+    trials = max(2, timing_trials + (timing_trials % 2))
+
+    # -- range/top-k workload over an indexed table ---------------------------
+    values = rows // 2  # two rows per distinct indexed value
+    window = max(1, values // 50)  # ~2% selectivity per range query
+    range_sql: list[str] = []
+    for i in range(8):
+        low = (i * 131) % (values - window)
+        range_sql += [
+            f"SELECT k, v FROM events WHERE v >= {low} AND v < {low + window} ORDER BY k",
+            f"SELECT k FROM events WHERE v BETWEEN {low} AND {low + window} ORDER BY k",
+            f"SELECT k, v FROM events WHERE v > {values - window} ORDER BY v LIMIT 10",
+            "SELECT k, v FROM events ORDER BY v LIMIT 10",
+            "SELECT k, v FROM events ORDER BY v DESC LIMIT 10",
+            f"SELECT k FROM events WHERE v = {low}",
+        ]
+
+    cells: dict[str, dict] = {}
+    for mode in modes:
+        system = repro.make_system(executor=mode)
+        session = system.server.connect(user="loader")
+        system.server.execute(
+            session,
+            "CREATE TABLE events (k INT PRIMARY KEY, v INT, grp INT, label VARCHAR(12))",
+        )
+        for start in range(0, rows, 500):
+            chunk = ", ".join(
+                f"({k}, {k % values}, {k % 13}, 'label_{k % 7}')"
+                for k in range(start, min(start + 500, rows))
+            )
+            system.server.execute(session, f"INSERT INTO events VALUES {chunk}")
+        system.server.execute(session, "CREATE INDEX bench_events_v ON events (v)")
+        system.server.disconnect(session)
+        connection = system.plain.connect(system.DSN)
+        cells[mode] = {
+            "system": system,
+            "connection": connection,
+            "cursor": connection.cursor(),
+            "seconds": float("inf"),
+            "fingerprint": 0,
+            "statements": 0,
+        }
+
+    def _range_loop(cell: dict) -> None:
+        fingerprint = 0
+        statements = 0
+        started = time.perf_counter()
+        for _ in range(loops):
+            for sql in range_sql:
+                cell["cursor"].execute(sql)
+                fingerprint = _fold_fingerprint(fingerprint, sql, cell["cursor"].fetchall())
+                statements += 1
+        cell["seconds"] = min(cell["seconds"], time.perf_counter() - started)
+        cell["fingerprint"] = fingerprint  # read-only: same every trial
+        cell["statements"] = statements
+
+    for mode in modes:  # untimed warm-up (plans go hot, drift absorbed)
+        _range_loop(cells[mode])
+        cells[mode]["seconds"] = float("inf")
+        cells[mode]["system"].registry.executor.reset()
+    for trial in range(trials):
+        order = modes if trial % 2 == 0 else modes[::-1]
+        for mode in order:
+            _range_loop(cells[mode])
+    for mode in modes:
+        cell = cells[mode]
+        cell["connection"].close()
+        runs.append(
+            ExecutorRun(
+                "range_topk", mode, cell["seconds"], cell["statements"],
+                cell["fingerprint"], cell["system"].registry.executor.snapshot(),
+            )
+        )
+
+    # -- TPC-H power loop per executor mode -----------------------------------
+    cells = {}
+    for mode in modes:
+        system = repro.make_system(executor=mode)
+        data = populate(system, sf=sf, seed=seed)
+        session = system.server.connect(user="loader")
+        system.server.execute(
+            session, "CREATE INDEX bench_l_shipdate ON lineitem (l_shipdate)"
+        )
+        system.server.execute(
+            session, "CREATE INDEX bench_o_orderdate ON orders (o_orderdate)"
+        )
+        system.server.disconnect(session)
+        connection = system.plain.connect(system.DSN)
+        cells[mode] = {
+            "system": system,
+            "connection": connection,
+            "cursor": connection.cursor(),
+            "sf": data.sf,
+            "seconds": float("inf"),
+            "fingerprint": 0,
+            "statements": 0,
+        }
+
+    def _power_loop(cell: dict) -> None:
+        fingerprint = 0
+        statements = 0
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            for query_id in selected:
+                cell["cursor"].execute(query_sql(query_id, cell["sf"]))
+                fingerprint = _fold_fingerprint(
+                    fingerprint, query_id, cell["cursor"].fetchall()
+                )
+                statements += 1
+        cell["seconds"] = min(cell["seconds"], time.perf_counter() - started)
+        cell["fingerprint"] = fingerprint
+        cell["statements"] = statements
+
+    for mode in modes:
+        _power_loop(cells[mode])
+        cells[mode]["seconds"] = float("inf")
+        cells[mode]["system"].registry.executor.reset()
+    for trial in range(trials):
+        order = modes if trial % 2 == 0 else modes[::-1]
+        for mode in order:
+            _power_loop(cells[mode])
+    for mode in modes:
+        cell = cells[mode]
+        cell["connection"].close()
+        runs.append(
+            ExecutorRun(
+                "tpch_power", mode, cell["seconds"], cell["statements"],
+                cell["fingerprint"], cell["system"].registry.executor.snapshot(),
             )
         )
     return runs

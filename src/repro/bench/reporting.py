@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench.reporting table1 [--sf 0.001] [--reps 3]
     python -m repro.bench.reporting fig2
     python -m repro.bench.reporting plancache --json BENCH_plan_cache.json
+    python -m repro.bench.reporting executor --json BENCH_executor.json
     python -m repro.bench.reporting wirebatch --json BENCH_wire_batch.json
     python -m repro.bench.reporting obs_overhead --json BENCH_obs_overhead.json
     python -m repro.bench.reporting recovery_breakdown
@@ -34,6 +35,7 @@ from repro.bench.harness import (
     AvailabilityResult,
     ChaosResult,
     ConcurrencyResult,
+    ExecutorRun,
     Fig2Series,
     ObsOverheadResult,
     PlanCacheRun,
@@ -43,9 +45,11 @@ from repro.bench.harness import (
     Table1Row,
     TimeTravelResult,
     WireBatchResult,
+    executor_speedup,
     run_availability_experiment,
     run_chaos_experiment,
     run_concurrency,
+    run_executor_ablation,
     run_fig2_recovery_sweep,
     run_obs_overhead,
     run_plan_cache_ablation,
@@ -62,6 +66,7 @@ __all__ = [
     "render_fig2",
     "render_availability",
     "render_plan_cache",
+    "render_executor",
     "render_wire_batch",
     "render_chaos",
     "render_obs_overhead",
@@ -151,6 +156,40 @@ def render_plan_cache(runs: list[PlanCacheRun]) -> str:
         speedup = off.seconds / on.seconds if on.seconds > 0 else float("inf")
         match = "identical" if on.fingerprint == off.fingerprint else "MISMATCH"
         lines.append(f"{workload}: speedup {speedup:.2f}x, results {match}")
+    return "\n".join(lines)
+
+
+def render_executor(runs: list[ExecutorRun]) -> str:
+    """The executor ablation: compiled/vectorized vs interpreted baseline."""
+    lines = [
+        "Ablation. Vectorized executor vs interpreted baseline",
+        f"{'Workload':12} {'Executor':>12} {'Seconds':>9} {'Stmts':>6} {'Stmt/s':>9} "
+        f"{'Scanned':>9} {'Returned':>9} {'EqProbe':>8} {'Range':>6} {'TopK':>5}",
+    ]
+    for run in runs:
+        lines.append(
+            f"{run.workload:12} {run.executor:>12} {run.seconds:>9.4f} "
+            f"{run.statements:>6} {run.statements_per_second:>9.1f} "
+            f"{run.counters['rows_scanned']:>9} {run.counters['rows_returned']:>9} "
+            f"{run.counters['index_eq_probes']:>8} "
+            f"{run.counters['index_range_scans']:>6} "
+            f"{run.counters['topk_shortcuts']:>5}"
+        )
+    by_cell = {(r.workload, r.executor): r for r in runs}
+    for workload in dict.fromkeys(r.workload for r in runs):
+        compiled = by_cell.get((workload, "compiled"))
+        interpreted = by_cell.get((workload, "interpreted"))
+        if compiled is None or interpreted is None:
+            continue
+        match = (
+            "identical"
+            if compiled.fingerprint == interpreted.fingerprint
+            else "MISMATCH"
+        )
+        lines.append(
+            f"{workload}: speedup {executor_speedup(runs, workload):.2f}x, "
+            f"results {match}"
+        )
     return "\n".join(lines)
 
 
@@ -614,6 +653,21 @@ def _plan_cache_json(runs: list[PlanCacheRun]) -> list[dict]:
     ]
 
 
+def _executor_json(runs: list[ExecutorRun]) -> list[dict]:
+    return [
+        {
+            "workload": run.workload,
+            "executor": run.executor,
+            "seconds": run.seconds,
+            "statements": run.statements,
+            "statements_per_second": run.statements_per_second,
+            "fingerprint": run.fingerprint,
+            "counters": run.counters,
+        }
+        for run in runs
+    ]
+
+
 def _table1_json(rows: list[Table1Row]) -> list[dict]:
     return [
         {
@@ -664,6 +718,7 @@ def main(argv: list[str] | None = None) -> int:
             "fig2",
             "availability",
             "plancache",
+            "executor",
             "wirebatch",
             "chaos",
             "obs_overhead",
@@ -701,6 +756,12 @@ def main(argv: list[str] | None = None) -> int:
         "hot-table contention scenarios",
     )
     parser.add_argument(
+        "--executor-rows",
+        type=int,
+        default=2000,
+        help="executor: rows in the range/top-k ablation table",
+    )
+    parser.add_argument(
         "--json",
         dest="json_path",
         metavar="PATH",
@@ -728,6 +789,12 @@ def main(argv: list[str] | None = None) -> int:
         runs = run_plan_cache_ablation(sf=args.sf, repetitions=args.reps)
         print(render_plan_cache(runs))
         payload["plancache"] = _plan_cache_json(runs)
+    if args.artifact in ("executor", "all"):
+        executor_runs = run_executor_ablation(
+            sf=args.sf, repetitions=args.reps, rows=args.executor_rows
+        )
+        print(render_executor(executor_runs))
+        payload["executor"] = _executor_json(executor_runs)
     if args.artifact in ("wirebatch", "all"):
         wire_batch = run_wire_batch(
             rows=args.rows, batch_size=args.batch_size, trials=args.trials

@@ -432,6 +432,15 @@ class Database:
         self.bump_catalog_version()
 
     def _attach_index(self, name: str, table: str, column: str) -> None:
+        """Register the index and build its ordered structure.
+
+        The :class:`~repro.engine.table.OrderedIndex` built here is derived
+        state — never logged or snapshotted; every load path (recovery
+        redo, checkpoint load, time-travel reconstruction) re-enters
+        through this method.  The catalog bump invalidates cached plans so
+        probes and top-k orderings can never reference an index that no
+        longer matches the catalog.
+        """
         self.indexes[name] = (table, column)
         if table in self.tables:
             self.tables[table].add_secondary_index(column)

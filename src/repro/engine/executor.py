@@ -33,7 +33,7 @@ from repro.errors import (
 from repro.engine import functions
 from repro.engine.database import Database
 from repro.engine.expressions import Env, ExpressionCompiler, PlaceholderList, Scope
-from repro.engine.plancache import EngineMetrics, PlanCache
+from repro.engine.plancache import EngineMetrics, ExecutorStats, PlanCache
 from repro.engine.results import ResultSet, StatementResult
 from repro.engine.schema import Column, schema_from_ast, type_spec_to_sql_type
 from repro.engine.table import Table
@@ -42,6 +42,16 @@ from repro.obs.tracer import get_tracer
 from repro.sql import ast, parse_script
 
 __all__ = ["Executor"]
+
+#: comparison operators usable as index probes (equality or range bound)
+_PROBE_OPS = ("=", "<", "<=", ">", ">=")
+#: the same comparison with its sides swapped (``5 < k`` is ``k > 5``)
+_FLIPPED_OP = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+#: sentinel from bounds evaluation: the probe constant cannot be coerced to
+#: the column type, so the plan must fall back to the full scan — only the
+#: per-row predicate may decide (and raise) there, keeping error semantics
+#: identical to the unprobed path.
+_FALLBACK_SCAN = object()
 
 
 def _as_of_timestamp(expr: "ast.Expr") -> float:
@@ -78,12 +88,21 @@ class Executor:
         *,
         metrics: EngineMetrics | None = None,
         plan_cache: bool = True,
+        stats: ExecutorStats | None = None,
+        vectorized: bool = True,
     ):
         self.database = database
         self.session = session  # repro.engine.session.Session
         self._proc_cache: dict[str, ast.CreateProcedure] = {}
         #: shared server-wide counters (a private set when standalone)
         self.metrics = metrics if metrics is not None else EngineMetrics()
+        #: access-path / pipeline counters (shared server-wide when wired)
+        self.stats = stats if stats is not None else ExecutorStats()
+        #: vectorized mode: row-closure pipeline (one reused environment per
+        #: loop instead of a per-row allocation), range-aware index probes,
+        #: and index-ordered top-k.  False keeps the per-row-environment
+        #: interpreted baseline — the executor ablation's knob.
+        self.vectorized = vectorized
         #: compiled-plan reuse for repeated top-level SELECTs; None = disabled
         self._plan_cache: PlanCache | None = PlanCache() if plan_cache else None
         #: statement epoch, bumped at every top-level SELECT entry; compiled
@@ -551,6 +570,7 @@ class Executor:
                     value = table.schema.column(column).coerce(value)
                 except DataError:
                     return []
+                self.stats.index_eq_probes += 1
                 if probe_kind == "pk":
                     rowid = table.lookup_key((value,))
                     return [] if rowid is None else [(rowid, table.get(rowid))]
@@ -779,6 +799,9 @@ class _SelectPlan:
         self.select = select
         self.params = params
         self.placeholders = placeholders
+        #: vectorized row pipeline on/off — fixed at plan compile time, so a
+        #: cached plan always re-runs in the mode it was compiled under
+        self.vectorized = executor.vectorized
         self.scope = probe_scope if probe_scope is not None else Scope(parent=outer_scope)
         self.scope._params = params  # stashed for nested subquery planning
         #: Column metadata per scope slot, parallel to scope slots.
@@ -791,6 +814,9 @@ class _SelectPlan:
         )
         self._plan_joins()
         self._plan_projection()
+        self._plan_topk()
+        if self.vectorized:
+            executor.stats.compiled_plans += 1
 
     # -- FROM ---------------------------------------------------------------
 
@@ -986,44 +1012,101 @@ class _SelectPlan:
         self.where = self._compile_conjunction(final_conjuncts)
 
     def _index_probe(self, index: int, conjuncts: list[ast.Expr]):
-        """Find a ``col = constant`` conjunct usable as an index probe for
-        source ``index`` (PK or secondary hash index).  The conjunct is kept
-        in the residual too — the probe only narrows the scan."""
+        """Pick the best access path for source ``index`` from its
+        conjuncts, ranked **PK probe > secondary equality > secondary
+        range** (full scan when nothing matches).  Range probes come from
+        ``<``, ``<=``, ``>``, ``>=`` and ``BETWEEN`` conjuncts over an
+        ordered secondary index (vectorized mode only — the interpreted
+        baseline keeps the seed's equality-only behaviour).  Every chosen
+        conjunct is kept in the residual too — the probe only narrows the
+        scan, it never replaces the predicate."""
         source = self.sources[index]
         if source.table is None:
             return None
         table = source.table
         start, end = self.source_ranges[index]
+
+        def local_column(col_side: ast.Expr) -> str | None:
+            if not isinstance(col_side, ast.ColumnRef):
+                return None
+            resolved = self.scope.try_resolve(col_side.name, col_side.table)
+            if resolved is None or resolved[0] != 0:
+                return None
+            slot = resolved[1]
+            if not start <= slot < end:
+                return None
+            return table.schema.columns[slot - start].name
+
+        def row_independent(value_side: ast.Expr) -> bool:
+            # the probe value must not depend on this query's rows
+            refs: list[ast.ColumnRef] = []
+            if not _collect_plain_refs(value_side, refs):
+                return False  # subquery
+            return not any(self._is_local_ref(r) for r in refs)
+
+        eq_pk: tuple[str, ast.Expr] | None = None
+        eq_secondary: tuple[str, ast.Expr] | None = None
+        #: column -> [low_expr, low_inclusive, high_expr, high_inclusive]
+        range_bounds: dict[str, list] = {}
+
         for conjunct in conjuncts:
-            if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
-                continue
-            for col_side, value_side in (
-                (conjunct.left, conjunct.right),
-                (conjunct.right, conjunct.left),
+            if isinstance(conjunct, ast.Binary) and conjunct.op in _PROBE_OPS:
+                for col_side, value_side, op in (
+                    (conjunct.left, conjunct.right, conjunct.op),
+                    (conjunct.right, conjunct.left, _FLIPPED_OP[conjunct.op]),
+                ):
+                    column = local_column(col_side)
+                    if column is None or not row_independent(value_side):
+                        continue
+                    if op == "=":
+                        if table.schema.primary_key == (column,):
+                            if eq_pk is None:
+                                eq_pk = (column, value_side)
+                        elif table.has_secondary_index(column):
+                            if eq_secondary is None:
+                                eq_secondary = (column, value_side)
+                    elif self.vectorized and table.has_secondary_index(column):
+                        bounds = range_bounds.setdefault(column, [None, True, None, True])
+                        if op in (">", ">="):
+                            if bounds[0] is None:
+                                bounds[0], bounds[1] = value_side, op == ">="
+                        else:
+                            if bounds[2] is None:
+                                bounds[2], bounds[3] = value_side, op == "<="
+            elif (
+                self.vectorized
+                and isinstance(conjunct, ast.Between)
+                and not conjunct.negated
             ):
-                if not isinstance(col_side, ast.ColumnRef):
-                    continue
-                resolved = self.scope.try_resolve(col_side.name, col_side.table)
-                if resolved is None or resolved[0] != 0:
-                    continue
-                slot = resolved[1]
-                if not start <= slot < end:
-                    continue
-                # the value must not depend on this query's rows
-                refs: list[ast.ColumnRef] = []
-                if not _collect_plain_refs(value_side, refs):
-                    continue  # subquery
-                if any(self._is_local_ref(r) for r in refs):
-                    continue
-                column = table.schema.columns[slot - start].name
-                if table.has_secondary_index(column):
-                    probe_kind = "secondary"
-                elif table.schema.primary_key == (column,):
-                    probe_kind = "pk"
-                else:
-                    continue
-                value_fn = self.compiler.compile(value_side)
-                return (column, value_fn, probe_kind)
+                column = local_column(conjunct.operand)
+                if (
+                    column is not None
+                    and table.has_secondary_index(column)
+                    and row_independent(conjunct.low)
+                    and row_independent(conjunct.high)
+                ):
+                    bounds = range_bounds.setdefault(column, [None, True, None, True])
+                    if bounds[0] is None:
+                        bounds[0], bounds[1] = conjunct.low, True
+                    if bounds[2] is None:
+                        bounds[2], bounds[3] = conjunct.high, True
+
+        if eq_pk is not None:
+            column, value_side = eq_pk
+            return (column, self.compiler.compile(value_side), "pk")
+        if eq_secondary is not None:
+            column, value_side = eq_secondary
+            return (column, self.compiler.compile(value_side), "secondary")
+        if range_bounds:
+            # prefer the column bounded on both sides (tightest interval)
+            column, bounds = max(
+                range_bounds.items(),
+                key=lambda kv: (kv[1][0] is not None) + (kv[1][2] is not None),
+            )
+            low_expr, low_incl, high_expr, high_incl = bounds
+            low_fn = self.compiler.compile(low_expr) if low_expr is not None else None
+            high_fn = self.compiler.compile(high_expr) if high_expr is not None else None
+            return (column, (low_fn, low_incl, high_fn, high_incl), "range")
         return None
 
     def _compile_conjunction(self, conjuncts: list[ast.Expr]):
@@ -1191,6 +1274,48 @@ class _SelectPlan:
             order_fns.append(("expr", compiler.compile(self._dealias(expr)), order.desc))
         return order_fns
 
+    def _plan_topk(self) -> None:
+        """Detect the index-ordered top-k shape: a single-table ``ORDER BY
+        <indexed column> LIMIT k`` (optionally with a range probe on that
+        same column) can stream rowids in index order and stop after
+        offset+limit matches instead of materialize-then-sort.  The ordered
+        index yields exactly the stable ``sort_key`` order the sort would
+        produce (NULLS FIRST ascending, ties in rowid order), so results
+        are identical."""
+        self.topk: tuple[str, bool] | None = None
+        if not self.vectorized:
+            return
+        select = self.select
+        if select.limit is None or select.distinct or self.grouped:
+            return
+        if len(self.sources) != 1 or self.sources[0].table is None:
+            return
+        if len(select.order_by) != 1 or len(self.order_fns) != 1:
+            return
+        step = self.join_steps[0]
+        if step.post is not None:
+            return
+        expr = self._dealias(select.order_by[0].expr)
+        if not isinstance(expr, ast.ColumnRef):
+            return
+        resolved = self.scope.try_resolve(expr.name, expr.table)
+        if resolved is None or resolved[0] != 0:
+            return
+        start, end = self.source_ranges[0]
+        slot = resolved[1]
+        if not start <= slot < end:
+            return
+        table = self.sources[0].table
+        column = table.schema.columns[slot - start].name
+        if not table.has_secondary_index(column):
+            return
+        probe = step.probe
+        if probe is not None and not (probe[2] == "range" and probe[0] == column):
+            # an equality probe (or a range on another column) is more
+            # selective than streaming the whole index — keep the probe path
+            return
+        self.topk = (column, select.order_by[0].desc)
+
     # -- plan introspection -------------------------------------------------------
 
     def describe(self) -> list[str]:
@@ -1202,9 +1327,18 @@ class _SelectPlan:
             lines.append("Result: constant row")
         for index, (source, step) in enumerate(zip(self.sources, self.join_steps)):
             if step.probe is not None:
-                column, _fn, probe_kind = step.probe
-                label = "PkLookup" if probe_kind == "pk" else "IndexScan"
-                head = f"{label} {source.binding} ({column} = const)"
+                column, payload, probe_kind = step.probe
+                if probe_kind == "range":
+                    low_fn, low_incl, high_fn, high_incl = payload
+                    parts = []
+                    if low_fn is not None:
+                        parts.append(f"{column} {'>=' if low_incl else '>'} const")
+                    if high_fn is not None:
+                        parts.append(f"{column} {'<=' if high_incl else '<'} const")
+                    head = f"IndexRange {source.binding} ({' AND '.join(parts)})"
+                else:
+                    label = "PkLookup" if probe_kind == "pk" else "IndexScan"
+                    head = f"{label} {source.binding} ({column} = const)"
             elif index == 0:
                 head = f"Scan {source.binding}"
             elif step.kind == "CROSS" and not step.equi:
@@ -1236,11 +1370,21 @@ class _SelectPlan:
             lines.append("Having")
         if select.distinct:
             lines.append("Distinct")
-        if select.order_by:
-            lines.append("Sort " + ", ".join(o.sql() for o in select.order_by))
-        if select.limit is not None or select.offset is not None:
-            lines.append(f"Limit {select.limit} Offset {select.offset or 0}")
-        lines.append(f"Project {len(self.items)} column(s)")
+        if self.topk is not None:
+            column, desc = self.topk
+            lines.append(
+                f"TopK {select.limit} Offset {select.offset or 0} "
+                f"ORDER BY {column}{' DESC' if desc else ''} (index-ordered, no sort)"
+            )
+        else:
+            if select.order_by:
+                lines.append("Sort " + ", ".join(o.sql() for o in select.order_by))
+            if select.limit is not None or select.offset is not None:
+                lines.append(f"Limit {select.limit} Offset {select.offset or 0}")
+        lines.append(
+            f"Project {len(self.items)} column(s)"
+            + (" [compiled]" if self.vectorized else "")
+        )
         return lines
 
     def _slot_name(self, slot: int) -> str:
@@ -1257,30 +1401,106 @@ class _SelectPlan:
     # -- execution ---------------------------------------------------------------
 
     def run(self, outer_env: Env | None) -> ResultSet:
+        out_rows = self._run_rows(outer_env)
+        self.executor.stats.rows_returned += len(out_rows)
+        return ResultSet(self.output_columns, out_rows)
+
+    def _run_rows(self, outer_env: Env | None) -> list[tuple]:
         if self.folded_false:
-            rows: list[list] = []
-        elif self.constant_filter is not None:
+            return []
+        if self.constant_filter is not None:
             probe_env = _env([None] * self.scope.slot_count, outer_env)
             if self.constant_filter(probe_env) is not True:
-                rows = []
-            else:
-                rows = self._source_rows(outer_env)
-        else:
-            rows = self._source_rows(outer_env)
+                return []
+        if self.topk is not None:
+            return self._run_topk(outer_env)
+        rows = self._source_rows(outer_env)
         if self.where is not None:
             where = self.where
-            rows = [r for r in rows if where(_env(r, outer_env)) is True]
+            if self.vectorized:
+                # one reused environment for the whole filter pass — the
+                # compiled closures read slot offsets out of it, so
+                # rebinding ``values`` is all a new row costs
+                env = _env([], outer_env)
+                kept: list[list] = []
+                for r in rows:
+                    env.values = r
+                    if where(env) is True:
+                        kept.append(r)
+                rows = kept
+            else:
+                rows = [r for r in rows if where(_env(r, outer_env)) is True]
 
         if self.grouped:
             out_rows = self._run_grouped(rows, outer_env)
         else:
-            out_rows = [
-                tuple(fn(_env(r, outer_env)) for fn in self.item_fns) for r in rows
-            ]
+            item_fns = self.item_fns
+            if self.vectorized:
+                env = _env([], outer_env)
+                out_rows = []
+                for r in rows:
+                    env.values = r
+                    out_rows.append(tuple(fn(env) for fn in item_fns))
+            else:
+                out_rows = [
+                    tuple(fn(_env(r, outer_env)) for fn in item_fns) for r in rows
+                ]
             self._ordering_rows = rows  # parallel to out_rows, for ORDER BY
 
-        out_rows = self._order_distinct_limit(out_rows, outer_env)
-        return ResultSet(self.output_columns, out_rows)
+        return self._order_distinct_limit(out_rows, outer_env)
+
+    def _run_topk(self, outer_env: Env | None) -> list[tuple]:
+        """Index-ordered top-k: stream rowids in ORDER BY order (optionally
+        restricted to the range probe's slice of the index) and stop at
+        offset+limit accepted rows — no materialize, no sort."""
+        select = self.select
+        column, desc = self.topk
+        source = self.sources[0]
+        table = source.table
+        step = self.join_steps[0]
+        stats = self.executor.stats
+        if step.probe is not None:  # range probe on the ORDER BY column
+            bounds = self._range_probe_bounds(table, step.probe, outer_env)
+            if bounds is None:
+                rowids: Any = ()
+            elif bounds is _FALLBACK_SCAN:
+                rowids = table.index_ordered(column, desc=desc)
+            else:
+                low, high, low_incl, high_incl = bounds
+                stats.index_range_scans += 1
+                rowids = table.index_range(
+                    column, low, high,
+                    low_inclusive=low_incl, high_inclusive=high_incl, desc=desc,
+                )
+        else:
+            rowids = table.index_ordered(column, desc=desc)
+        residual = step.residual
+        where = self.where
+        offset = select.offset or 0
+        need = select.limit + offset
+        start, end = self.source_ranges[0]
+        pad = [None] * (self.scope.slot_count - end)
+        env = _env([], outer_env)
+        item_fns = self.item_fns
+        get = table.get
+        out: list[tuple] = []
+        scanned = 0
+        for rowid in rowids:
+            scanned += 1
+            row = list(get(rowid))
+            if pad:
+                row += pad
+            env.values = row
+            if residual is not None and residual(env) is not True:
+                continue
+            if where is not None and where(env) is not True:
+                continue
+            out.append(tuple(fn(env) for fn in item_fns))
+            if len(out) >= need:
+                break
+        stats.rows_scanned += scanned
+        stats.topk_shortcuts += 1
+        return out[offset:] if offset else out
 
     def _source_rows(self, outer_env: Env | None) -> list[list]:
         """Join pipeline: hash joins on the planned equi-keys, nested loops
@@ -1288,21 +1508,61 @@ class _SelectPlan:
         if not self.sources:
             return [[]]
         total_width = self.scope.slot_count
+        stats = self.executor.stats
+        if self.vectorized and len(self.sources) == 1:
+            # single-source fast path: no join product to build, so each row
+            # is copied once (scan or probe result), padded in place, and
+            # filtered through one reused environment
+            source = self.sources[0]
+            step = self.join_steps[0]
+            start, end = self.source_ranges[0]
+            pad = [None] * (total_width - end)
+            if step.probe is not None:
+                rows = self._probe_rows(source, step.probe, outer_env)
+                if rows is None:
+                    rows = [list(row) for row in source.rows_fn()]
+            else:
+                rows = [list(row) for row in source.rows_fn()]
+            if source.table is not None:
+                stats.rows_scanned += len(rows)
+            if pad:
+                rows = [row + pad for row in rows]
+            residual = step.residual
+            if residual is not None:
+                env = _env([], outer_env)
+                kept: list[list] = []
+                for row in rows:
+                    env.values = row
+                    if residual(env) is True:
+                        kept.append(row)
+                rows = kept
+            return rows
         current: list[list] = [[]]
+        shared_env = _env([], outer_env) if self.vectorized else None
         for index, (source, step) in enumerate(zip(self.sources, self.join_steps)):
             start, end = self.source_ranges[index]
             width = end - start
             pad_after = total_width - end
             pad = [None] * pad_after
+            right_rows = None
             if step.probe is not None:
                 right_rows = self._probe_rows(source, step.probe, outer_env)
-            else:
+            if right_rows is None:
                 right_rows = [list(row) for row in source.rows_fn()]
+            if source.table is not None:
+                stats.rows_scanned += len(right_rows)
 
-            def passes(fn, candidate: list) -> bool:
-                if fn is None:
-                    return True
-                return fn(_env(candidate + pad, outer_env)) is True
+            if shared_env is not None:
+                def passes(fn, candidate: list) -> bool:
+                    if fn is None:
+                        return True
+                    shared_env.values = candidate + pad
+                    return fn(shared_env) is True
+            else:
+                def passes(fn, candidate: list) -> bool:
+                    if fn is None:
+                        return True
+                    return fn(_env(candidate + pad, outer_env)) is True
 
             next_rows: list[list] = []
             if step.equi and step.kind != "LEFT":
@@ -1356,12 +1616,37 @@ class _SelectPlan:
                 current = [row + tail for row in current]
         return current
 
-    def _probe_rows(self, source: _Source, probe, outer_env: Env | None) -> list[list]:
-        """Fetch only the rows matching an index probe (PK or secondary)."""
+    def _probe_rows(
+        self, source: _Source, probe, outer_env: Env | None
+    ) -> list[list] | None:
+        """Fetch only the rows matching an index probe (PK, secondary
+        equality, or secondary range).  Returns None when the probe cannot
+        be used this run (an uncoercible range bound) — the caller falls
+        back to the full scan so per-row error semantics are preserved."""
         from repro.errors import DataError
 
         column, value_fn, probe_kind = probe
         table = source.table
+        stats = self.executor.stats
+        if probe_kind == "range":
+            bounds = self._range_probe_bounds(table, probe, outer_env)
+            if bounds is _FALLBACK_SCAN:
+                return None
+            if bounds is None:
+                return []  # a NULL bound: the comparison is never true
+            low, high, low_incl, high_incl = bounds
+            stats.index_range_scans += 1
+            # index_range returns rowids in *key* order; re-sort to rowid
+            # (scan) order so downstream aggregation and stable sorts see
+            # rows in exactly the order the full scan would feed them —
+            # float sums and tie-breaking are order-sensitive.
+            rowids = sorted(
+                table.index_range(
+                    column, low, high,
+                    low_inclusive=low_incl, high_inclusive=high_incl,
+                )
+            )
+            return [list(table.get(rowid)) for rowid in rowids]
         value = value_fn(_env([None] * self.scope.slot_count, outer_env))
         if value is None:
             return []  # NULL never equals anything
@@ -1369,16 +1654,55 @@ class _SelectPlan:
             value = table.schema.column(column).coerce(value)
         except DataError:
             return []  # incomparable constant: no row can match
+        stats.index_eq_probes += 1
         if probe_kind == "pk":
             rowid = table.lookup_key((value,))
             return [] if rowid is None else [list(table.get(rowid))]
         return [list(table.get(rowid)) for rowid in table.index_lookup(column, value)]
 
+    def _range_probe_bounds(self, table: Table, probe, outer_env: Env | None):
+        """Evaluate a range probe's bound expressions for this run.
+
+        Returns ``(low, high, low_inclusive, high_inclusive)`` with bounds
+        coerced to the column type (None = unbounded side), ``None`` when a
+        bound evaluated to SQL NULL (the range matches nothing), or
+        :data:`_FALLBACK_SCAN` when a bound cannot be coerced — the full
+        scan must run so the per-row comparison raises exactly as it would
+        without the index."""
+        from repro.errors import DataError
+
+        column, (low_fn, low_incl, high_fn, high_incl), _kind = probe
+        spec = table.schema.column(column)
+        env = _env([None] * self.scope.slot_count, outer_env)
+        low = high = None
+        if low_fn is not None:
+            low = low_fn(env)
+            if low is None:
+                return None
+            try:
+                low = spec.coerce(low)
+            except DataError:
+                return _FALLBACK_SCAN
+        if high_fn is not None:
+            high = high_fn(env)
+            if high is None:
+                return None
+            try:
+                high = spec.coerce(high)
+            except DataError:
+                return _FALLBACK_SCAN
+        return (low, high, low_incl, high_incl)
+
     def _run_grouped(self, rows: list[list], outer_env: Env | None) -> list[tuple]:
         groups: dict[tuple, dict] = {}
         order: list[tuple] = []
+        shared_env = _env([], outer_env) if self.vectorized else None
         for row in rows:
-            env = _env(row, outer_env)
+            if shared_env is not None:
+                shared_env.values = row
+                env = shared_env
+            else:
+                env = _env(row, outer_env)
             key = tuple(fn(env) for fn in self.group_key_fns)
             group = groups.get(key)
             if group is None:
@@ -1443,9 +1767,16 @@ class _SelectPlan:
             self._ordering_rows = deduped_ordering
         if self.order_fns:
             indexed = list(zip(rows, self._ordering_rows))
+            sort_env = _env([], outer_env) if self.vectorized else None
             for kind, key, desc in reversed(self.order_fns):
                 if kind == "position":
                     indexed.sort(key=lambda pair: sort_key(pair[0][key]), reverse=desc)
+                elif sort_env is not None:
+                    def _key(pair, key=key):
+                        sort_env.values = pair[1]
+                        return sort_key(key(sort_env))
+
+                    indexed.sort(key=_key, reverse=desc)
                 else:
                     indexed.sort(
                         key=lambda pair: sort_key(key(_env(pair[1], outer_env))),
@@ -1552,8 +1883,9 @@ class _JoinStep:
         self.residual = residual
         #: pushed WHERE conjuncts applied after a LEFT join pads its rows
         self.post = post
-        #: (column_name, value_fn, kind) index probe replacing the full scan
-        #: for a constant-equality selection; kind is "pk" or "secondary"
+        #: (column_name, payload, kind) index probe replacing the full scan;
+        #: kind is "pk" / "secondary" (payload = value_fn) or "range"
+        #: (payload = (low_fn, low_inclusive, high_fn, high_inclusive))
         self.probe = probe
 
 

@@ -47,7 +47,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
-__all__ = ["EngineMetrics", "LRUCache", "ParseCache", "PlanCache"]
+__all__ = ["EngineMetrics", "ExecutorStats", "LRUCache", "ParseCache", "PlanCache"]
 
 #: Server-wide parse cache capacity (distinct SQL texts).
 PARSE_CACHE_CAPACITY = 256
@@ -116,6 +116,68 @@ class EngineMetrics:
             f"EngineMetrics(parse={self.parse_hits}/{self.parse_hits + self.parse_misses}, "
             f"plan={self.plan_hits}/{self.plan_hits + self.plan_misses}, "
             f"invalidations={self.plan_invalidations})"
+        )
+
+
+class ExecutorStats:
+    """Access-path and pipeline counters for one server's executors.
+
+    Same reset semantics as :class:`EngineMetrics` (defined in
+    :mod:`repro.obs.metrics`): cumulative across crashes and restarts, only
+    an explicit :meth:`reset` zeroes them.  The counters are the
+    observability surface of the vectorized executor — which access path
+    each query actually took (PK probe, secondary equality, secondary
+    range, full scan narrowed or not), how many rows it touched versus
+    returned, and how often the index-ordered top-k shortcut fired.
+    """
+
+    def __init__(self) -> None:
+        #: base-table rows read (full scans + probe results + top-k streams)
+        self.rows_scanned = 0
+        #: rows returned by SELECT plans (subquery and union parts included)
+        self.rows_returned = 0
+        #: PK / secondary equality probes executed
+        self.index_eq_probes = 0
+        #: secondary range probes executed (<, <=, >, >=, BETWEEN)
+        self.index_range_scans = 0
+        #: ORDER BY ... LIMIT served by index-ordered streaming (no sort)
+        self.topk_shortcuts = 0
+        #: SELECT plans compiled in vectorized (row-closure) mode
+        self.compiled_plans = 0
+
+    def reset(self) -> None:
+        self.rows_scanned = 0
+        self.rows_returned = 0
+        self.index_eq_probes = 0
+        self.index_range_scans = 0
+        self.topk_shortcuts = 0
+        self.compiled_plans = 0
+
+    def merge(self, other: "ExecutorStats") -> None:
+        """Fold another server's counters in (multi-system benchmarks)."""
+        self.rows_scanned += other.rows_scanned
+        self.rows_returned += other.rows_returned
+        self.index_eq_probes += other.index_eq_probes
+        self.index_range_scans += other.index_range_scans
+        self.topk_shortcuts += other.topk_shortcuts
+        self.compiled_plans += other.compiled_plans
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "rows_scanned": self.rows_scanned,
+            "rows_returned": self.rows_returned,
+            "index_eq_probes": self.index_eq_probes,
+            "index_range_scans": self.index_range_scans,
+            "topk_shortcuts": self.topk_shortcuts,
+            "compiled_plans": self.compiled_plans,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutorStats(scanned={self.rows_scanned}, "
+            f"returned={self.rows_returned}, eq={self.index_eq_probes}, "
+            f"range={self.index_range_scans}, topk={self.topk_shortcuts}, "
+            f"compiled={self.compiled_plans})"
         )
 
 

@@ -35,7 +35,7 @@ from repro.engine.database import Database
 from repro.engine.dispatch import SessionDispatcher
 from repro.engine.executor import Executor
 from repro.engine.locks import DEFAULT_SERVER_WAIT, LockStats
-from repro.engine.plancache import EngineMetrics, ParseCache
+from repro.engine.plancache import EngineMetrics, ExecutorStats, ParseCache
 from repro.engine.recovery import RecoveryReport, recover
 from repro.engine.results import StatementResult
 from repro.engine.session import Session
@@ -140,7 +140,9 @@ class DatabaseServer:
         *,
         name: str = "server",
         plan_cache: bool = True,
+        executor: str = "compiled",
         engine_metrics: EngineMetrics | None = None,
+        executor_stats: ExecutorStats | None = None,
         wal_stats: WalStats | None = None,
         lock_stats: LockStats | None = None,
         drain_stats: DrainStats | None = None,
@@ -164,9 +166,20 @@ class DatabaseServer:
         #: (reset semantics: repro.obs.metrics); injectable so a
         #: MetricsRegistry can adopt the same object
         self.engine_metrics = engine_metrics if engine_metrics is not None else EngineMetrics()
+        #: executor access-path counters — cumulative across crashes, like
+        #: engine_metrics; injectable so a MetricsRegistry can adopt them
+        self.executor_stats = executor_stats if executor_stats is not None else ExecutorStats()
         #: enables both the parse cache and per-session plan caches; the
         #: bench ablation flips this off for its baseline
         self.plan_cache_enabled = plan_cache
+        if executor not in ("compiled", "interpreted"):
+            raise ValueError(f"executor mode must be 'compiled' or 'interpreted', not {executor!r}")
+        #: "compiled" enables the vectorized executor (row-closure pipeline,
+        #: range-aware access paths, index-ordered top-k); "interpreted" is
+        #: the per-row-environment baseline the executor ablation measures
+        #: against.  Plans are volatile, so the mode is safe to fix per
+        #: server lifetime — every session compiled under it.
+        self.executor_mode = executor
         #: SQL text → parsed statements; volatile (rebuilt cold on restart)
         self._parse_cache: ParseCache | None = None
         self.last_recovery: RecoveryReport | None = None
@@ -513,6 +526,8 @@ class DatabaseServer:
                 session,
                 metrics=self.engine_metrics,
                 plan_cache=self.plan_cache_enabled,
+                stats=self.executor_stats,
+                vectorized=self.executor_mode == "compiled",
             )
             self._touch(session)
             self.stats.connects += 1

@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Iterable
 if TYPE_CHECKING:  # real imports are deferred: engine/net modules import
     # repro.obs.tracer at module load, so importing them here would cycle
     from repro.engine.locks import LockStats
-    from repro.engine.plancache import EngineMetrics
+    from repro.engine.plancache import EngineMetrics, ExecutorStats
     from repro.engine.server import DrainStats
     from repro.engine.timetravel import TimeTravelStats
     from repro.engine.wal import WalStats
@@ -146,6 +146,7 @@ class MetricsRegistry:
 
     def __init__(self, *, network: NetworkMetrics | None = None,
                  engine: EngineMetrics | None = None,
+                 executor: ExecutorStats | None = None,
                  wal: WalStats | None = None,
                  locks: LockStats | None = None,
                  server: DrainStats | None = None,
@@ -156,6 +157,9 @@ class MetricsRegistry:
         if engine is None:
             from repro.engine.plancache import EngineMetrics
             engine = EngineMetrics()
+        if executor is None:
+            from repro.engine.plancache import ExecutorStats
+            executor = ExecutorStats()
         if wal is None:
             from repro.engine.wal import WalStats
             wal = WalStats()
@@ -170,6 +174,7 @@ class MetricsRegistry:
             timetravel = TimeTravelStats()
         self.network = network
         self.engine = engine
+        self.executor = executor
         self.wal = wal
         self.locks = locks
         self.server = server
@@ -210,6 +215,7 @@ class MetricsRegistry:
         return {
             "network": self.network.snapshot(),
             "engine": self.engine.snapshot(),
+            "executor": self.executor.snapshot(),
             "wal": self.wal.snapshot(),
             "locks": self.locks.snapshot(),
             "server": self.server.snapshot(),
@@ -224,6 +230,7 @@ class MetricsRegistry:
         every adopted counter and drops every histogram."""
         self.network.reset()
         self.engine.reset()
+        self.executor.reset()
         self.wal.reset()
         self.locks.reset()
         self.server.reset()
