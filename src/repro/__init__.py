@@ -29,6 +29,7 @@ live at the top level (also as attributes of every connection class).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from urllib.parse import urlsplit
 
 from repro import errors
 from repro.errors import (
@@ -46,7 +47,17 @@ from repro.errors import (
 from repro.core import PhoenixConfig, PhoenixConnection, PhoenixCursor, PhoenixDriverManager
 from repro.engine import DatabaseServer, RestartPolicy
 from repro.engine.storage import FileStableStorage, InMemoryStableStorage, StableStorage
-from repro.net import FaultInjector, FaultKind, NetworkMetrics, ServerEndpoint
+from repro.net import (
+    FaultInjector,
+    FaultKind,
+    InProcessTransport,
+    NetStats,
+    NetworkMetrics,
+    ServerEndpoint,
+    TcpServer,
+    TcpTransport,
+    Transport,
+)
 from repro.obs import MetricsRegistry
 from repro.odbc import Connection, DriverManager, NativeDriver, Statement
 
@@ -84,9 +95,15 @@ __all__ = [
     "DatabaseServer",
     "RestartPolicy",
     "ServerEndpoint",
+    "Transport",
+    "InProcessTransport",
+    "TcpServer",
+    "TcpTransport",
     "FaultInjector",
     "FaultKind",
     "NetworkMetrics",
+    "NetStats",
+    "ConnectionPool",
     "MetricsRegistry",
     "DriverManager",
     "NativeDriver",
@@ -115,6 +132,11 @@ class System:
     phoenix: PhoenixDriverManager
     registry: MetricsRegistry
     DSN: str = "main"
+    #: the client transport the system's own driver rides (in-process by
+    #: default; TCP when built with ``listen=``)
+    transport: Transport | None = None
+    #: the TCP front end, when built with ``listen=`` (else ``None``)
+    tcp: TcpServer | None = None
 
     @property
     def faults(self) -> FaultInjector:
@@ -123,6 +145,22 @@ class System:
     @property
     def metrics(self) -> NetworkMetrics:
         return self.native.metrics
+
+    @property
+    def url(self) -> str:
+        """``tcp://host:port/<DSN>`` — the URL-DSN of the running listener
+        (raises when the system has no TCP front end)."""
+        if self.tcp is None:
+            raise InterfaceError(
+                "system has no TCP listener: build it with make_system(listen=...)"
+            )
+        return f"{self.tcp.url}/{self.DSN}"
+
+    def close(self) -> None:
+        """Stop the TCP front end (if any).  The in-process endpoint needs
+        no teardown — systems without a listener never required one."""
+        if self.tcp is not None:
+            self.tcp.stop()
 
 
 def make_system(
@@ -133,6 +171,8 @@ def make_system(
     plan_cache: bool = True,
     executor: str = "compiled",
     registry: MetricsRegistry | None = None,
+    listen: str | None = None,
+    transport: str = "auto",
 ) -> System:
     """Build server + wire + driver + both driver managers, ready to use.
 
@@ -147,6 +187,15 @@ def make_system(
     default each system gets a fresh one adopting the server's engine
     counters and the driver's network counters, so
     ``system.registry.snapshot()`` is the one-stop observability view.
+
+    ``listen="host:port"`` additionally starts the asyncio TCP front end
+    (:class:`TcpServer`; port ``0`` binds a free port — the bound address
+    is ``system.tcp.address`` and the full URL-DSN ``system.url``).
+    ``transport`` selects what the system's *own* driver stack rides:
+    ``"auto"`` (TCP whenever a listener was requested, else in-process),
+    ``"inprocess"``, or ``"tcp"`` — so ``repro.connect(dsn)`` against a
+    listening system already crosses real sockets.  Stop the listener with
+    ``system.close()``.
     """
     if registry is None:
         registry = MetricsRegistry()
@@ -162,7 +211,24 @@ def make_system(
         time_travel_stats=registry.timetravel,
     )
     endpoint = ServerEndpoint(server)
-    native = NativeDriver(endpoint, metrics=registry.network)
+    tcp_server = None
+    if listen is not None:
+        host, port = _parse_listen(listen)
+        tcp_server = TcpServer(endpoint, host, port, stats=registry.net)
+        tcp_server.start()
+    if transport == "auto":
+        transport = "tcp" if tcp_server is not None else "inprocess"
+    if transport == "tcp":
+        if tcp_server is None:
+            raise InterfaceError("transport='tcp' requires listen='host:port'")
+        client_transport: Transport = TcpTransport(*tcp_server.address)
+    elif transport == "inprocess":
+        client_transport = InProcessTransport(endpoint)
+    else:
+        raise InterfaceError(
+            f"unknown transport {transport!r} (expected 'auto', 'inprocess', or 'tcp')"
+        )
+    native = NativeDriver(client_transport, metrics=registry.network)
     plain = DriverManager()
     plain.register_dsn(dsn, native)
     phoenix = PhoenixDriverManager(config)
@@ -175,9 +241,26 @@ def make_system(
         phoenix=phoenix,
         registry=registry,
         DSN=dsn,
+        transport=client_transport,
+        tcp=tcp_server,
     )
     register_system(system)
     return system
+
+
+def _parse_listen(listen: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (port 0 = pick a free one)."""
+    host, sep, port = listen.rpartition(":")
+    if not sep or not host:
+        raise InterfaceError(
+            f"invalid listen address {listen!r}: expected 'host:port'"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise InterfaceError(
+            f"invalid listen address {listen!r}: port must be an integer"
+        ) from None
 
 
 #: module-level DSN → System registry backing :func:`connect`'s PEP 249
@@ -206,9 +289,14 @@ def connect(
 
     ``dsn`` names a system built by :func:`make_system` (which registers
     itself under its DSN); passing the :class:`System` object directly also
-    works.  ``phoenix=True`` (default) returns a persistent
-    :class:`PhoenixConnection`; ``phoenix=False`` the plain, crash-exposed
-    :class:`Connection` — the baseline the paper compares against.
+    works.  A URL DSN — ``"tcp://host:port/<name>"`` — instead opens a
+    :class:`TcpTransport` to that address and builds (and caches, per
+    address) a client-side driver stack over the socket: the way a second
+    process would reach a system built with ``make_system(listen=...)``,
+    whose address is ``system.url``.  ``phoenix=True`` (default) returns a
+    persistent :class:`PhoenixConnection`; ``phoenix=False`` the plain,
+    crash-exposed :class:`Connection` — the baseline the paper compares
+    against.
 
     ``persistent`` is the pre-DB-API spelling of the same switch and wins
     when given (kept for existing callers).
@@ -223,6 +311,10 @@ def connect(
         phoenix = persistent
     if isinstance(dsn, System):
         system = dsn
+    elif dsn.startswith("tcp://"):
+        return _connect_url(
+            dsn, phoenix=phoenix, user=user, options=options, config=config
+        )
     else:
         try:
             system = _systems[dsn]
@@ -234,3 +326,50 @@ def connect(
     if phoenix and config is not None:
         return manager.connect(system.DSN, user, options, config=config)
     return manager.connect(system.DSN, user, options)
+
+
+#: ``tcp://host:port/name`` → the client-side stack for that address (one
+#: TcpTransport + NativeDriver + both driver managers, shared by every
+#: connect to the same URL so their channels pool on one driver's metrics)
+_url_stacks: dict[str, tuple[DriverManager, PhoenixDriverManager]] = {}
+
+
+def _parse_url_dsn(url: str) -> tuple[str, int, str]:
+    parts = urlsplit(url)
+    if parts.scheme != "tcp":
+        raise InterfaceError(f"unsupported DSN scheme {parts.scheme!r} in {url!r}")
+    if parts.hostname is None or parts.port is None:
+        raise InterfaceError(
+            f"invalid URL DSN {url!r}: expected tcp://host:port/<name>"
+        )
+    name = parts.path.lstrip("/") or "main"
+    return parts.hostname, parts.port, name
+
+
+def _connect_url(
+    url: str,
+    *,
+    phoenix: bool,
+    user: str,
+    options: dict | None,
+    config: PhoenixConfig | None,
+):
+    host, port, name = _parse_url_dsn(url)
+    key = f"tcp://{host}:{port}/{name}"
+    stack = _url_stacks.get(key)
+    if stack is None:
+        native = NativeDriver(TcpTransport(host, port))
+        plain_manager = DriverManager()
+        plain_manager.register_dsn(key, native)
+        phoenix_manager = PhoenixDriverManager()
+        phoenix_manager.register_dsn(key, native)
+        stack = _url_stacks[key] = (plain_manager, phoenix_manager)
+    plain_manager, phoenix_manager = stack
+    manager = phoenix_manager if phoenix else plain_manager
+    if phoenix and config is not None:
+        return manager.connect(key, user, options, config=config)
+    return manager.connect(key, user, options)
+
+
+# imported last: repro.pool imports this module back at call time
+from repro.pool import ConnectionPool  # noqa: E402

@@ -62,6 +62,9 @@ __all__ = [
     "TimeTravelReconstructRow",
     "TimeTravelResult",
     "run_time_travel",
+    "TcpIdleScaleRow",
+    "TcpServingResult",
+    "run_tcp_serving",
 ]
 
 
@@ -2366,4 +2369,144 @@ def run_time_travel(
         restore_commits_discarded=report.commits_discarded,
         ride_through_exactly_once=exactly_once,
         pre_restore_cut_ok=pre_cut_ok,
+    )
+
+
+# ================================================================ Experiment NET
+
+
+@dataclass
+class TcpIdleScaleRow:
+    """One point of the idle-session scaling sweep: N concurrent TCP
+    sessions held open on one event loop, then every one pinged."""
+
+    sessions: int
+    connect_seconds: float
+    ping_seconds: float
+    pings_answered: int
+    client_errors: int
+
+
+@dataclass
+class TcpServingResult:
+    """Experiment NET: what the real-socket serving tier costs and whether
+    it changes any answers.
+
+    *Idle scaling* opens N concurrent TCP sessions against one listener
+    (one asyncio event loop, one blocking socket per client), holds them
+    all open, and pings every one — the C10K-shaped claim behind the tier
+    is that idle sessions cost a file descriptor, not a thread, so every
+    ping must come back with ``client_errors == 0`` at every size.
+    *Per-op latency* runs the same single-client statement mix through the
+    in-process transport and through a real socket (fresh server each),
+    and reports the per-operation cost plus the TCP/in-process
+    ``overhead_ratio`` — the price of real framing, syscalls, and the
+    event-loop↔dispatcher handoff.  The *fingerprint guard* compares the
+    final table contents of the two runs (``fingerprints_match``): the
+    transport may change the wire, never the answers.
+    """
+
+    # idle-session scaling: all pings answered, 0 errors at every size
+    idle_scale: list[TcpIdleScaleRow]
+    # per-op latency, same workload over both transports
+    ops: int
+    inprocess_op_seconds: float
+    tcp_op_seconds: float
+    overhead_ratio: float
+    # the guard: both workloads must leave identical table contents
+    inprocess_fingerprint: tuple
+    tcp_fingerprint: tuple
+    fingerprints_match: bool
+
+
+def _tcp_serving_statement(i: int) -> str:
+    """Deterministic insert/update/select mix for the latency comparison."""
+    if i % 4 == 3:
+        return f"UPDATE net_bench SET v = v + {i} WHERE k = {i - 3}"
+    if i % 7 == 5:
+        return f"SELECT * FROM net_bench WHERE k = {i - 5}"
+    return f"INSERT INTO net_bench VALUES ({i}, {i * 3})"
+
+
+def run_tcp_serving(
+    *,
+    idle_sizes: tuple[int, ...] = (100, 1000, 4000),
+    ops: int = 400,
+) -> TcpServingResult:
+    """Measure the TCP serving tier and verify transport neutrality (see
+    :class:`TcpServingResult`)."""
+    from repro.net.protocol import ConnectRequest, PingRequest, PongResponse
+    from repro.net.tcp import TcpTransport
+
+    # (a) idle-session scaling: hold N sessions open, ping every one
+    idle_rows: list[TcpIdleScaleRow] = []
+    for sessions in idle_sizes:
+        system = repro.make_system(dsn="net_bench_idle", listen="127.0.0.1:0")
+        try:
+            transport = TcpTransport(*system.tcp.address)
+            metrics = repro.NetworkMetrics()
+            channels = []
+            started = time.perf_counter()
+            for i in range(sessions):
+                channel = transport.open_channel(metrics=metrics)
+                channel.send(ConnectRequest(user=f"idle-{i}", options={}))
+                channels.append(channel)
+            connect_seconds = time.perf_counter() - started
+            answered = 0
+            started = time.perf_counter()
+            for channel in channels:
+                if isinstance(channel.send(PingRequest()), PongResponse):
+                    answered += 1
+            ping_seconds = time.perf_counter() - started
+            for channel in channels:
+                channel.close()
+            idle_rows.append(
+                TcpIdleScaleRow(
+                    sessions=sessions,
+                    connect_seconds=connect_seconds,
+                    ping_seconds=ping_seconds,
+                    pings_answered=answered,
+                    client_errors=metrics.errors,
+                )
+            )
+        finally:
+            system.close()
+
+    # (b) per-op latency + (c) fingerprint guard: same workload, both wires
+    timings: dict[str, float] = {}
+    fingerprints: dict[str, tuple] = {}
+    for mode in ("inprocess", "tcp"):
+        system = repro.make_system(
+            dsn=f"net_bench_{mode}",
+            listen="127.0.0.1:0" if mode == "tcp" else None,
+        )
+        try:
+            dsn = system.url if mode == "tcp" else system.DSN
+            connection = repro.connect(dsn, phoenix=False, user="net_bench")
+            cursor = connection.cursor()
+            cursor.execute("CREATE TABLE net_bench (k INT PRIMARY KEY, v INT)")
+            started = time.perf_counter()
+            for i in range(ops):
+                statement = _tcp_serving_statement(i)
+                cursor.execute(statement)
+                if statement.startswith("SELECT"):
+                    cursor.fetchall()
+            timings[mode] = (time.perf_counter() - started) / ops
+            cursor.execute("SELECT * FROM net_bench")
+            fingerprints[mode] = tuple(sorted(cursor.fetchall()))
+            connection.close()
+        finally:
+            system.close()
+
+    return TcpServingResult(
+        idle_scale=idle_rows,
+        ops=ops,
+        inprocess_op_seconds=timings["inprocess"],
+        tcp_op_seconds=timings["tcp"],
+        overhead_ratio=(
+            timings["tcp"] / timings["inprocess"] if timings["inprocess"] else 0.0
+        ),
+        inprocess_fingerprint=fingerprints["inprocess"],
+        tcp_fingerprint=fingerprints["tcp"],
+        fingerprints_match=fingerprints["inprocess"] == fingerprints["tcp"],
     )

@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench.reporting restart --json BENCH_restart.json
     python -m repro.bench.reporting plannedrestart --json BENCH_planned_restart.json
     python -m repro.bench.reporting timetravel --json BENCH_time_travel.json
+    python -m repro.bench.reporting tcp --json BENCH_tcp.json
     python -m repro.bench.reporting all
 
 Output mirrors the paper's layout: Table 1's columns are query id, result
@@ -43,6 +44,7 @@ from repro.bench.harness import (
     RecoveryBreakdownRow,
     RestartBreakdownRow,
     Table1Row,
+    TcpServingResult,
     TimeTravelResult,
     WireBatchResult,
     executor_speedup,
@@ -57,6 +59,7 @@ from repro.bench.harness import (
     run_recovery_breakdown,
     run_restart_breakdown,
     run_table1_power_comparison,
+    run_tcp_serving,
     run_time_travel,
     run_wire_batch,
 )
@@ -75,6 +78,7 @@ __all__ = [
     "render_restart_breakdown",
     "render_planned_restart",
     "render_time_travel",
+    "render_tcp_serving",
     "main",
 ]
 
@@ -362,6 +366,41 @@ def render_time_travel(result: TimeTravelResult) -> str:
     return "\n".join(lines)
 
 
+def render_tcp_serving(result: TcpServingResult) -> str:
+    """Experiment NET: idle-session scaling, per-op overhead, and the
+    transport-neutrality fingerprint guard."""
+    lines = [
+        "Experiment NET. Real-socket serving tier: scaling, overhead, parity",
+        f"{'Sessions':>9} {'Connect (s)':>12} {'Ping all (s)':>13} "
+        f"{'Ping us/sess':>13} {'Answered':>9} {'Errors':>7}",
+    ]
+    for row in result.idle_scale:
+        per_ping = row.ping_seconds / row.sessions * 1e6 if row.sessions else 0.0
+        lines.append(
+            f"{row.sessions:>9} {row.connect_seconds:>12.3f} "
+            f"{row.ping_seconds:>13.3f} {per_ping:>13.1f} "
+            f"{row.pings_answered:>9} {row.client_errors:>7}"
+        )
+    all_answered = all(
+        row.pings_answered == row.sessions and row.client_errors == 0
+        for row in result.idle_scale
+    )
+    lines.append(
+        "idle scaling: all pings answered, 0 errors"
+        if all_answered
+        else "idle scaling: PINGS LOST OR CLIENT ERRORS"
+    )
+    lines.append(
+        f"per-op latency over {result.ops} statements: in-process "
+        f"{result.inprocess_op_seconds * 1e6:.1f} us/op, TCP "
+        f"{result.tcp_op_seconds * 1e6:.1f} us/op "
+        f"(overhead {result.overhead_ratio:.2f}x)"
+    )
+    match = "identical" if result.fingerprints_match else "MISMATCH"
+    lines.append(f"durable state in-process vs TCP: {match}")
+    return "\n".join(lines)
+
+
 def render_concurrency(result: ConcurrencyResult, chaos: dict | None = None) -> str:
     """Experiment CC: threaded dispatch throughput + parallel recovery."""
     lines = [
@@ -546,6 +585,26 @@ def _time_travel_json(result: TimeTravelResult) -> dict:
     }
 
 
+def _tcp_serving_json(result: TcpServingResult) -> dict:
+    return {
+        "idle_scale": [
+            {
+                "sessions": row.sessions,
+                "connect_seconds": row.connect_seconds,
+                "ping_seconds": row.ping_seconds,
+                "pings_answered": row.pings_answered,
+                "client_errors": row.client_errors,
+            }
+            for row in result.idle_scale
+        ],
+        "ops": result.ops,
+        "inprocess_op_seconds": result.inprocess_op_seconds,
+        "tcp_op_seconds": result.tcp_op_seconds,
+        "overhead_ratio": result.overhead_ratio,
+        "fingerprints_match": result.fingerprints_match,
+    }
+
+
 def _restart_breakdown_json(rows: list[RestartBreakdownRow]) -> list[dict]:
     return [
         {
@@ -727,6 +786,7 @@ def main(argv: list[str] | None = None) -> int:
             "restart",
             "plannedrestart",
             "timetravel",
+            "tcp",
             "all",
         ],
     )
@@ -832,6 +892,10 @@ def main(argv: list[str] | None = None) -> int:
         time_travel = run_time_travel()
         print(render_time_travel(time_travel))
         payload["time_travel"] = _time_travel_json(time_travel)
+    if args.artifact in ("tcp", "all"):
+        tcp_serving = run_tcp_serving()
+        print(render_tcp_serving(tcp_serving))
+        payload["tcp_serving"] = _tcp_serving_json(tcp_serving)
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

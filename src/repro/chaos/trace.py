@@ -168,6 +168,7 @@ def run_trace(
     schedule: tuple[tuple, ...] = (),
     *,
     tracer: Tracer | None = None,
+    transport: str = "inprocess",
 ) -> TraceRecord:
     """Run ``trace`` on a fresh system under ``schedule`` and record it.
 
@@ -183,18 +184,38 @@ def run_trace(
     as a span trace — it is installed process-wide for the run's duration
     and restored after; read the records off ``tracer.records`` or render
     them with :func:`repro.obs.render_tree`.
+
+    ``transport="tcp"`` runs the identical trace over real sockets: the
+    fresh system gets an asyncio TCP listener on a free port and the
+    Phoenix stack rides :class:`~repro.net.tcp.TcpTransport`.  The fault
+    injector sits server-side behind the listener, so the same schedule
+    fires at the same request indices — the parity tests assert the record
+    (fingerprints included) is byte-identical to the in-process run.
     """
     if tracer is not None:
         with use_tracer(tracer):
-            return _run_trace(trace, schedule)
-    return _run_trace(trace, schedule)
+            return _run_trace(trace, schedule, transport)
+    return _run_trace(trace, schedule, transport)
 
 
 def _run_trace(
     trace: ChaosTrace,
     schedule: tuple[tuple, ...],
+    transport: str = "inprocess",
 ) -> TraceRecord:
-    system = repro.make_system()
+    if transport == "tcp":
+        system = repro.make_system(listen="127.0.0.1:0")
+    else:
+        system = repro.make_system(transport=transport)
+    try:
+        return _run_trace_on(system, trace, schedule)
+    finally:
+        system.close()  # stops the TCP listener; no-op in-process
+
+
+def _run_trace_on(
+    system, trace: ChaosTrace, schedule: tuple[tuple, ...]
+) -> TraceRecord:
     config = system.phoenix.config
 
     def sleep(_seconds: float) -> None:

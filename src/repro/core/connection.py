@@ -344,7 +344,21 @@ class PhoenixConnection:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        # PEP 249 common extension, then close: commit an open transaction
+        # on success, roll it back on exception (both ride Phoenix recovery
+        # like any other statement), then release the session as before.
+        try:
+            if self.in_transaction and not self.closed:
+                if exc_type is None:
+                    self.commit()
+                else:
+                    self.rollback()
+        except repro_errors.Error:
+            if exc_type is None:
+                raise  # a failed commit must not pass silently
+            # an exception is already flying; don't mask it with cleanup
+        finally:
+            self.close()
 
     def _require_open(self) -> None:
         if self.closed:

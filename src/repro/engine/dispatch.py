@@ -54,13 +54,20 @@ class DispatchStats:
 
 
 class _WorkItem:
-    __slots__ = ("fn", "done", "value", "exc")
+    __slots__ = ("fn", "done", "value", "exc", "callback")
 
-    def __init__(self, fn: Callable[[], Any]):
+    def __init__(
+        self,
+        fn: Callable[[], Any],
+        callback: Callable[[Any, BaseException | None], None] | None = None,
+    ):
         self.fn = fn
         self.done = threading.Event()
         self.value: Any = None
         self.exc: BaseException | None = None
+        #: completion hook for :meth:`SessionDispatcher.submit` — invoked on
+        #: the worker thread after the item finishes (``done`` already set)
+        self.callback = callback
 
 
 class SessionDispatcher:
@@ -96,6 +103,32 @@ class SessionDispatcher:
         one at a time; items under different keys run concurrently.
         """
         item = _WorkItem(fn)
+        self._enqueue(key, item)
+        item.done.wait()
+        if item.exc is not None:
+            raise item.exc
+        return item.value
+
+    def submit(
+        self,
+        key: Any,
+        fn: Callable[[], Any],
+        callback: Callable[[Any, BaseException | None], None],
+    ) -> None:
+        """Enqueue ``fn`` under ``key`` without blocking the caller.
+
+        The asyncio serving tier's entry point: the event loop must never
+        park in :meth:`run`, so completion is delivered by invoking
+        ``callback(value, exc)`` on the worker thread that ran the item
+        (exactly one of the two is non-``None`` unless ``fn`` returned
+        ``None``; check ``exc`` first).  Ordering guarantees are identical
+        to :meth:`run` — same-key items run FIFO, one at a time.  A raised
+        callback is swallowed: the reply path owns its own error handling
+        and must not poison the worker.
+        """
+        self._enqueue(key, _WorkItem(fn, callback))
+
+    def _enqueue(self, key: Any, item: _WorkItem) -> None:
         with self._cond:
             if self._closed:
                 raise RuntimeError("dispatcher is closed")
@@ -115,10 +148,6 @@ class SessionDispatcher:
             self.stats.peak_queued = max(
                 self.stats.peak_queued, sum(len(q) for q in self._queues.values())
             )
-        item.done.wait()
-        if item.exc is not None:
-            raise item.exc
-        return item.value
 
     def close(self) -> None:
         """Reject new work and wake idle workers so they exit.  Pending
@@ -223,6 +252,11 @@ class SessionDispatcher:
                 item.exc = exc
             finally:
                 item.done.set()
+                if item.callback is not None:
+                    try:
+                        item.callback(item.value, item.exc)
+                    except Exception:
+                        pass  # see submit(): the reply path owns its errors
             with self._cond:
                 queue = self._queues[key]
                 queue.popleft()

@@ -13,13 +13,24 @@ The boundary is real in the ways that matter to Phoenix:
 """
 
 from repro.net.faults import FaultInjector, FaultKind
-from repro.net.metrics import NetworkMetrics
-from repro.net.transport import ClientChannel, ServerEndpoint
+from repro.net.metrics import NetStats, NetworkMetrics
+from repro.net.transport import (
+    ClientChannel,
+    InProcessTransport,
+    ServerEndpoint,
+    Transport,
+)
+from repro.net.tcp import TcpServer, TcpTransport
 
 __all__ = [
     "ClientChannel",
     "ServerEndpoint",
+    "Transport",
+    "InProcessTransport",
+    "TcpServer",
+    "TcpTransport",
     "FaultInjector",
     "FaultKind",
     "NetworkMetrics",
+    "NetStats",
 ]

@@ -1,0 +1,123 @@
+"""Length-prefixed framing for the TCP wire.
+
+One frame is a 5-byte header — frame type (1 byte) + payload length
+(4 bytes, big-endian) — followed by the payload.  The payload of REQUEST
+and RESPONSE frames is a :mod:`repro.net.protocol` message, encoded exactly
+as the in-process wire encodes it (``encode_message``), so the framing
+layer adds transport, never semantics.
+
+Two control frames let the server express the transport-level outcomes the
+in-process :class:`~repro.net.transport.ServerEndpoint` raises as
+exceptions:
+
+* ``TIMEOUT`` — the reply is *abandoned* (the HANG fault): a real client's
+  request timer would have fired long ago.  Shipping the abandonment as an
+  in-band frame keeps the chaos schedules deterministic — no real clocks —
+  while preserving the in-process semantics that a timeout does **not**
+  break the connection (the server discarded the request; the
+  request/response pairing on the socket stays intact).
+* ``FATAL`` — a transport-level failure (server crashed mid-request,
+  injected connection drop).  The payload names the exception class so the
+  client re-raises exactly what the in-process wire would have raised; the
+  server closes the connection immediately after, like the RST a dying
+  process produces.  A client that sees a bare EOF instead (the notice
+  itself was lost) degrades to a plain ``CommunicationError`` — both paths
+  leave the channel broken.
+
+:class:`FrameDecoder` is the incremental parser the asyncio server feeds
+from ``data_received`` — it must tolerate frames split across reads and
+many frames coalesced into one read, which is exactly what TCP delivers.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+__all__ = [
+    "FRAME_REQUEST",
+    "FRAME_RESPONSE",
+    "FRAME_TIMEOUT",
+    "FRAME_FATAL",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "encode_notice",
+    "decode_notice",
+    "FrameDecoder",
+]
+
+#: client -> server: one encoded Request
+FRAME_REQUEST = 0x01
+#: server -> client: one encoded Response
+FRAME_RESPONSE = 0x02
+#: server -> client: the request was abandoned (HANG); connection survives
+FRAME_TIMEOUT = 0x03
+#: server -> client: transport failure notice; connection closes after this
+FRAME_FATAL = 0x04
+
+_KNOWN_TYPES = frozenset((FRAME_REQUEST, FRAME_RESPONSE, FRAME_TIMEOUT, FRAME_FATAL))
+
+_HEADER = struct.Struct("!BI")
+
+#: backstop against a corrupt length prefix walking the decoder off a cliff
+#: (no legitimate message in this system approaches it)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(Exception):
+    """The byte stream is not a valid frame sequence (corruption bug —
+    never an expected runtime condition)."""
+
+
+def encode_frame(frame_type: int, payload: bytes) -> bytes:
+    """Header + payload, ready for one ``write``/``sendall``."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame payload of {len(payload)} bytes exceeds cap")
+    return _HEADER.pack(frame_type, len(payload)) + payload
+
+
+def encode_notice(error_type: str, message: str) -> bytes:
+    """Payload of a TIMEOUT/FATAL frame: exception class name + message."""
+    return json.dumps([error_type, message]).encode("utf-8")
+
+
+def decode_notice(payload: bytes) -> tuple[str, str]:
+    error_type, message = json.loads(payload.decode("utf-8"))
+    return str(error_type), str(message)
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary chunking of the stream.
+
+    ``feed(data)`` returns every frame completed by ``data`` as
+    ``(frame_type, payload)`` pairs — zero when a frame is still split
+    across reads, several when one read coalesced multiple frames.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[int, bytes]]:
+        self._buffer.extend(data)
+        frames: list[tuple[int, bytes]] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return frames
+            frame_type, length = _HEADER.unpack_from(self._buffer)
+            if frame_type not in _KNOWN_TYPES:
+                raise FrameError(f"unknown frame type 0x{frame_type:02x}")
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(f"frame length {length} exceeds cap")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            frames.append((frame_type, bytes(self._buffer[_HEADER.size:end])))
+            del self._buffer[:end]
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)

@@ -16,7 +16,7 @@ import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["NetworkMetrics"]
+__all__ = ["NetworkMetrics", "NetStats"]
 
 
 @dataclass
@@ -116,3 +116,121 @@ class NetworkMetrics:
             "by_request_type": dict(self.by_request_type),
             "errors_by_request_type": dict(self.errors_by_request_type),
         }
+
+
+class NetStats:
+    """Socket-tier and pool counters — the ``net`` slot of the registry.
+
+    Fed by :class:`~repro.net.tcp.TcpServer` (accepts, frames, bytes) and
+    :class:`repro.ConnectionPool` (checkouts, pings, replacements).
+    Counters follow the system-wide reset contract (cumulative across
+    crashes; :meth:`reset` is an observer action).  ``connections_open``
+    and ``pool_in_use`` are *gauges* — they describe current state, so
+    ``reset()`` leaves them alone.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # socket tier (TcpServer)
+        self.connections_accepted = 0
+        self.connections_closed = 0
+        self.connections_open = 0  # gauge
+        self.frames_received = 0
+        self.frames_sent = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        #: TIMEOUT/FATAL frames sent — transport-level failures delivered
+        #: to clients (in-band SQL errors are ordinary RESPONSE frames)
+        self.fatal_frames_sent = 0
+        # pool tier (ConnectionPool)
+        self.pool_checkouts = 0
+        self.pool_checkins = 0
+        self.pool_pings = 0
+        self.pool_replacements = 0
+        self.pool_exhausted = 0
+        self.pool_in_use = 0  # gauge
+
+    # -- socket tier ---------------------------------------------------------
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_accepted += 1
+            self.connections_open += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_closed += 1
+            self.connections_open -= 1
+
+    def frame_received(self, nbytes: int) -> None:
+        with self._lock:
+            self.frames_received += 1
+            self.bytes_received += nbytes
+
+    def frame_sent(self, nbytes: int, *, fatal: bool = False) -> None:
+        with self._lock:
+            self.frames_sent += 1
+            self.bytes_sent += nbytes
+            if fatal:
+                self.fatal_frames_sent += 1
+
+    # -- pool tier -----------------------------------------------------------
+
+    def pool_checkout(self) -> None:
+        with self._lock:
+            self.pool_checkouts += 1
+            self.pool_in_use += 1
+
+    def pool_checkin(self) -> None:
+        with self._lock:
+            self.pool_checkins += 1
+            self.pool_in_use -= 1
+
+    def pool_ping(self) -> None:
+        with self._lock:
+            self.pool_pings += 1
+
+    def pool_replacement(self) -> None:
+        with self._lock:
+            self.pool_replacements += 1
+
+    def pool_exhaustion(self) -> None:
+        with self._lock:
+            self.pool_exhausted += 1
+
+    # -- contract ------------------------------------------------------------
+
+    def reset(self) -> None:
+        with self._lock:
+            self.connections_accepted = 0
+            self.connections_closed = 0
+            self.frames_received = 0
+            self.frames_sent = 0
+            self.bytes_received = 0
+            self.bytes_sent = 0
+            self.fatal_frames_sent = 0
+            self.pool_checkouts = 0
+            self.pool_checkins = 0
+            self.pool_pings = 0
+            self.pool_replacements = 0
+            self.pool_exhausted = 0
+            # connections_open / pool_in_use are gauges: untouched
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "connections_accepted": self.connections_accepted,
+                "connections_closed": self.connections_closed,
+                "connections_open": self.connections_open,
+                "frames_received": self.frames_received,
+                "frames_sent": self.frames_sent,
+                "bytes_received": self.bytes_received,
+                "bytes_sent": self.bytes_sent,
+                "fatal_frames_sent": self.fatal_frames_sent,
+                "pool_checkouts": self.pool_checkouts,
+                "pool_checkins": self.pool_checkins,
+                "pool_pings": self.pool_pings,
+                "pool_replacements": self.pool_replacements,
+                "pool_exhausted": self.pool_exhausted,
+                "pool_in_use": self.pool_in_use,
+            }

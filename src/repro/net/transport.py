@@ -9,6 +9,16 @@ communication failure it is *broken* — further sends fail immediately, like
 a closed socket — and the client must open a fresh channel (reconnect).
 That matches what Phoenix has to deal with: the old ODBC connection is dead
 even if the server is back.
+
+The channel's byte round trip is pluggable: a :class:`Transport` opens
+channels over some wire, and the channel delegates ``raw bytes -> raw
+bytes`` to the wire object behind it.  :class:`InProcessTransport` is the
+direct ``endpoint.handle`` call (zero-copy, same process);
+:class:`~repro.net.tcp.TcpTransport` is a real socket to a
+:class:`~repro.net.tcp.TcpServer`.  Everything above the wire — metrics,
+tracing, the broken-channel contract, in-band SQL error rebuilding — is
+shared, so the Phoenix driver, the plain ODBC stack, chaos traces, and the
+benches run unchanged over either transport.
 """
 
 from __future__ import annotations
@@ -47,7 +57,7 @@ from repro.net.protocol import (
     encode_message,
 )
 
-__all__ = ["ServerEndpoint", "ClientChannel"]
+__all__ = ["ServerEndpoint", "ClientChannel", "Transport", "InProcessTransport"]
 
 
 class ServerEndpoint:
@@ -112,6 +122,72 @@ class ServerEndpoint:
         socket layer would surface.  SQL-level errors travel *in-band* as
         :class:`ErrorResponse`.
         """
+        request, key, corr = self._prepare(raw_request)
+        if self.latency:
+            time.sleep(self.latency / 2)
+        try:
+            bypass = self._restarting_bypass(request)
+            if bypass is not None:
+                return bypass
+            return self.server.dispatcher.run(key, lambda: self._serve(request, corr))
+        finally:
+            if self.latency:
+                time.sleep(self.latency / 2)
+
+    def submit(
+        self,
+        raw_request: bytes,
+        callback,
+        *,
+        frame_attrs: dict | None = None,
+    ) -> None:
+        """Non-blocking :meth:`handle` for the asyncio serving tier.
+
+        The TCP front end's event loop must never park in the dispatcher,
+        so the request is enqueued and ``callback(raw_response, exc)`` is
+        invoked on the dispatch worker once it has run (check ``exc``
+        first; it carries the CommunicationError subclasses that
+        :meth:`handle` would raise).  The planned-restart ping bypass and
+        decode failures invoke the callback synchronously on the caller.
+
+        ``frame_attrs`` (the TCP server passes peer + byte counts) opens a
+        ``net.frame`` span around the server-side body so the socket tier
+        shows up in traces and the ``net.frame`` latency histogram.
+        Simulated ``latency`` is *not* applied here: a real socket has real
+        transit time.
+        """
+        try:
+            request, key, corr = self._prepare(raw_request)
+            bypass = self._restarting_bypass(request)
+        except Exception as exc:
+            callback(None, exc)
+            return
+        if bypass is not None:
+            callback(bypass, None)
+            return
+
+        if frame_attrs is None:
+            fn = lambda: self._serve(request, corr)  # noqa: E731
+        else:
+            def fn():
+                with get_tracer().span(
+                    "net.frame",
+                    corr=corr,
+                    request=type(request).__name__,
+                    **frame_attrs,
+                ) as span:
+                    raw_response = self._serve(request, corr)
+                    span.set(bytes_out=len(raw_response))
+                    return raw_response
+
+        try:
+            self.server.dispatcher.submit(key, fn, callback)
+        except RuntimeError as exc:  # dispatcher closed under us
+            callback(None, errors.ServerCrashedError(f"dispatcher rejected request: {exc}"))
+
+    def _prepare(self, raw_request: bytes):
+        """Decode + session key + caller correlation — shared by
+        :meth:`handle` and :meth:`submit`."""
         request = decode_message(raw_request)
         assert isinstance(request, Request)
         # session-scoped requests serialize per session; connects and pings
@@ -123,29 +199,26 @@ class ServerEndpoint:
         # stack is its own, so inheritance alone would drop the session chain
         caller_span = get_tracer().current
         corr = caller_span.corr if caller_span is not None else None
-        if self.latency:
-            time.sleep(self.latency / 2)
-        try:
-            # Pings bypass the dispatcher while a *planned* restart is in
-            # progress: parked behind the drain barrier they could tell the
-            # client nothing until the swap is over — answered here, they
-            # advertise RESTARTING + the expected remaining pause, which is
-            # what lets the driver back off politely instead of treating
-            # the pause as a crash.
-            if isinstance(request, PingRequest) and self.server.up:
-                state = self.server.lifecycle
-                if state != "running":
-                    return encode_message(
-                        RestartingResponse(
-                            state=state,
-                            eta_seconds=self.server.restart_eta_seconds(),
-                            server_epoch=self.epoch,
-                        )
+        return request, key, corr
+
+    def _restarting_bypass(self, request: Request) -> bytes | None:
+        # Pings bypass the dispatcher while a *planned* restart is in
+        # progress: parked behind the drain barrier they could tell the
+        # client nothing until the swap is over — answered here, they
+        # advertise RESTARTING + the expected remaining pause, which is
+        # what lets the driver back off politely instead of treating
+        # the pause as a crash.
+        if isinstance(request, PingRequest) and self.server.up:
+            state = self.server.lifecycle
+            if state != "running":
+                return encode_message(
+                    RestartingResponse(
+                        state=state,
+                        eta_seconds=self.server.restart_eta_seconds(),
+                        server_epoch=self.epoch,
                     )
-            return self.server.dispatcher.run(key, lambda: self._serve(request, corr))
-        finally:
-            if self.latency:
-                time.sleep(self.latency / 2)
+                )
+        return None
 
     def _serve(self, request: Request, corr: str | None = None) -> bytes:
         """The server-side body of one request (runs on a dispatch worker)."""
@@ -340,21 +413,80 @@ def _result_response(result) -> ResultResponse:
 _channel_ids = itertools.count(1)
 
 
+class Transport:
+    """Client-side wire factory: where channels come from.
+
+    One transport represents one way of reaching one server; every channel
+    it opens shares that destination.  Subclasses implement
+    :meth:`open_channel`; the returned :class:`ClientChannel` owns all
+    client-side bookkeeping (metrics, tracing, the broken flag) while the
+    transport-specific *wire* object behind it does the raw byte round
+    trip.
+    """
+
+    #: short name for logs/benches ("inprocess", "tcp")
+    name = "abstract"
+
+    def open_channel(self, metrics: NetworkMetrics | None = None) -> "ClientChannel":
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport-wide resources (channels close individually)."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class _InProcessWire:
+    """The zero-copy wire: a direct call into the endpoint."""
+
+    __slots__ = ("endpoint",)
+
+    def __init__(self, endpoint: ServerEndpoint):
+        self.endpoint = endpoint
+
+    def roundtrip(self, raw_request: bytes) -> bytes:
+        return self.endpoint.handle(raw_request)
+
+    def close(self) -> None:
+        pass
+
+
+class InProcessTransport(Transport):
+    """Today's direct ``endpoint.handle`` call behind the Transport API."""
+
+    name = "inprocess"
+
+    def __init__(self, endpoint: ServerEndpoint):
+        self.endpoint = endpoint
+
+    def open_channel(self, metrics: NetworkMetrics | None = None) -> "ClientChannel":
+        return ClientChannel(self.endpoint, metrics=metrics)
+
+
 class ClientChannel:
-    """One client connection to a :class:`ServerEndpoint`.
+    """One client connection over some wire.
 
     Not a session by itself — the session is created by sending a
     ``ConnectRequest`` — but the channel mirrors a socket's lifecycle:
     usable until the first communication error, then permanently broken.
+
+    ``wire`` is either a :class:`ServerEndpoint` (the historical
+    constructor shape, wrapped in the in-process wire) or any object with
+    ``roundtrip(bytes) -> bytes`` and ``close()``.
     """
 
     def __init__(
         self,
-        endpoint: ServerEndpoint,
+        wire,
         metrics: NetworkMetrics | None = None,
     ):
         self.channel_id = next(_channel_ids)
-        self.endpoint = endpoint
+        if isinstance(wire, ServerEndpoint):
+            wire = _InProcessWire(wire)
+        self.wire = wire
+        #: the endpoint behind an in-process wire; ``None`` over a socket
+        self.endpoint = getattr(wire, "endpoint", None)
         self.metrics = metrics if metrics is not None else NetworkMetrics()
         self.broken = False
 
@@ -373,7 +505,7 @@ class ClientChannel:
             "wire.send", request=request_type, channel=self.channel_id
         ) as span:
             try:
-                raw_response = self.endpoint.handle(raw)
+                raw_response = self.wire.roundtrip(raw)
             except errors.TimeoutError:
                 # a client-side timeout abandons the request but not the socket:
                 # the server may just be slow (Phoenix probes to find out)
@@ -392,6 +524,7 @@ class ClientChannel:
 
     def close(self) -> None:
         self.broken = True
+        self.wire.close()
 
 
 def _rebuild_error(response: ErrorResponse) -> errors.Error:

@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # real imports are deferred: engine/net modules import
     from repro.engine.server import DrainStats
     from repro.engine.timetravel import TimeTravelStats
     from repro.engine.wal import WalStats
-    from repro.net.metrics import NetworkMetrics
+    from repro.net.metrics import NetStats, NetworkMetrics
 
 __all__ = ["Histogram", "MetricsRegistry"]
 
@@ -131,6 +131,7 @@ _SPAN_HISTOGRAMS = {
     "server.swap": "server.swap",
     "server.restore": "server.restore",
     "timetravel.reconstruct": "timetravel.reconstruct",
+    "net.frame": "net.frame",
 }
 
 
@@ -150,7 +151,8 @@ class MetricsRegistry:
                  wal: WalStats | None = None,
                  locks: LockStats | None = None,
                  server: DrainStats | None = None,
-                 timetravel: TimeTravelStats | None = None):
+                 timetravel: TimeTravelStats | None = None,
+                 net: NetStats | None = None):
         if network is None:
             from repro.net.metrics import NetworkMetrics
             network = NetworkMetrics()
@@ -172,6 +174,10 @@ class MetricsRegistry:
         if timetravel is None:
             from repro.engine.timetravel import TimeTravelStats
             timetravel = TimeTravelStats()
+        if net is None:
+            from repro.net.metrics import NetStats
+            net = NetStats()
+        self.net = net
         self.network = network
         self.engine = engine
         self.executor = executor
@@ -213,6 +219,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         return {
+            "net": self.net.snapshot(),
             "network": self.network.snapshot(),
             "engine": self.engine.snapshot(),
             "executor": self.executor.snapshot(),
@@ -228,6 +235,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         """The explicit observer-side reset (see module docstring): zeroes
         every adopted counter and drops every histogram."""
+        self.net.reset()
         self.network.reset()
         self.engine.reset()
         self.executor.reset()

@@ -1,9 +1,12 @@
 """The native driver: the vendor client stub.
 
-:class:`NativeDriver` knows how to reach one database server (through a
-:class:`~repro.net.transport.ServerEndpoint`) and exposes the low-level
-connection operations the driver manager builds statements on.  It performs
-no recovery of any kind: a communication error breaks the connection and is
+:class:`NativeDriver` knows how to reach one database server — through a
+:class:`~repro.net.transport.Transport` whose channels carry the wire
+(in-process endpoint call or a real TCP socket; a bare
+:class:`~repro.net.transport.ServerEndpoint` is accepted and wrapped for
+the historical constructor shape) — and exposes the low-level connection
+operations the driver manager builds statements on.  It performs no
+recovery of any kind: a communication error breaks the connection and is
 the application's problem — which is the baseline behaviour Phoenix fixes.
 """
 
@@ -29,23 +32,41 @@ from repro.net.protocol import (
     TableSchemaRequest,
     TableSchemaResponse,
 )
-from repro.net.transport import ClientChannel, ServerEndpoint
+from repro.net.transport import (
+    ClientChannel,
+    InProcessTransport,
+    ServerEndpoint,
+    Transport,
+)
 from repro.obs.tracer import get_tracer
 
 __all__ = ["NativeDriver", "DriverConnection"]
 
 
 class NativeDriver:
-    """Factory for driver connections to one server endpoint."""
+    """Factory for driver connections to one server, over one transport."""
 
-    def __init__(self, endpoint: ServerEndpoint, *, metrics: NetworkMetrics | None = None):
-        self.endpoint = endpoint
+    def __init__(
+        self,
+        transport: Transport | ServerEndpoint,
+        *,
+        metrics: NetworkMetrics | None = None,
+    ):
+        if isinstance(transport, ServerEndpoint):
+            transport = InProcessTransport(transport)
+        self.transport = transport
+        #: the endpoint behind an in-process transport; ``None`` over TCP
+        #: (kept because tests and tools reach the fault injector this way)
+        self.endpoint = getattr(transport, "endpoint", None)
         #: shared metrics for every channel this driver opens
         self.metrics = metrics if metrics is not None else NetworkMetrics()
 
+    def _open_channel(self) -> ClientChannel:
+        return self.transport.open_channel(metrics=self.metrics)
+
     def connect(self, user: str = "app", options: dict[str, Any] | None = None) -> "DriverConnection":
         with get_tracer().span("driver.connect", user=user) as span:
-            channel = ClientChannel(self.endpoint, metrics=self.metrics)
+            channel = self._open_channel()
             response = channel.send(ConnectRequest(user=user, options=dict(options or {})))
             span.set(session_id=response.session_id)
             return DriverConnection(self, channel, response.session_id, user)
@@ -59,17 +80,20 @@ class NativeDriver:
         :class:`~repro.errors.ServerRestartingError` carrying the advertised
         state and remaining pause, so the caller's backoff can distinguish
         a polite wait from a crash."""
-        channel = ClientChannel(self.endpoint, metrics=self.metrics)
-        response = channel.send(PingRequest())
-        if isinstance(response, RestartingResponse):
-            raise ServerRestartingError(
-                f"server restarting ({response.state}), "
-                f"expected back in {response.eta_seconds:.3f}s",
-                state=response.state,
-                eta_seconds=response.eta_seconds,
-            )
-        assert isinstance(response, PongResponse)
-        return response
+        channel = self._open_channel()
+        try:
+            response = channel.send(PingRequest())
+            if isinstance(response, RestartingResponse):
+                raise ServerRestartingError(
+                    f"server restarting ({response.state}), "
+                    f"expected back in {response.eta_seconds:.3f}s",
+                    state=response.state,
+                    eta_seconds=response.eta_seconds,
+                )
+            assert isinstance(response, PongResponse)
+            return response
+        finally:
+            channel.close()
 
     def disconnect_session(self, session_id: int) -> None:
         """Disconnect a server session by id over a throwaway channel.
@@ -78,7 +102,7 @@ class NativeDriver:
         session it orphaned (the old connection object is gone or broken,
         but the server may still hold the session).  Raises whatever the
         wire raises — callers decide what is best-effort."""
-        channel = ClientChannel(self.endpoint, metrics=self.metrics)
+        channel = self._open_channel()
         try:
             channel.send(DisconnectRequest(session_id=session_id))
         finally:

@@ -94,6 +94,10 @@ class Connection:
         self.options = dict(options)
         self.closed = False
         self._statements: list[Statement] = []
+        #: connection-level transaction flag backing :attr:`in_transaction`;
+        #: tracks begin()/commit()/rollback() calls on *this* handle (SQL
+        #: issued through a cursor is the application's own bookkeeping)
+        self._txn_open = False
 
     # -- DB-API-ish surface ------------------------------------------------------
 
@@ -121,12 +125,20 @@ class Connection:
 
     def begin(self) -> None:
         self._execute_raw("BEGIN TRANSACTION")
+        self._txn_open = True
 
     def commit(self) -> None:
         self._execute_raw("COMMIT")
+        self._txn_open = False
 
     def rollback(self) -> None:
         self._execute_raw("ROLLBACK")
+        self._txn_open = False
+
+    @property
+    def in_transaction(self) -> bool:
+        """True between :meth:`begin` and the matching commit/rollback."""
+        return self._txn_open
 
     def close(self) -> None:
         if self.closed:
@@ -140,7 +152,26 @@ class Connection:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        # PEP 249 common extension, then close: a transaction left open by
+        # the block commits on success and rolls back on exception, and the
+        # handle is released either way (the historical `with` contract
+        # here — sessions are autocommit outside an explicit begin()).
+        try:
+            if (
+                self._txn_open
+                and not self.closed
+                and not self._driver_connection.broken
+            ):
+                if exc_type is None:
+                    self.commit()
+                else:
+                    self.rollback()
+        except errors.Error:
+            if exc_type is None:
+                raise  # a failed commit must not pass silently
+            # an exception is already flying; don't mask it with cleanup
+        finally:
+            self.close()
 
     # -- internals -----------------------------------------------------------------
 
